@@ -1,0 +1,92 @@
+// Shared plumbing for the paper-reproduction benches: dataset analogs,
+// trainer invocations, and table formatting.
+//
+// Every bench accepts:
+//   --scale=<f>   cardinality scale of the dataset analogs (default varies)
+//   --trees=<n>   number of trees
+//   --depth=<d>   tree depth
+// and prints both modeled seconds (the reproduction metric, see DESIGN.md
+// section 2) and host wall-clock seconds (transparency).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/xgb_exact.h"
+#include "baselines/xgb_gpu_dense.h"
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+
+namespace gbdt::bench {
+
+struct Options {
+  double scale = 0.25;
+  int trees = 40;
+  int depth = 6;
+
+  static Options parse(int argc, char** argv, double default_scale,
+                       int default_trees = 40, int default_depth = 6) {
+    Options o;
+    o.scale = default_scale;
+    o.trees = default_trees;
+    o.depth = default_depth;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+        o.scale = std::atof(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--trees=", 8) == 0) {
+        o.trees = std::atoi(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--depth=", 8) == 0) {
+        o.depth = std::atoi(argv[i] + 8);
+      } else {
+        std::fprintf(stderr,
+                     "unknown flag %s (supported: --scale= --trees= "
+                     "--depth=)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+};
+
+/// One GPU-GBDT training run on a fresh simulated Titan X.
+inline TrainReport run_gpu(const data::Dataset& ds, const GBDTParam& param) {
+  device::Device dev(device::DeviceConfig::titan_x_pascal());
+  GpuGbdtTrainer trainer(dev, param);
+  return trainer.train(ds);
+}
+
+/// One instrumented CPU run; modeled seconds are read per thread count.
+inline baseline::CpuTrainReport run_cpu(const data::Dataset& ds,
+                                        const GBDTParam& param) {
+  baseline::XgbExactTrainer trainer(param);
+  return trainer.train(ds);
+}
+
+inline const device::CpuConfig& cpu_config() {
+  static const device::CpuConfig cfg = device::CpuConfig::dual_xeon_e5_2640v4();
+  return cfg;
+}
+
+inline GBDTParam paper_param(const Options& o) {
+  GBDTParam p;
+  p.depth = o.depth;
+  p.n_trees = o.trees;
+  return p;
+}
+
+inline void print_header(const char* title, const Options& o) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("analog scale %.3g, %d trees, depth %d "
+              "(modeled seconds; see EXPERIMENTS.md)\n",
+              o.scale, o.trees, o.depth);
+  std::printf("================================================================\n");
+}
+
+}  // namespace gbdt::bench

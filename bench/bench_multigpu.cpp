@@ -1,0 +1,45 @@
+// Multi-GPU scaling (the paper's Section VI future work: "our algorithm is
+// naturally applicable to multiple GPUs"): trains the dataset analogs on
+// 1/2/4/8 simulated Titan X boards with attribute sharding and reports the
+// modeled end-to-end time, the communication share, and the speedup over
+// one device — over both a PCI-e switch and an NVLink-style interconnect.
+#include "bench_common.h"
+#include "multigpu/multi_trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace gbdt;
+  using namespace gbdt::bench;
+  const auto opt =
+      Options::parse(argc, argv, /*default_scale=*/0.3, /*trees=*/10);
+  print_header("Multi-GPU scaling (future work of paper Section VI)", opt);
+
+  for (const char* name : {"news20", "higgs"}) {
+    const auto info = data::paper_dataset(name, opt.scale);
+    const auto ds = data::generate(info.spec);
+    GBDTParam p = paper_param(opt);
+    p.use_rle = false;
+    std::printf("%s (%lld x %lld):\n", name,
+                static_cast<long long>(ds.n_instances()),
+                static_cast<long long>(ds.n_attributes()));
+    std::printf("  %4s %12s %12s %10s | %12s %10s\n", "GPUs", "pcie(s)",
+                "comm-share", "speedup", "nvlink(s)", "speedup");
+    double base = 0.0;
+    for (int k : {1, 2, 4, 8}) {
+      multigpu::MultiGpuTrainer pcie(device::DeviceConfig::titan_x_pascal(),
+                                     k, p, multigpu::Interconnect::pcie3());
+      const auto rp = pcie.train(ds);
+      multigpu::MultiGpuTrainer nv(device::DeviceConfig::titan_x_pascal(), k,
+                                   p, multigpu::Interconnect::nvlink());
+      const auto rn = nv.train(ds);
+      if (k == 1) base = rp.modeled_seconds;
+      std::printf("  %4d %12.4f %11.1f%% %10.2f | %12.4f %10.2f\n", k,
+                  rp.modeled_seconds,
+                  100.0 * rp.comm_seconds / rp.modeled_seconds,
+                  base / rp.modeled_seconds, rn.modeled_seconds,
+                  base / rn.modeled_seconds);
+    }
+  }
+  std::printf("(attribute-parallel scaling is sublinear: per-instance work "
+              "and the instance->node synchronisation replicate)\n");
+  return 0;
+}

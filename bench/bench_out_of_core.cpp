@@ -1,0 +1,48 @@
+// Out-of-core (column-streaming) training vs in-core GPU-GBDT: quantifies
+// the PCI-e traffic the streaming mode pays per level and how much of it
+// RLE-compressed chunk shipping recovers — the paper's Section III-C claim
+// that RLE "reduce[s] the memory traffic for transferring the training
+// dataset through PCI-e", exercised end to end.
+#include "bench_common.h"
+#include "core/out_of_core.h"
+
+int main(int argc, char** argv) {
+  using namespace gbdt;
+  using namespace gbdt::bench;
+  const auto opt =
+      Options::parse(argc, argv, /*default_scale=*/0.3, /*trees=*/10);
+  print_header("Out-of-core streaming vs in-core (PCI-e traffic)", opt);
+
+  std::printf("%-10s | %9s %9s | %9s %11s | %9s %11s %7s\n", "dataset",
+              "incore(s)", "lists", "raw(s)", "streamedMB", "rle(s)",
+              "streamedMB", "chunks");
+  for (const char* name : {"covtype", "insurance", "susy", "news20"}) {
+    const auto info = data::paper_dataset(name, opt.scale);
+    const auto ds = data::generate(info.spec);
+    GBDTParam p = paper_param(opt);
+    p.use_rle = false;
+
+    const auto in_core = run_gpu(ds, p);
+
+    device::Device dev1(device::DeviceConfig::titan_x_pascal());
+    OutOfCoreTrainer raw(dev1, p, std::size_t{2} << 20, false);
+    const auto r_raw = raw.train(ds);
+
+    device::Device dev2(device::DeviceConfig::titan_x_pascal());
+    OutOfCoreTrainer rle(dev2, p, std::size_t{2} << 20, true);
+    const auto r_rle = rle.train(ds);
+
+    std::printf("%-10s | %9.3f %8.1fM | %9.3f %11.1f | %9.3f %11.1f %7d\n",
+                name, in_core.modeled.total(),
+                static_cast<double>(r_raw.in_core_bytes) / (1 << 20),
+                r_raw.modeled_seconds,
+                static_cast<double>(r_raw.streamed_bytes) / (1 << 20),
+                r_rle.modeled_seconds,
+                static_cast<double>(r_rle.streamed_bytes) / (1 << 20),
+                r_rle.n_chunks);
+  }
+  std::printf("(streaming pays PCI-e traffic ~ entries x depth x trees; "
+              "RLE chunk shipping recovers most of it on repetitive data "
+              "while the forest stays identical)\n");
+  return 0;
+}

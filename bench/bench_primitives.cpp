@@ -1,0 +1,167 @@
+// Microbenchmarks of the device primitives (google-benchmark).  These
+// measure *host wall time* of the simulation and report the modeled device
+// throughput as a counter, supporting the ablation benches: the per-element
+// costs of scan / segmented scan / sort / partition / RLE are what the
+// analytic results in bench_table2 and bench_fig9 are built from.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "device/device_context.h"
+#include "primitives/partition.h"
+#include "primitives/scan.h"
+#include "primitives/segmented.h"
+#include "primitives/sort.h"
+#include "rle/rle.h"
+
+namespace {
+
+using namespace gbdt;
+using device::Device;
+using device::DeviceConfig;
+
+void BM_InclusiveScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Device dev(DeviceConfig::titan_x_pascal());
+  auto in = dev.alloc<double>(n);
+  auto out = dev.alloc<double>(n);
+  prim::fill(dev, in, 1.0);
+  double modeled = 0.0;
+  for (auto _ : state) {
+    const double before = dev.elapsed_seconds();
+    prim::inclusive_scan(dev, in, out);
+    modeled += dev.elapsed_seconds() - before;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.counters["modeled_GB/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * 16 / modeled / 1e9);
+}
+BENCHMARK(BM_InclusiveScan)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SegmentedScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto seg_len = static_cast<std::int64_t>(state.range(1));
+  Device dev(DeviceConfig::titan_x_pascal());
+  auto vals = dev.alloc<double>(n);
+  prim::fill(dev, vals, 1.0);
+  std::vector<std::int64_t> offs{0};
+  while (offs.back() < static_cast<std::int64_t>(n)) {
+    offs.push_back(std::min<std::int64_t>(static_cast<std::int64_t>(n),
+                                          offs.back() + seg_len));
+  }
+  auto d_offs = dev.to_device<std::int64_t>(offs);
+  auto keys = dev.alloc<std::int32_t>(n);
+  prim::set_keys(dev, d_offs, keys,
+                 prim::auto_segs_per_block(
+                     static_cast<std::int64_t>(offs.size()) - 1, 28));
+  auto out = dev.alloc<double>(n);
+  for (auto _ : state) {
+    prim::segmented_inclusive_scan_by_key(dev, vals, keys, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegmentedScan)
+    ->Args({1 << 18, 4})      // many tiny segments (deep high-dim trees)
+    ->Args({1 << 18, 1000})   // medium
+    ->Args({1 << 18, 1 << 18});  // one segment (root node)
+
+void BM_SetKeysCustomVsNaive(benchmark::State& state) {
+  const std::int64_t n_seg = state.range(0);
+  const bool custom = state.range(1) != 0;
+  Device dev(DeviceConfig::titan_x_pascal());
+  std::vector<std::int64_t> offs(static_cast<std::size_t>(n_seg) + 1);
+  for (std::int64_t s = 0; s <= n_seg; ++s) {
+    offs[static_cast<std::size_t>(s)] = s * 2;  // 2-element segments
+  }
+  auto d_offs = dev.to_device<std::int64_t>(offs);
+  auto keys = dev.alloc<std::int32_t>(static_cast<std::size_t>(n_seg) * 2);
+  double modeled = 0.0;
+  for (auto _ : state) {
+    const double before = dev.elapsed_seconds();
+    prim::set_keys(dev, d_offs, keys,
+                   custom ? prim::auto_segs_per_block(n_seg, 28) : 1);
+    modeled += dev.elapsed_seconds() - before;
+  }
+  state.counters["modeled_us"] =
+      benchmark::Counter(modeled * 1e6 / state.iterations());
+}
+BENCHMARK(BM_SetKeysCustomVsNaive)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 0})
+    ->Args({1000000, 1});
+
+void BM_RadixSortPairs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(1);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint32_t> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng();
+    vals[i] = static_cast<std::uint32_t>(i);
+  }
+  for (auto _ : state) {
+    Device dev(DeviceConfig::titan_x_pascal());
+    auto d_k = dev.to_device<std::uint64_t>(keys);
+    auto d_v = dev.to_device<std::uint32_t>(vals);
+    prim::radix_sort_pairs(dev, d_k, d_v);
+    benchmark::DoNotOptimize(d_k.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RadixSortPairs)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HistogramPartition(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t parts = state.range(1);
+  const bool custom = state.range(2) != 0;
+  Device dev(DeviceConfig::titan_x_pascal());
+  std::mt19937 rng(2);
+  std::vector<std::int32_t> ids(static_cast<std::size_t>(n));
+  for (auto& x : ids) x = static_cast<std::int32_t>(rng() % parts);
+  auto d_ids = dev.to_device<std::int32_t>(ids);
+  auto scatter = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
+  auto offs = dev.alloc<std::int64_t>(static_cast<std::size_t>(parts) + 1);
+  const auto plan = prim::plan_partition(n, parts, std::size_t{1} << 26, custom);
+  double modeled = 0.0;
+  for (auto _ : state) {
+    const double before = dev.elapsed_seconds();
+    prim::histogram_partition(dev, d_ids, parts, scatter, offs, plan);
+    modeled += dev.elapsed_seconds() - before;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["modeled_us"] =
+      benchmark::Counter(modeled * 1e6 / state.iterations());
+}
+BENCHMARK(BM_HistogramPartition)
+    ->Args({1 << 18, 64, 1})
+    ->Args({1 << 18, 64, 0})
+    ->Args({1 << 18, 4096, 1})
+    ->Args({1 << 18, 4096, 0});
+
+void BM_RleCompress(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const int distinct = static_cast<int>(state.range(1));
+  Device dev(DeviceConfig::titan_x_pascal());
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Sorted-descending values with n/distinct-length runs.
+    v[static_cast<std::size_t>(i)] =
+        static_cast<float>(distinct - i * distinct / n);
+  }
+  std::vector<std::int64_t> offs{0, n};
+  auto d_v = dev.to_device<float>(v);
+  auto d_o = dev.to_device<std::int64_t>(offs);
+  for (auto _ : state) {
+    auto compressed = rle::compress(dev, d_v, d_o);
+    benchmark::DoNotOptimize(compressed.n_runs);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RleCompress)->Args({1 << 18, 8})->Args({1 << 18, 1 << 16});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Case study (iii) of the paper (Section IV-E): hyper-parameter search under
+// a time budget, modeled on the Santander product-recommendation Kaggle
+// competition.  The paper sweeps T in {500,1000,2000,4000}, d in {2,4,6,8},
+// gamma in {0,0.1,0.2} and eta in {0.2,0.3,0.4} — 144 models — and reports
+// the sweep shrinking from ~22.3 days (20-core CPU) to ~10 days on the GPU.
+//
+// This example runs a scaled grid on a product-recommendation analog, picks
+// the configuration with the best held-out error, and totals the modeled
+// GPU vs CPU sweep cost.
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "baselines/xgb_exact.h"
+#include "core/gbdt.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+
+int main(int argc, char** argv) {
+  using namespace gbdt;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.0001;
+
+  // Product-recommendation analog: the paper's solution uses 142 features
+  // over 17M instances; mixed categorical/behavioural data.
+  data::SyntheticSpec spec;
+  spec.name = "product-rec";
+  spec.n_instances = std::max<std::int64_t>(
+      2000, static_cast<std::int64_t>(17000000 * scale));
+  spec.n_attributes = 142;
+  spec.density = 0.5;
+  spec.distinct_values = 16;
+  spec.binary_labels = true;
+  spec.seed = 777;
+  const auto ds = data::generate(spec);
+  const auto [train, valid] = ds.split_at(ds.n_instances() * 4 / 5);
+  std::printf("product-rec analog: %lld train / %lld validation\n",
+              static_cast<long long>(train.n_instances()),
+              static_cast<long long>(valid.n_instances()));
+
+  // Scaled-down grid (tree counts /100 so the sweep runs in seconds).
+  const std::vector<int> trees{5, 10, 20, 40};
+  const std::vector<int> depths{2, 4, 6, 8};
+  const std::vector<double> gammas{0.0, 0.1, 0.2};
+  const std::vector<double> etas{0.2, 0.3, 0.4};
+
+  double best_err = std::numeric_limits<double>::infinity();
+  GBDTParam best;
+  double gpu_total = 0.0;
+  double cpu40_total = 0.0;
+  const auto cpu_cfg = device::CpuConfig::dual_xeon_e5_2640v4();
+  int done = 0;
+
+  for (int T : trees) {
+    for (int d : depths) {
+      for (double gamma : gammas) {
+        for (double eta : etas) {
+          GBDTParam p;
+          p.n_trees = T;
+          p.depth = d;
+          p.gamma = gamma;
+          p.eta = eta;
+          p.loss = LossKind::kLogistic;
+          device::Device dev(device::DeviceConfig::titan_x_pascal());
+          auto [model, report] = GBDTModel::train(dev, train, p);
+          gpu_total += report.modeled.total();
+
+          const auto prob = model.transform_scores(model.predict(valid));
+          const double err = error_rate(prob, valid.labels());
+          if (err < best_err) {
+            best_err = err;
+            best = p;
+          }
+          ++done;
+          if (done % 36 == 0) {
+            std::printf("  %3d/144 models trained (best error so far "
+                        "%.4f)\n",
+                        done, best_err);
+          }
+        }
+      }
+    }
+  }
+
+  // One representative CPU training per (T, d) corner scales the CPU sweep
+  // estimate (gamma/eta barely change cost).
+  for (int T : trees) {
+    for (int d : depths) {
+      GBDTParam p;
+      p.n_trees = T;
+      p.depth = d;
+      p.loss = LossKind::kLogistic;
+      baseline::XgbExactTrainer cpu(p);
+      const auto r = cpu.train(train);
+      cpu40_total += r.modeled_seconds(cpu_cfg, 40) *
+                     static_cast<double>(gammas.size() * etas.size());
+    }
+  }
+
+  std::printf("\nbest configuration: T=%d depth=%d gamma=%.1f eta=%.1f "
+              "(validation error %.4f)\n",
+              best.n_trees, best.depth, best.gamma, best.eta, best_err);
+  std::printf("sweep cost (modeled): GPU-GBDT %.2f s vs xgbst-40 %.2f s -> "
+              "%.2fx\n",
+              gpu_total, cpu40_total, cpu40_total / gpu_total);
+  std::printf("(the paper's full-scale sweep: ~22.3 days on 20 CPU cores vs "
+              "~10 days with GPU-GBDT, a 2.2x gap)\n");
+  return 0;
+}

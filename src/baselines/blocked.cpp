@@ -1,0 +1,75 @@
+#include "baselines/blocked.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gbdt::baseline {
+
+double blocked_sum(std::span<const double> v) {
+  const auto n = static_cast<std::int64_t>(v.size());
+  if (n == 0) return 0.0;
+  const std::int64_t tiles = (n + kTile - 1) / kTile;
+  double total = 0.0;
+  for (std::int64_t g = 0; g < tiles; ++g) {
+    const std::int64_t lo = g * kTile;
+    const std::int64_t hi = std::min(lo + kTile, n);
+    double acc = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i) acc += v[static_cast<std::size_t>(i)];
+    total += acc;
+  }
+  return total;
+}
+
+void blocked_seg_scan(std::span<const double> v,
+                      std::span<const std::int32_t> keys,
+                      std::span<double> out) {
+  const auto n = static_cast<std::int64_t>(v.size());
+  if (n == 0) return;
+  const std::int64_t tiles = (n + kTile - 1) / kTile;
+  std::vector<double> rs(static_cast<std::size_t>(tiles));
+
+  // Phase 1: local scans.
+  for (std::int64_t g = 0; g < tiles; ++g) {
+    const std::int64_t lo = g * kTile;
+    const std::int64_t hi = std::min(lo + kTile, n);
+    double acc = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (i > lo && keys[u] != keys[u - 1]) acc = 0.0;
+      acc += v[u];
+      out[u] = acc;
+    }
+    rs[static_cast<std::size_t>(g)] = acc;
+  }
+
+  // Phase 2: carry chain.
+  std::vector<double> cr(static_cast<std::size_t>(tiles));
+  double carry = 0.0;
+  for (std::int64_t g = 0; g < tiles; ++g) {
+    const std::int64_t lo = g * kTile;
+    const std::int64_t hi = std::min(lo + kTile, n);
+    const bool joins_prev =
+        g > 0 && keys[static_cast<std::size_t>(lo)] ==
+                     keys[static_cast<std::size_t>(lo - 1)];
+    const double incoming = joins_prev ? carry : 0.0;
+    cr[static_cast<std::size_t>(g)] = incoming;
+    const bool single_key = keys[static_cast<std::size_t>(lo)] ==
+                            keys[static_cast<std::size_t>(hi - 1)];
+    carry = rs[static_cast<std::size_t>(g)] + (single_key ? incoming : 0.0);
+  }
+
+  // Phase 3: leading-run fixup.
+  for (std::int64_t g = 0; g < tiles; ++g) {
+    const double incoming = cr[static_cast<std::size_t>(g)];
+    if (incoming == 0.0) continue;
+    const std::int64_t lo = g * kTile;
+    const std::int64_t hi = std::min(lo + kTile, n);
+    const std::int32_t lead = keys[static_cast<std::size_t>(lo)];
+    for (std::int64_t i = lo;
+         i < hi && keys[static_cast<std::size_t>(i)] == lead; ++i) {
+      out[static_cast<std::size_t>(i)] += incoming;
+    }
+  }
+}
+
+}  // namespace gbdt::baseline

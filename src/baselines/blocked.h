@@ -1,0 +1,28 @@
+// Host mirrors of the device's blocked floating-point reductions.
+//
+// The paper reports that GPU-GBDT and CPU XGBoost construct *identical*
+// trees.  To reproduce that bit-for-bit, the CPU baseline must accumulate
+// gradients in the same association order as the device kernels (256-element
+// tiles, per-tile partial sums, sequential combination).  These helpers
+// replicate primitives/reduce.h and primitives/segmented.h exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gbdt::baseline {
+
+inline constexpr std::int64_t kTile = 256;  // == prim::kBlockDim
+
+/// Mirrors prim::reduce_sum<double>: per-tile sums, then a sequential sum of
+/// the tile partials.
+[[nodiscard]] double blocked_sum(std::span<const double> v);
+
+/// Mirrors prim::segmented_inclusive_scan_by_key<double>: per-tile local
+/// scans resetting at key changes, a sequential carry chain over tiles, and
+/// a leading-run fixup.  Keys must be non-decreasing.
+void blocked_seg_scan(std::span<const double> v,
+                      std::span<const std::int32_t> keys,
+                      std::span<double> out);
+
+}  // namespace gbdt::baseline

@@ -1,0 +1,25 @@
+#include "baselines/cpu_model.h"
+
+#include <algorithm>
+
+namespace gbdt::baseline {
+
+double cpu_modeled_seconds(const device::CpuConfig& cfg, const CpuCounters& c,
+                           int threads) {
+  threads = std::max(1, threads);
+  const double throughput =
+      cfg.clock_ghz * 1e9 * cfg.ipc * cfg.parallel_speedup(threads);
+  const double compute = static_cast<double>(c.work) / throughput;
+
+  const double bw = std::min(cfg.mem_bandwidth_gbps,
+                             threads * cfg.per_thread_bandwidth_gbps) *
+                    1e9;
+  const double memory =
+      (static_cast<double>(c.stream_bytes) +
+       static_cast<double>(c.irregular) * cfg.irregular_transaction_bytes *
+           cfg.irregular_penalty) /
+      bw;
+  return std::max(compute, memory);
+}
+
+}  // namespace gbdt::baseline

@@ -1,0 +1,35 @@
+// Operation counting and the analytic cost model for the CPU baselines.
+//
+// The baseline trainer counts the same quantities the simulated device
+// counts (parallel work items, streaming bytes, irregular transactions), and
+// this model converts them into modeled seconds for a given thread count —
+// the "xgbst-1" and "xgbst-40" columns of the paper's Table II.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device_config.h"
+
+namespace gbdt::baseline {
+
+struct CpuCounters {
+  std::uint64_t work = 0;          // per-element work items
+  std::uint64_t stream_bytes = 0;  // sequential memory traffic
+  std::uint64_t irregular = 0;     // random-access transactions
+
+  CpuCounters& operator+=(const CpuCounters& o) {
+    work += o.work;
+    stream_bytes += o.stream_bytes;
+    irregular += o.irregular;
+    return *this;
+  }
+};
+
+/// Modeled seconds to execute `c` with `threads` threads on `cfg`:
+///   max(compute, memory)
+///   compute = work / (clock * ipc * parallel_speedup(threads))
+///   memory  = bytes / min(aggregate_bw, threads * per_thread_bw)
+[[nodiscard]] double cpu_modeled_seconds(const device::CpuConfig& cfg,
+                                         const CpuCounters& c, int threads);
+
+}  // namespace gbdt::baseline

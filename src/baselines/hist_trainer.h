@@ -1,0 +1,54 @@
+// Histogram-based (approximate) GBDT trainer — the contrast in the paper's
+// related work: "LightGBM is an alternative implementation of GBDTs, but it
+// only supports finding the best split points approximately", and XGBoost's
+// own approximate/hist method works the same way.
+//
+// Attribute values are quantised into at most `n_bins` quantile buckets up
+// front; each level builds per-(node, attribute) gradient histograms with
+// one pass over the data and picks split points at bin boundaries.  No
+// sorted attribute lists, no order-preserving partition — only the
+// instance->node map moves.  Faster per level than exact search, but split
+// thresholds are limited to the bin grid, so the trees (and the training
+// RMSE) differ from the exact trainers.
+//
+// Histograms are dense over (node, attribute, bin), so the method is only
+// practical for low/medium dimensionality — the constructor rejects shapes
+// whose histograms would not fit the device (one more reason the paper's
+// exact CSC approach wins on news20-like data).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/loss.h"
+#include "core/param.h"
+#include "core/tree.h"
+#include "data/dataset.h"
+#include "device/device_context.h"
+
+namespace gbdt::baseline {
+
+struct HistTrainReport {
+  std::vector<Tree> trees;
+  double base_score = 0.0;
+  std::vector<double> train_scores;
+  double modeled_seconds = 0.0;
+  double wall_seconds = 0.0;
+  int n_bins = 0;
+};
+
+class HistGbdtTrainer {
+ public:
+  HistGbdtTrainer(device::Device& dev, GBDTParam param, int n_bins = 64);
+
+  [[nodiscard]] HistTrainReport train(const data::Dataset& ds);
+
+ private:
+  device::Device& dev_;
+  GBDTParam param_;
+  int n_bins_;
+  std::unique_ptr<Loss> loss_;
+};
+
+}  // namespace gbdt::baseline

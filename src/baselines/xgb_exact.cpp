@@ -1,0 +1,505 @@
+#include "baselines/xgb_exact.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "baselines/blocked.h"
+#include "data/csc_matrix.h"
+
+namespace gbdt::baseline {
+
+namespace {
+
+struct ActiveNode {
+  std::int32_t tree_node = 0;
+  double sum_g = 0.0;
+  double sum_h = 0.0;
+  std::int64_t count = 0;
+};
+
+struct BestSplit {
+  bool valid = false;
+  double gain = 0.0;
+  std::int32_t attr = -1;
+  float split_value = 0.f;
+  bool default_left = false;
+  std::int64_t seg = -1;
+  std::int64_t pos = -1;
+  ActiveNode left, right;
+};
+
+struct State {
+  State(const GBDTParam& p, const Loss& l) : param(p), loss(l) {}
+
+  const GBDTParam& param;
+  const Loss& loss;
+  std::int64_t n_inst = 0;
+  std::int64_t n_attr = 0;
+
+  // Original root-level attribute lists (reused by every tree).
+  std::vector<float> orig_values;
+  std::vector<std::int32_t> orig_inst;
+  std::vector<std::int64_t> orig_offsets;
+
+  // Working copy partitioned as the tree grows.
+  std::vector<float> values;
+  std::vector<std::int32_t> inst;
+  std::vector<std::int64_t> seg_offsets;
+
+  std::vector<double> grad, hess;
+  std::vector<float> y_pred;
+  std::vector<std::int32_t> node_of;
+
+  std::vector<ActiveNode> active;
+  Tree* tree = nullptr;
+
+  CpuTrainReport* report = nullptr;
+
+  [[nodiscard]] std::int64_t n_seg() const {
+    return static_cast<std::int64_t>(active.size()) * n_attr;
+  }
+  [[nodiscard]] std::int64_t n_elems() const {
+    return static_cast<std::int64_t>(values.size());
+  }
+};
+
+/// Finds the best split of every active node: exact greedy enumeration over
+/// the sorted attribute lists with the device's accumulation order.
+std::vector<BestSplit> find_splits(State& st) {
+  const std::int64_t n = st.n_elems();
+  const std::int64_t n_seg = st.n_seg();
+  const std::int64_t n_attr = st.n_attr;
+  const double lambda = st.param.lambda;
+  std::vector<BestSplit> out(st.active.size());
+  CpuCounters& c = st.report->find_split;
+  if (n == 0) return out;
+
+  // Segment keys (the CPU analogue of SetKey's output).
+  std::vector<std::int32_t> keys(static_cast<std::size_t>(n));
+  for (std::int64_t s = 0; s < n_seg; ++s) {
+    for (std::int64_t e = st.seg_offsets[static_cast<std::size_t>(s)];
+         e < st.seg_offsets[static_cast<std::size_t>(s) + 1]; ++e) {
+      keys[static_cast<std::size_t>(e)] = static_cast<std::int32_t>(s);
+    }
+  }
+  // Gather gradients into attribute order (random access by instance id).
+  std::vector<double> ge(static_cast<std::size_t>(n));
+  std::vector<double> he(static_cast<std::size_t>(n));
+  for (std::int64_t e = 0; e < n; ++e) {
+    const auto u = static_cast<std::size_t>(e);
+    const auto x = static_cast<std::size_t>(st.inst[u]);
+    ge[u] = st.grad[x];
+    he[u] = st.hess[x];
+  }
+  // Prefix sums per segment, in the device's blocked association order.
+  std::vector<double> gl(static_cast<std::size_t>(n));
+  std::vector<double> hl(static_cast<std::size_t>(n));
+  blocked_seg_scan(ge, keys, gl);
+  blocked_seg_scan(he, keys, hl);
+
+  // Present totals per segment.
+  std::vector<double> seg_g(static_cast<std::size_t>(n_seg), 0.0);
+  std::vector<double> seg_h(static_cast<std::size_t>(n_seg), 0.0);
+  for (std::int64_t s = 0; s < n_seg; ++s) {
+    const std::int64_t hi = st.seg_offsets[static_cast<std::size_t>(s) + 1];
+    if (st.seg_offsets[static_cast<std::size_t>(s)] != hi) {
+      seg_g[static_cast<std::size_t>(s)] = gl[static_cast<std::size_t>(hi - 1)];
+      seg_h[static_cast<std::size_t>(s)] = hl[static_cast<std::size_t>(hi - 1)];
+    }
+  }
+  // Gains per candidate with duplicate suppression and both missing-value
+  // directions — identical expressions to the device kernel.
+  std::vector<double> gains(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> dirs(static_cast<std::size_t>(n));
+  for (std::int64_t e = 0; e < n; ++e) {
+    const auto u = static_cast<std::size_t>(e);
+    const auto seg = static_cast<std::size_t>(keys[u]);
+    const std::int64_t seg_lo = st.seg_offsets[seg];
+    const std::int64_t seg_hi = st.seg_offsets[seg + 1];
+    if (e + 1 < seg_hi && st.values[u + 1] == st.values[u]) {
+      gains[u] = 0.0;
+      dirs[u] = 0;
+      continue;
+    }
+    const auto slot =
+        static_cast<std::size_t>(static_cast<std::int64_t>(seg) / n_attr);
+    const double node_g = st.active[slot].sum_g;
+    const double node_h = st.active[slot].sum_h;
+    const std::int64_t cnt = st.active[slot].count;
+    const std::int64_t seg_len = seg_hi - seg_lo;
+    const std::int64_t miss = cnt - seg_len;
+    const double miss_g = node_g - seg_g[seg];
+    const double miss_h = node_h - seg_h[seg];
+    const std::int64_t pos = e - seg_lo + 1;
+    const double glp = gl[u];
+    const double hlp = hl[u];
+
+    double gain_r = 0.0;
+    if (pos > 0 && cnt - pos > 0) {
+      gain_r = split_gain(glp, hlp, node_g - glp, node_h - hlp, lambda);
+    }
+    double gain_l = 0.0;
+    if (miss > 0 && seg_len - pos > 0) {
+      gain_l = split_gain(glp + miss_g, hlp + miss_h, node_g - glp - miss_g,
+                          node_h - hlp - miss_h, lambda);
+    }
+    if (gain_l > gain_r) {
+      gains[u] = gain_l;
+      dirs[u] = 1;
+    } else {
+      gains[u] = gain_r;
+      dirs[u] = 0;
+    }
+  }
+  // Best candidate per segment, then per node (ties -> lowest index, exactly
+  // like the device reductions).
+  std::vector<double> best_seg_val(static_cast<std::size_t>(n_seg));
+  std::vector<std::int64_t> best_seg_idx(static_cast<std::size_t>(n_seg));
+  for (std::int64_t s = 0; s < n_seg; ++s) {
+    double best = 0.0;
+    std::int64_t best_i = -1;
+    for (std::int64_t e = st.seg_offsets[static_cast<std::size_t>(s)];
+         e < st.seg_offsets[static_cast<std::size_t>(s) + 1]; ++e) {
+      const double val = gains[static_cast<std::size_t>(e)];
+      if (best_i < 0 || val > best) {
+        best = val;
+        best_i = e;
+      }
+    }
+    best_seg_val[static_cast<std::size_t>(s)] = best_i < 0 ? 0.0 : best;
+    best_seg_idx[static_cast<std::size_t>(s)] = best_i;
+  }
+  for (std::size_t slot = 0; slot < st.active.size(); ++slot) {
+    double best = 0.0;
+    std::int64_t best_s = -1;
+    for (std::int64_t s = static_cast<std::int64_t>(slot) * n_attr;
+         s < static_cast<std::int64_t>(slot + 1) * n_attr; ++s) {
+      const double val = best_seg_val[static_cast<std::size_t>(s)];
+      if (best_s < 0 || val > best) {
+        best = val;
+        best_s = s;
+      }
+    }
+    BestSplit& b = out[slot];
+    if (best_s < 0) continue;
+    const std::int64_t pos = best_seg_idx[static_cast<std::size_t>(best_s)];
+    if (pos < 0) continue;
+    if (!(best > 0.0)) continue;
+
+    const ActiveNode& node = st.active[slot];
+    const auto useg = static_cast<std::size_t>(best_s);
+    const auto upos = static_cast<std::size_t>(pos);
+    b.valid = true;
+    b.gain = best;
+    b.seg = best_s;
+    b.pos = pos;
+    b.attr = static_cast<std::int32_t>(best_s % n_attr);
+    b.split_value = st.values[upos];
+    b.default_left = dirs[upos] != 0;
+
+    const std::int64_t seg_lo = st.seg_offsets[useg];
+    const std::int64_t seg_hi = st.seg_offsets[useg + 1];
+    const std::int64_t present_left = pos - seg_lo + 1;
+    const std::int64_t seg_len = seg_hi - seg_lo;
+    const std::int64_t miss = node.count - seg_len;
+    double left_g = gl[upos];
+    double left_h = hl[upos];
+    std::int64_t left_cnt = present_left;
+    if (b.default_left) {
+      left_g += node.sum_g - seg_g[useg];
+      left_h += node.sum_h - seg_h[useg];
+      left_cnt += miss;
+    }
+    b.left.sum_g = left_g;
+    b.left.sum_h = left_h;
+    b.left.count = left_cnt;
+    b.right.sum_g = node.sum_g - left_g;
+    b.right.sum_h = node.sum_h - left_h;
+    b.right.count = node.count - left_cnt;
+  }
+  // What XGBoost's exact method actually executes is one fused enumeration
+  // per column and level, run TWICE (forward and backward, for the two
+  // missing-value default directions): walk the sorted column, fetch the
+  // instance's (g, h) pair (one cache miss — the pair is contiguous), look
+  // up the instance's node position, maintain per-node running sums,
+  // evaluate the gain inline and track the best.  The mirrored multi-pass
+  // computation above exists only to guarantee trees bit-identical to the
+  // device trainer; the counters model the two fused passes.
+  c.work += static_cast<std::uint64_t>(2 * n) * 8;  // sums + gain + compare
+  c.stream_bytes += static_cast<std::uint64_t>(2 * n) * 8;  // value + inst
+  c.irregular += static_cast<std::uint64_t>(2 * n);         // (g, h) fetch
+
+  // Per-(node, column) bookkeeping: the exact method visits every column of
+  // every node each level — loop setup, column block metadata, the node
+  // statistics it accumulates into, and the per-(node, column) best-split
+  // slot are all scattered accesses.  This is what makes CPU XGBoost
+  // expensive on high-dimensional data (news20/log1p in the paper), and
+  // what the GPU amortises with SetKey's many-segments-per-block
+  // assignment.
+  c.work += static_cast<std::uint64_t>(n_seg) * 64;
+  c.irregular += static_cast<std::uint64_t>(n_seg) * 6;
+  return out;
+}
+
+struct LevelPlan {
+  struct Entry {
+    bool split = false;
+    std::int64_t chosen_seg = -1;
+    std::int64_t best_pos = -1;
+    std::int32_t left_id = -1;
+    std::int32_t right_id = -1;
+    bool default_left = false;
+  };
+  std::vector<Entry> per_slot;
+  std::vector<ActiveNode> next_active;
+  std::vector<std::int32_t> next_slot_of_tree;
+};
+
+void apply_splits(State& st, const LevelPlan& plan) {
+  const std::int64_t n = st.n_elems();
+  const std::int64_t n_attr = st.n_attr;
+  CpuCounters& c = st.report->split_node;
+
+  // Default-child assignment for every instance of a splitting node.
+  std::vector<std::int32_t> default_child(
+      static_cast<std::size_t>(st.tree->n_nodes()), -1);
+  for (std::size_t s = 0; s < plan.per_slot.size(); ++s) {
+    const auto& e = plan.per_slot[s];
+    if (!e.split) continue;
+    default_child[static_cast<std::size_t>(st.active[s].tree_node)] =
+        e.default_left ? e.left_id : e.right_id;
+  }
+  for (std::int64_t i = 0; i < st.n_inst; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    const std::int32_t child =
+        default_child[static_cast<std::size_t>(st.node_of[u])];
+    if (child >= 0) st.node_of[u] = child;
+  }
+  c.work += static_cast<std::uint64_t>(st.n_inst);
+  c.stream_bytes += static_cast<std::uint64_t>(st.n_inst) * 8;
+
+  // Exact side through the winning segments.
+  for (std::size_t s = 0; s < plan.per_slot.size(); ++s) {
+    const auto& e = plan.per_slot[s];
+    if (!e.split) continue;
+    const auto seg = static_cast<std::size_t>(e.chosen_seg);
+    for (std::int64_t x = st.seg_offsets[seg]; x < st.seg_offsets[seg + 1];
+         ++x) {
+      const auto u = static_cast<std::size_t>(x);
+      st.node_of[static_cast<std::size_t>(st.inst[u])] =
+          x <= e.best_pos ? e.left_id : e.right_id;
+      c.irregular += 1;
+    }
+  }
+  c.stream_bytes += static_cast<std::uint64_t>(n) * 8;
+
+  // Stable multiway partition by (next slot, attribute) — order-preserving,
+  // exactly like the device's histogram partition.
+  const auto n_new_slots = static_cast<std::int64_t>(plan.next_active.size());
+  const std::int64_t n_parts = n_new_slots * n_attr;
+  std::vector<std::int32_t> part(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n_parts) + 1, 0);
+  std::int64_t seg_cursor = 0;
+  for (std::int64_t e = 0; e < n; ++e) {
+    const auto u = static_cast<std::size_t>(e);
+    while (e >= st.seg_offsets[static_cast<std::size_t>(seg_cursor) + 1]) {
+      ++seg_cursor;
+    }
+    const std::int32_t ns = plan.next_slot_of_tree[static_cast<std::size_t>(
+        st.node_of[static_cast<std::size_t>(st.inst[u])])];
+    part[u] = ns < 0 ? -1
+                     : static_cast<std::int32_t>(ns * n_attr +
+                                                 seg_cursor % n_attr);
+    if (part[u] >= 0) ++counts[static_cast<std::size_t>(part[u]) + 1];
+  }
+  for (std::int64_t p = 1; p <= n_parts; ++p) {
+    counts[static_cast<std::size_t>(p)] += counts[static_cast<std::size_t>(p) - 1];
+  }
+  std::vector<std::int64_t> new_offsets(counts.begin(), counts.end());
+  std::vector<std::int64_t> cursor(counts.begin(), counts.end() - 1);
+  const std::int64_t new_n = counts[static_cast<std::size_t>(n_parts)];
+  std::vector<float> new_values(static_cast<std::size_t>(new_n));
+  std::vector<std::int32_t> new_inst(static_cast<std::size_t>(new_n));
+  for (std::int64_t e = 0; e < n; ++e) {
+    const auto u = static_cast<std::size_t>(e);
+    if (part[u] < 0) continue;
+    const auto dst =
+        static_cast<std::size_t>(cursor[static_cast<std::size_t>(part[u])]++);
+    new_values[dst] = st.values[u];
+    new_inst[dst] = st.inst[u];
+  }
+  // XGBoost's column blocks are immutable: "splitting" only rewrites the
+  // per-instance position array (the default pass above plus the winning
+  // columns' walks), so no per-element partition traffic is charged here.
+  // The mirrored physical partition below exists only to keep the element
+  // layout bit-identical to the device trainer.
+  c.work += static_cast<std::uint64_t>(st.n_inst) * 4;
+  c.stream_bytes += static_cast<std::uint64_t>(st.n_inst) * 8;
+
+  st.values = std::move(new_values);
+  st.inst = std::move(new_inst);
+  st.seg_offsets = std::move(new_offsets);
+}
+
+void finalize_leaf(State& st, const ActiveNode& node) {
+  auto& tn = st.tree->node(node.tree_node);
+  tn.weight =
+      st.param.eta * leaf_weight(node.sum_g, node.sum_h, st.param.lambda);
+  tn.n_instances = node.count;
+  tn.sum_g = node.sum_g;
+  tn.sum_h = node.sum_h;
+}
+
+void update_predictions(State& st, const Tree& tree) {
+  for (std::int64_t i = 0; i < st.n_inst; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    st.y_pred[u] = static_cast<float>(
+        st.y_pred[u] +
+        tree.node(st.node_of[u]).weight);
+  }
+  auto& c = st.report->gradients;
+  c.work += static_cast<std::uint64_t>(st.n_inst);
+  c.stream_bytes += static_cast<std::uint64_t>(st.n_inst) * 12;
+  c.irregular += static_cast<std::uint64_t>(st.n_inst) / 8 + 1;
+}
+
+}  // namespace
+
+double CpuTrainReport::find_split_fraction(
+    const device::CpuConfig& cfg) const {
+  const double whole = cpu_modeled_seconds(cfg, total, 1);
+  return whole <= 0.0 ? 0.0 : cpu_modeled_seconds(cfg, find_split, 1) / whole;
+}
+
+XgbExactTrainer::XgbExactTrainer(GBDTParam param)
+    : param_(std::move(param)), loss_(make_loss(param_.loss)) {
+  if (param_.depth < 1) throw std::invalid_argument("depth must be >= 1");
+  if (param_.n_trees < 1) throw std::invalid_argument("n_trees must be >= 1");
+}
+
+CpuTrainReport XgbExactTrainer::train(const data::Dataset& ds) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  CpuTrainReport report;
+  report.base_score = param_.base_score;
+
+  State st(param_, *loss_);
+  st.report = &report;
+  st.n_inst = ds.n_instances();
+  st.n_attr = ds.n_attributes();
+  if (st.n_inst == 0) throw std::invalid_argument("empty dataset");
+
+  {
+    auto csc = data::build_csc_host(ds);
+    st.orig_values = std::move(csc.values);
+    st.orig_inst = std::move(csc.inst_ids);
+    st.orig_offsets = std::move(csc.col_offsets);
+  }
+
+  st.grad.resize(static_cast<std::size_t>(st.n_inst));
+  st.hess.resize(static_cast<std::size_t>(st.n_inst));
+  st.y_pred.assign(static_cast<std::size_t>(st.n_inst),
+                   static_cast<float>(param_.base_score));
+  st.node_of.assign(static_cast<std::size_t>(st.n_inst), 0);
+
+  report.trees.reserve(static_cast<std::size_t>(param_.n_trees));
+  for (int t = 0; t < param_.n_trees; ++t) {
+    if (t > 0) update_predictions(st, report.trees.back());
+    for (std::int64_t i = 0; i < st.n_inst; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const GradPair gp =
+          loss_->gradient(ds.labels()[u], st.y_pred[u]);
+      st.grad[u] = gp.g;
+      st.hess[u] = gp.h;
+    }
+    report.gradients.work += static_cast<std::uint64_t>(st.n_inst);
+    report.gradients.stream_bytes += static_cast<std::uint64_t>(st.n_inst) * 24;
+
+    // Fresh working copy.
+    st.values = st.orig_values;
+    st.inst = st.orig_inst;
+    st.seg_offsets = st.orig_offsets;
+    std::fill(st.node_of.begin(), st.node_of.end(), 0);
+    // Position-array reset (XGBoost keeps the sorted blocks immutable and
+    // resets per-instance positions instead of copying the columns).
+    report.split_node.stream_bytes +=
+        static_cast<std::uint64_t>(st.n_inst) * 4;
+
+    report.trees.emplace_back();
+    Tree& tree = report.trees.back();
+    st.tree = &tree;
+
+    ActiveNode root;
+    root.tree_node = 0;
+    root.sum_g = blocked_sum(st.grad);
+    root.sum_h = blocked_sum(st.hess);
+    root.count = st.n_inst;
+    report.gradients.work += static_cast<std::uint64_t>(2 * st.n_inst);
+    report.gradients.stream_bytes +=
+        static_cast<std::uint64_t>(st.n_inst) * 16;
+    st.active.assign(1, root);
+
+    for (int level = 0; level < param_.depth && !st.active.empty(); ++level) {
+      const auto best = find_splits(st);
+
+      LevelPlan plan;
+      plan.per_slot.resize(st.active.size());
+      for (std::size_t s = 0; s < st.active.size(); ++s) {
+        const ActiveNode& node = st.active[s];
+        const BestSplit& b = best[s];
+        auto& tn = tree.node(node.tree_node);
+        tn.n_instances = node.count;
+        tn.sum_g = node.sum_g;
+        tn.sum_h = node.sum_h;
+        if (b.valid && b.gain > param_.gamma) {
+          const auto [l, r] = tree.split(node.tree_node, b.attr,
+                                         b.split_value, b.default_left,
+                                         b.gain);
+          auto& e = plan.per_slot[s];
+          e.split = true;
+          e.chosen_seg = b.seg;
+          e.best_pos = b.pos;
+          e.left_id = l;
+          e.right_id = r;
+          e.default_left = b.default_left;
+          ActiveNode left = b.left;
+          left.tree_node = l;
+          ActiveNode right = b.right;
+          right.tree_node = r;
+          plan.next_active.push_back(left);
+          plan.next_active.push_back(right);
+        } else {
+          finalize_leaf(st, node);
+        }
+      }
+      if (plan.next_active.empty()) {
+        st.active.clear();
+        break;
+      }
+      plan.next_slot_of_tree.assign(static_cast<std::size_t>(tree.n_nodes()),
+                                    -1);
+      for (std::size_t k = 0; k < plan.next_active.size(); ++k) {
+        plan.next_slot_of_tree[static_cast<std::size_t>(
+            plan.next_active[k].tree_node)] = static_cast<std::int32_t>(k);
+      }
+      apply_splits(st, plan);
+      st.active = std::move(plan.next_active);
+    }
+    for (const ActiveNode& node : st.active) finalize_leaf(st, node);
+    st.active.clear();
+  }
+
+  update_predictions(st, report.trees.back());
+  report.train_scores.assign(st.y_pred.begin(), st.y_pred.end());
+
+  report.total = report.find_split;
+  report.total += report.split_node;
+  report.total += report.gradients;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+}  // namespace gbdt::baseline

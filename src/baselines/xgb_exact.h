@@ -1,0 +1,62 @@
+// XGBoost-style exact-greedy CPU trainer: the paper's "xgbst-1" (sequential)
+// and "xgbst-40" (multi-threaded) baselines.
+//
+// The algorithm is the same exact greedy split enumeration over sorted
+// attribute lists that XGBoost's exact tree method uses, with node-level and
+// attribute-level parallelism (paper Section II-D).  Execution here is
+// serial and instrumented; the thread count enters through the analytic CPU
+// cost model (see cpu_model.h) — this host has one core, so Table II's
+// thread-scaling column cannot be measured directly (DESIGN.md section 2).
+//
+// The floating-point accumulation order deliberately mirrors the device
+// kernels (baselines/blocked.h), so this trainer produces *identical* trees
+// to GPU-GBDT — the property the paper verifies ("we have compared the trees
+// constructed by GPU-GBDT and the CPU-based XGBoost, and found that the
+// trees are identical").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/cpu_model.h"
+#include "core/loss.h"
+#include "core/param.h"
+#include "core/tree.h"
+#include "data/dataset.h"
+
+namespace gbdt::baseline {
+
+struct CpuTrainReport {
+  std::vector<Tree> trees;
+  double base_score = 0.0;
+  std::vector<double> train_scores;
+  double wall_seconds = 0.0;
+
+  CpuCounters total;
+  CpuCounters find_split;   // the phase the paper attributes ~75% of time to
+  CpuCounters split_node;
+  CpuCounters gradients;
+
+  /// Modeled seconds at a given thread count ("xgbst-1" = 1, "xgbst-40" = 40).
+  [[nodiscard]] double modeled_seconds(const device::CpuConfig& cfg,
+                                       int threads) const {
+    return cpu_modeled_seconds(cfg, total, threads);
+  }
+  /// Fraction of modeled single-thread time spent finding splits.
+  [[nodiscard]] double find_split_fraction(const device::CpuConfig& cfg) const;
+};
+
+class XgbExactTrainer {
+ public:
+  explicit XgbExactTrainer(GBDTParam param);
+
+  [[nodiscard]] CpuTrainReport train(const data::Dataset& ds);
+
+  [[nodiscard]] const GBDTParam& param() const { return param_; }
+
+ private:
+  GBDTParam param_;
+  std::unique_ptr<Loss> loss_;
+};
+
+}  // namespace gbdt::baseline

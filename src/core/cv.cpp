@@ -1,0 +1,60 @@
+#include "core/cv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "core/metrics.h"
+
+namespace gbdt {
+
+CvResult cross_validate(device::Device& dev, const data::Dataset& ds,
+                        const GBDTParam& param, int k_folds, unsigned seed) {
+  if (k_folds < 2) throw std::invalid_argument("need >= 2 folds");
+  if (ds.n_instances() < k_folds) {
+    throw std::invalid_argument("fewer instances than folds");
+  }
+  const bool classification = param.loss == LossKind::kLogistic;
+
+  // Shuffled fold assignment.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(ds.n_instances()));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), std::mt19937(seed));
+
+  CvResult result;
+  result.metric_name = classification ? "error" : "rmse";
+  for (int fold = 0; fold < k_folds; ++fold) {
+    data::Dataset train_set(ds.n_attributes());
+    data::Dataset held_out(ds.n_attributes());
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const std::int64_t i = order[pos];
+      auto& target = static_cast<int>(pos) % k_folds == fold ? held_out
+                                                             : train_set;
+      target.add_instance(ds.instance(i),
+                          ds.labels()[static_cast<std::size_t>(i)]);
+    }
+    auto [model, report] = GBDTModel::train(dev, train_set, param);
+    const auto raw = model.predict(held_out);
+    double metric = 0.0;
+    if (classification) {
+      metric = error_rate(model.transform_scores(raw), held_out.labels());
+    } else {
+      metric = rmse(raw, held_out.labels());
+    }
+    result.fold_metric.push_back(metric);
+  }
+
+  result.mean = std::accumulate(result.fold_metric.begin(),
+                                result.fold_metric.end(), 0.0) /
+                static_cast<double>(k_folds);
+  double var = 0.0;
+  for (double m : result.fold_metric) {
+    var += (m - result.mean) * (m - result.mean);
+  }
+  result.stddev = std::sqrt(var / static_cast<double>(k_folds));
+  return result;
+}
+
+}  // namespace gbdt

@@ -1,0 +1,27 @@
+// K-fold cross-validation over GPU-GBDT models.
+#pragma once
+
+#include <vector>
+
+#include "core/gbdt.h"
+#include "data/dataset.h"
+#include "device/device_context.h"
+
+namespace gbdt {
+
+struct CvResult {
+  std::string metric_name;            // "rmse" or "error"
+  std::vector<double> fold_metric;    // held-out metric per fold
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Trains k models, each holding out one contiguous-shuffled fold, and
+/// reports the held-out metric (rmse for regression, error rate for the
+/// logistic loss).  Deterministic for a given seed.
+[[nodiscard]] CvResult cross_validate(device::Device& dev,
+                                      const data::Dataset& ds,
+                                      const GBDTParam& param, int k_folds,
+                                      unsigned seed = 42);
+
+}  // namespace gbdt

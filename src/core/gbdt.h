@@ -1,0 +1,92 @@
+// Public facade: a trained GBDT model — train on a simulated device, predict
+// on host or device, save/load as text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/loss.h"
+#include "core/param.h"
+#include "core/trainer.h"
+#include "core/tree.h"
+#include "data/dataset.h"
+#include "device/device_context.h"
+
+namespace gbdt {
+
+/// How to rank features (XGBoost-compatible notions).
+enum class ImportanceKind {
+  kGain,        // total split gain contributed by the feature
+  kCover,       // total instances routed through the feature's splits
+  kSplitCount,  // number of splits using the feature
+};
+
+/// Per-tree validation metric trace from train_with_validation.
+struct ValidationHistory {
+  std::string metric_name;            // "rmse" or "error"
+  std::vector<double> metric;         // one entry per trained tree
+  int best_iteration = -1;            // tree index with the best metric
+  bool stopped_early = false;
+};
+
+class GBDTModel {
+ public:
+  GBDTModel() = default;
+  GBDTModel(GBDTParam param, std::vector<Tree> trees, double base_score,
+            std::int64_t n_attributes = 0)
+      : param_(std::move(param)),
+        trees_(std::move(trees)),
+        base_score_(base_score),
+        n_attributes_(n_attributes) {}
+
+  /// Trains with GPU-GBDT on `dev` and returns the model plus the report.
+  [[nodiscard]] static std::pair<GBDTModel, TrainReport> train(
+      device::Device& dev, const data::Dataset& ds, const GBDTParam& param);
+
+  /// Trains while tracking a validation metric after every tree (rmse for
+  /// regression, error rate for logistic loss).  When
+  /// early_stopping_rounds > 0, boosting stops once the metric has not
+  /// improved for that many consecutive trees and the forest is truncated
+  /// to the best iteration.
+  [[nodiscard]] static std::tuple<GBDTModel, TrainReport, ValidationHistory>
+  train_with_validation(device::Device& dev, const data::Dataset& train_set,
+                        const data::Dataset& validation,
+                        const GBDTParam& param,
+                        int early_stopping_rounds = 0);
+
+  [[nodiscard]] const std::vector<Tree>& trees() const { return trees_; }
+  [[nodiscard]] const GBDTParam& param() const { return param_; }
+  [[nodiscard]] double base_score() const { return base_score_; }
+
+  /// Raw score of one sparse instance (attrs sorted ascending).
+  [[nodiscard]] double predict_one(std::span<const data::Entry> x) const;
+
+  /// Raw scores on the host, one per instance.
+  [[nodiscard]] std::vector<double> predict(const data::Dataset& ds) const;
+
+  /// Raw scores computed with the device prediction kernel (paper III-D).
+  [[nodiscard]] std::vector<double> predict_device(
+      device::Device& dev, const data::Dataset& ds) const;
+
+  /// Applies the loss transform (e.g. sigmoid) to raw scores.
+  [[nodiscard]] std::vector<double> transform_scores(
+      std::span<const double> raw) const;
+
+  /// Importance score per attribute (length n_attributes()); scores sum to
+  /// 1 when any splits exist.
+  [[nodiscard]] std::vector<double> feature_importance(
+      ImportanceKind kind = ImportanceKind::kGain) const;
+
+  [[nodiscard]] std::int64_t n_attributes() const { return n_attributes_; }
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static GBDTModel load(const std::string& path);
+
+ private:
+  GBDTParam param_;
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;
+  std::int64_t n_attributes_ = 0;
+};
+
+}  // namespace gbdt

@@ -1,0 +1,17 @@
+#include "core/loss.h"
+
+#include <stdexcept>
+
+namespace gbdt {
+
+std::unique_ptr<Loss> make_loss(LossKind kind) {
+  switch (kind) {
+    case LossKind::kSquaredError:
+      return std::make_unique<SquaredErrorLoss>();
+    case LossKind::kLogistic:
+      return std::make_unique<LogisticLoss>();
+  }
+  throw std::invalid_argument("unknown loss kind");
+}
+
+}  // namespace gbdt

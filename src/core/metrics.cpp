@@ -1,0 +1,30 @@
+#include "core/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gbdt {
+
+double rmse(std::span<const double> pred, std::span<const float> label) {
+  assert(pred.size() == label.size());
+  if (pred.empty()) return 0.0;
+  double se = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - static_cast<double>(label[i]);
+    se += d * d;
+  }
+  return std::sqrt(se / static_cast<double>(pred.size()));
+}
+
+double error_rate(std::span<const double> pred, std::span<const float> label) {
+  assert(pred.size() == label.size());
+  if (pred.empty()) return 0.0;
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const bool positive = pred[i] >= 0.5;
+    wrong += positive != (label[i] >= 0.5f);
+  }
+  return static_cast<double>(wrong) / static_cast<double>(pred.size());
+}
+
+}  // namespace gbdt

@@ -1,0 +1,16 @@
+// Evaluation metrics used in the paper's experiments.
+#pragma once
+
+#include <span>
+
+namespace gbdt {
+
+/// Root mean squared error between predictions and labels.
+[[nodiscard]] double rmse(std::span<const double> pred,
+                          std::span<const float> label);
+
+/// Binary classification error rate with a 0.5 threshold on predictions.
+[[nodiscard]] double error_rate(std::span<const double> pred,
+                                std::span<const float> label);
+
+}  // namespace gbdt

@@ -1,0 +1,48 @@
+// Multiclass classification via one-vs-rest: K independent binary logistic
+// GPU-GBDT models, predicting the class with the highest probability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gbdt.h"
+#include "data/dataset.h"
+#include "device/device_context.h"
+
+namespace gbdt {
+
+class MulticlassModel {
+ public:
+  MulticlassModel() = default;
+
+  /// Trains one binary logistic model per class; labels must be integers in
+  /// [0, n_classes).  Returns the model and the summed modeled seconds.
+  [[nodiscard]] static std::pair<MulticlassModel, double> train(
+      device::Device& dev, const data::Dataset& ds, int n_classes,
+      GBDTParam param);
+
+  [[nodiscard]] int n_classes() const {
+    return static_cast<int>(per_class_.size());
+  }
+
+  /// Per-class probabilities, row-major [instance][class] (softmax-free:
+  /// independent sigmoids, normalised).
+  [[nodiscard]] std::vector<std::vector<double>> predict_proba(
+      const data::Dataset& ds) const;
+
+  /// argmax class per instance.
+  [[nodiscard]] std::vector<int> predict_class(const data::Dataset& ds) const;
+
+  /// Fraction of instances whose argmax class differs from the label.
+  [[nodiscard]] double error_rate(const data::Dataset& ds) const;
+
+  void save(const std::string& path_prefix) const;
+  [[nodiscard]] static MulticlassModel load(const std::string& path_prefix,
+                                            int n_classes);
+
+ private:
+  std::vector<GBDTModel> per_class_;
+};
+
+}  // namespace gbdt

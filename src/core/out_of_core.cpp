@@ -1,0 +1,524 @@
+#include "core/out_of_core.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/trainer_detail.h"
+#include "data/csc_matrix.h"
+#include "primitives/reduce.h"
+#include "primitives/transform.h"
+
+namespace gbdt {
+
+using detail::ActiveNode;
+using detail::GHPair;
+using device::BlockCtx;
+using device::DeviceBuffer;
+using prim::elems_in_block;
+using prim::kBlockDim;
+
+namespace {
+
+/// A host-resident column chunk, optionally pre-compressed with RLE.
+struct Chunk {
+  std::int64_t attr_lo = 0;
+  std::int64_t attr_hi = 0;   // exclusive
+  std::int64_t entry_lo = 0;  // into the host CSC arrays
+  std::int64_t entry_hi = 0;
+  bool compressed = false;
+  // RLE form (root order never changes, so this is computed once).
+  std::vector<float> run_values;
+  std::vector<std::int32_t> run_lens;
+  std::vector<std::int64_t> run_starts;  // exclusive scan of run_lens
+
+  [[nodiscard]] std::int64_t n_entries() const { return entry_hi - entry_lo; }
+};
+
+/// Per-(column, slot) best-candidate record produced by the streaming walk.
+struct ColumnBest {
+  double gain = 0.0;
+  float split_value = 0.f;
+  std::uint8_t default_left = 0;
+  double left_g = 0.0;
+  double left_h = 0.0;
+  std::int64_t left_cnt = 0;
+  std::uint8_t valid = 0;
+};
+
+struct NodeDecision {
+  bool split = false;
+  std::int32_t attr = -1;
+  float split_value = 0.f;
+  bool default_left = false;
+  std::int32_t left_id = -1;
+  std::int32_t right_id = -1;
+};
+
+}  // namespace
+
+OutOfCoreTrainer::OutOfCoreTrainer(device::Device& dev, GBDTParam param,
+                                   std::size_t chunk_bytes,
+                                   bool stream_compressed)
+    : dev_(dev), param_(std::move(param)), chunk_bytes_(chunk_bytes),
+      stream_compressed_(stream_compressed), loss_(make_loss(param_.loss)) {
+  if (param_.depth < 1 || param_.n_trees < 1) {
+    throw std::invalid_argument("bad depth / n_trees");
+  }
+  if (chunk_bytes_ < (std::size_t{1} << 16)) {
+    throw std::invalid_argument("chunk_bytes too small");
+  }
+}
+
+OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double modeled_start = dev_.elapsed_seconds();
+  dev_.allocator().reset_peak();
+
+  OutOfCoreReport report;
+  report.base_score = param_.base_score;
+  const std::int64_t n_inst = ds.n_instances();
+  const std::int64_t n_attr = ds.n_attributes();
+  if (n_inst == 0) throw std::invalid_argument("empty dataset");
+
+  // ---- host-resident sorted columns (built once, never partitioned) ------
+  const auto csc = data::build_csc_host(ds);
+  report.in_core_bytes = csc.bytes();
+
+  // Column chunks bounded by the device budget for streamed lists.
+  std::vector<Chunk> chunks;
+  {
+    const auto max_entries =
+        static_cast<std::int64_t>(chunk_bytes_ / 12);  // value+inst+slack
+    std::int64_t a = 0;
+    while (a < n_attr) {
+      Chunk c;
+      c.attr_lo = a;
+      c.entry_lo = csc.col_offsets[static_cast<std::size_t>(a)];
+      std::int64_t b = a + 1;
+      while (b < n_attr &&
+             csc.col_offsets[static_cast<std::size_t>(b) + 1] - c.entry_lo <=
+                 max_entries) {
+        ++b;
+      }
+      c.attr_hi = b;
+      c.entry_hi = csc.col_offsets[static_cast<std::size_t>(b)];
+      // Pre-compress the chunk's value stream (runs never cross columns).
+      if (stream_compressed_) {
+        for (std::int64_t e = c.entry_lo; e < c.entry_hi; ++e) {
+          const auto u = static_cast<std::size_t>(e);
+          const bool head =
+              e == c.entry_lo || csc.values[u] != csc.values[u - 1] ||
+              std::binary_search(csc.col_offsets.begin(),
+                                 csc.col_offsets.end(),
+                                 static_cast<std::int64_t>(e));
+          if (head) {
+            c.run_values.push_back(csc.values[u]);
+            c.run_lens.push_back(1);
+          } else {
+            ++c.run_lens.back();
+          }
+        }
+        const double ratio =
+            c.run_values.empty()
+                ? 1.0
+                : static_cast<double>(c.n_entries()) /
+                      static_cast<double>(c.run_values.size());
+        c.compressed = ratio >= 1.5;
+        if (c.compressed) {
+          c.run_starts.resize(c.run_lens.size());
+          std::int64_t start = 0;
+          for (std::size_t r = 0; r < c.run_lens.size(); ++r) {
+            c.run_starts[r] = start;
+            start += c.run_lens[r];
+          }
+        } else {
+          c.run_values.clear();
+          c.run_values.shrink_to_fit();
+          c.run_lens.clear();
+          c.run_lens.shrink_to_fit();
+        }
+      }
+      chunks.push_back(std::move(c));
+      a = b;
+    }
+  }
+  report.n_chunks = static_cast<int>(chunks.size());
+
+  // ---- resident per-instance state ---------------------------------------
+  detail::TrainState st(dev_, param_, *loss_);
+  st.n_inst = n_inst;
+  st.n_attr = n_attr;
+  auto d_labels = dev_.to_device<float>(ds.labels());
+  st.grad = dev_.alloc<double>(static_cast<std::size_t>(n_inst));
+  st.hess = dev_.alloc<double>(static_cast<std::size_t>(n_inst));
+  st.y_pred = dev_.alloc<float>(static_cast<std::size_t>(n_inst));
+  st.node_of = dev_.alloc<std::int32_t>(static_cast<std::size_t>(n_inst));
+  prim::fill(dev_, st.y_pred, static_cast<float>(param_.base_score));
+
+  const double lambda = param_.lambda;
+  report.trees.reserve(static_cast<std::size_t>(param_.n_trees));
+
+  for (int t = 0; t < param_.n_trees; ++t) {
+    if (t > 0) detail::update_predictions_smart(st, report.trees.back());
+    detail::compute_gradients(st, d_labels);
+    prim::fill(dev_, st.node_of, std::int32_t{0});
+
+    report.trees.emplace_back();
+    Tree& tree = report.trees.back();
+    ActiveNode root;
+    root.tree_node = 0;
+    root.sum_g = prim::reduce_sum<double>(dev_, st.grad, "ooc_root_sum_g");
+    root.sum_h = prim::reduce_sum<double>(dev_, st.hess, "ooc_root_sum_h");
+    root.count = n_inst;
+    std::vector<ActiveNode> active{root};
+
+    for (int level = 0; level < param_.depth && !active.empty(); ++level) {
+      const auto n_slots = static_cast<std::int64_t>(active.size());
+      std::vector<std::int32_t> slot_of(
+          static_cast<std::size_t>(tree.n_nodes()), -1);
+      std::vector<double> node_g(static_cast<std::size_t>(n_slots));
+      std::vector<double> node_h(static_cast<std::size_t>(n_slots));
+      std::vector<std::int64_t> node_cnt(static_cast<std::size_t>(n_slots));
+      for (std::size_t s = 0; s < active.size(); ++s) {
+        slot_of[static_cast<std::size_t>(active[s].tree_node)] =
+            static_cast<std::int32_t>(s);
+        node_g[s] = active[s].sum_g;
+        node_h[s] = active[s].sum_h;
+        node_cnt[s] = active[s].count;
+      }
+      auto d_slot_of = detail::upload(dev_, slot_of);
+      auto d_ng = detail::upload(dev_, node_g);
+      auto d_nh = detail::upload(dev_, node_h);
+      auto d_nc = detail::upload(dev_, node_cnt);
+
+      struct GlobalBest {
+        double gain = 0.0;
+        std::int32_t attr = -1;
+        float split_value = 0.f;
+        bool default_left = false;
+        double left_g = 0.0, left_h = 0.0;
+        std::int64_t left_cnt = 0;
+      };
+      std::vector<GlobalBest> best(active.size());
+
+      // ---- stream every chunk through the device once per level ----------
+      for (const Chunk& c : chunks) {
+        const std::int64_t n = c.n_entries();
+        if (n == 0) continue;
+        const std::int64_t n_cols = c.attr_hi - c.attr_lo;
+
+        // Ship the chunk (RLE-compressed values where profitable).
+        auto d_inst = dev_.to_device<std::int32_t>(
+            std::span<const std::int32_t>(csc.inst_ids)
+                .subspan(static_cast<std::size_t>(c.entry_lo),
+                         static_cast<std::size_t>(n)));
+        DeviceBuffer<float> d_values;
+        if (c.compressed) {
+          auto d_rv = dev_.to_device<float>(c.run_values);
+          auto d_rl = dev_.to_device<std::int32_t>(c.run_lens);
+          auto d_rs = dev_.to_device<std::int64_t>(c.run_starts);
+          report.streamed_bytes += c.run_values.size() * 16 +
+                                   static_cast<std::uint64_t>(n) * 4;
+          d_values = dev_.alloc<float>(static_cast<std::size_t>(n));
+          const auto n_runs = static_cast<std::int64_t>(c.run_values.size());
+          auto rv = d_rv.span();
+          auto rl = d_rl.span();
+          auto rs = d_rs.span();
+          auto out = d_values.span();
+          dev_.launch("ooc_decompress", device::grid_for(n_runs, kBlockDim),
+                      kBlockDim, [&](BlockCtx& b) {
+                        std::uint64_t written = 0;
+                        b.for_each_thread([&](std::int64_t r) {
+                          if (r >= n_runs) return;
+                          const auto ru = static_cast<std::size_t>(r);
+                          for (std::int32_t j = 0; j < rl[ru]; ++j) {
+                            out[static_cast<std::size_t>(rs[ru] + j)] = rv[ru];
+                          }
+                          written += static_cast<std::uint64_t>(rl[ru]);
+                        });
+                        b.work(written);
+                        b.mem_coalesced(written * 4 +
+                                        elems_in_block(b, n_runs) * 20);
+                      });
+        } else {
+          d_values = dev_.to_device<float>(
+              std::span<const float>(csc.values)
+                  .subspan(static_cast<std::size_t>(c.entry_lo),
+                           static_cast<std::size_t>(n)));
+          report.streamed_bytes += static_cast<std::uint64_t>(n) * 8;
+        }
+
+        // Column offsets local to the chunk.
+        std::vector<std::int64_t> local_offs(
+            static_cast<std::size_t>(n_cols) + 1);
+        for (std::int64_t a2 = 0; a2 <= n_cols; ++a2) {
+          local_offs[static_cast<std::size_t>(a2)] =
+              csc.col_offsets[static_cast<std::size_t>(c.attr_lo + a2)] -
+              c.entry_lo;
+        }
+        auto d_offs = detail::upload(dev_, local_offs);
+
+        // Per-(column, slot) winners.
+        auto d_best = dev_.alloc<ColumnBest>(
+            static_cast<std::size_t>(n_cols) * static_cast<std::size_t>(n_slots));
+
+        auto values = d_values.span();
+        auto inst = d_inst.span();
+        auto offs = d_offs.span();
+        auto node_of = st.node_of.span();
+        auto so = d_slot_of.span();
+        auto ng = d_ng.span();
+        auto nh = d_nh.span();
+        auto nc = d_nc.span();
+        auto out_best = d_best.span();
+        auto g = st.grad.span();
+        auto h = st.hess.span();
+
+        // One logical block per column: two fused passes (present totals,
+        // then candidate enumeration with both missing directions) against
+        // per-slot running accumulators — the streaming analogue of node
+        // interleaving.
+        dev_.launch("ooc_enumerate", n_cols, kBlockDim, [&](BlockCtx& b) {
+          const std::int64_t col = b.block_idx();
+          const std::int64_t lo = offs[static_cast<std::size_t>(col)];
+          const std::int64_t hi = offs[static_cast<std::size_t>(col) + 1];
+
+          std::vector<GHPair> present(static_cast<std::size_t>(n_slots));
+          std::vector<std::int64_t> present_cnt(
+              static_cast<std::size_t>(n_slots), 0);
+          for (std::int64_t e = lo; e < hi; ++e) {
+            const auto iu = static_cast<std::size_t>(
+                inst[static_cast<std::size_t>(e)]);
+            const std::int32_t slot =
+                so[static_cast<std::size_t>(node_of[iu])];
+            if (slot < 0) continue;
+            present[static_cast<std::size_t>(slot)] += GHPair{g[iu], h[iu]};
+            ++present_cnt[static_cast<std::size_t>(slot)];
+          }
+
+          std::vector<GHPair> acc(static_cast<std::size_t>(n_slots));
+          std::vector<std::int64_t> acc_cnt(static_cast<std::size_t>(n_slots),
+                                            0);
+          std::vector<float> last(static_cast<std::size_t>(n_slots), 0.f);
+          std::vector<ColumnBest> cb(static_cast<std::size_t>(n_slots));
+
+          auto evaluate = [&](std::int32_t slot) {
+            const auto su = static_cast<std::size_t>(slot);
+            const double glp = acc[su].g;
+            const double hlp = acc[su].h;
+            const std::int64_t pos = acc_cnt[su];
+            const std::int64_t cnt = nc[su];
+            const std::int64_t seg_len = present_cnt[su];
+            const std::int64_t miss = cnt - seg_len;
+            const double miss_g = ng[su] - present[su].g;
+            const double miss_h = nh[su] - present[su].h;
+            double gain_r = 0.0;
+            if (pos > 0 && cnt - pos > 0) {
+              gain_r = split_gain(glp, hlp, ng[su] - glp, nh[su] - hlp,
+                                  lambda);
+            }
+            double gain_l = 0.0;
+            if (miss > 0 && seg_len - pos > 0) {
+              gain_l = split_gain(glp + miss_g, hlp + miss_h,
+                                  ng[su] - glp - miss_g,
+                                  nh[su] - hlp - miss_h, lambda);
+            }
+            const bool dl = gain_l > gain_r;
+            const double gain = dl ? gain_l : gain_r;
+            if (gain > cb[su].gain) {
+              cb[su].valid = 1;
+              cb[su].gain = gain;
+              cb[su].split_value = last[su];
+              cb[su].default_left = dl ? 1 : 0;
+              cb[su].left_g = glp + (dl ? miss_g : 0.0);
+              cb[su].left_h = hlp + (dl ? miss_h : 0.0);
+              cb[su].left_cnt = pos + (dl ? miss : 0);
+            }
+          };
+
+          std::uint64_t touched = 0;
+          for (std::int64_t e = lo; e < hi; ++e) {
+            const auto iu = static_cast<std::size_t>(
+                inst[static_cast<std::size_t>(e)]);
+            const std::int32_t slot =
+                so[static_cast<std::size_t>(node_of[iu])];
+            if (slot < 0) continue;
+            const auto su = static_cast<std::size_t>(slot);
+            const float v = values[static_cast<std::size_t>(e)];
+            if (acc_cnt[su] > 0 && v != last[su]) evaluate(slot);
+            acc[su] += GHPair{g[iu], h[iu]};
+            ++acc_cnt[su];
+            last[su] = v;
+            ++touched;
+          }
+          // Final boundary of every slot (all present left, missing right).
+          for (std::int32_t s = 0; s < n_slots; ++s) {
+            if (acc_cnt[static_cast<std::size_t>(s)] > 0) evaluate(s);
+            out_best[static_cast<std::size_t>(col * n_slots + s)] =
+                cb[static_cast<std::size_t>(s)];
+          }
+          // Two fused passes: stream the chunk twice, gather (g,h) twice.
+          b.work(4 * touched);
+          b.mem_coalesced(2 * touched * 8);
+          b.mem_irregular(2 * 2 * touched);  // node_of + (g,h) per pass
+          b.flop(touched * 8);
+        });
+
+        // Merge the chunk's winners into the per-node best (columns in
+        // ascending attribute order; strict > keeps the lowest attribute on
+        // ties, like the in-core argmax).
+        for (std::int64_t col = 0; col < n_cols; ++col) {
+          for (std::int64_t s = 0; s < n_slots; ++s) {
+            const ColumnBest& cb =
+                d_best[static_cast<std::size_t>(col * n_slots + s)];
+            if (cb.valid == 0) continue;
+            auto& gb = best[static_cast<std::size_t>(s)];
+            if (cb.gain > gb.gain) {
+              gb.gain = cb.gain;
+              gb.attr = static_cast<std::int32_t>(c.attr_lo + col);
+              gb.split_value = cb.split_value;
+              gb.default_left = cb.default_left != 0;
+              gb.left_g = cb.left_g;
+              gb.left_h = cb.left_h;
+              gb.left_cnt = cb.left_cnt;
+            }
+          }
+        }
+      }
+
+      // ---- split decisions + instance->node updates ----------------------
+      std::vector<NodeDecision> decisions(active.size());
+      std::vector<ActiveNode> next;
+      for (std::size_t s = 0; s < active.size(); ++s) {
+        const ActiveNode& node = active[s];
+        auto& tn = tree.node(node.tree_node);
+        tn.n_instances = node.count;
+        tn.sum_g = node.sum_g;
+        tn.sum_h = node.sum_h;
+        const GlobalBest& gb = best[s];
+        if (gb.attr >= 0 && gb.gain > param_.gamma) {
+          const auto [l, r] = tree.split(node.tree_node, gb.attr,
+                                         gb.split_value, gb.default_left,
+                                         gb.gain);
+          decisions[s] = {true, gb.attr, gb.split_value, gb.default_left, l, r};
+          ActiveNode left;
+          left.tree_node = l;
+          left.sum_g = gb.left_g;
+          left.sum_h = gb.left_h;
+          left.count = gb.left_cnt;
+          ActiveNode right;
+          right.tree_node = r;
+          right.sum_g = node.sum_g - gb.left_g;
+          right.sum_h = node.sum_h - gb.left_h;
+          right.count = node.count - gb.left_cnt;
+          next.push_back(left);
+          next.push_back(right);
+        } else {
+          tn.weight =
+              param_.eta * leaf_weight(node.sum_g, node.sum_h, lambda);
+        }
+      }
+      if (next.empty()) {
+        active.clear();
+        break;
+      }
+
+      // Defaults for every instance of a splitting node, then the exact side
+      // from the winning column, re-streamed from the host.
+      {
+        std::vector<std::int32_t> default_child(
+            static_cast<std::size_t>(tree.n_nodes()), -1);
+        for (std::size_t s = 0; s < active.size(); ++s) {
+          if (!decisions[s].split) continue;
+          default_child[static_cast<std::size_t>(active[s].tree_node)] =
+              decisions[s].default_left ? decisions[s].left_id
+                                        : decisions[s].right_id;
+        }
+        auto d_default = detail::upload(dev_, default_child);
+        auto node_of = st.node_of.span();
+        auto def = d_default.span();
+        dev_.launch("ooc_assign_default", device::grid_for(n_inst, kBlockDim),
+                    kBlockDim, [&](BlockCtx& b) {
+                      b.for_each_thread([&](std::int64_t i) {
+                        if (i >= n_inst) return;
+                        const auto u = static_cast<std::size_t>(i);
+                        const std::int32_t child =
+                            def[static_cast<std::size_t>(node_of[u])];
+                        if (child >= 0) node_of[u] = child;
+                      });
+                      b.mem_coalesced(elems_in_block(b, n_inst) * 8);
+                    });
+      }
+      for (std::size_t s = 0; s < active.size(); ++s) {
+        if (!decisions[s].split) continue;
+        const auto& d = decisions[s];
+        const std::int64_t lo =
+            csc.col_offsets[static_cast<std::size_t>(d.attr)];
+        const std::int64_t hi =
+            csc.col_offsets[static_cast<std::size_t>(d.attr) + 1];
+        const std::int64_t len = hi - lo;
+        if (len == 0) continue;
+        auto d_v = dev_.to_device<float>(
+            std::span<const float>(csc.values)
+                .subspan(static_cast<std::size_t>(lo),
+                         static_cast<std::size_t>(len)));
+        auto d_i = dev_.to_device<std::int32_t>(
+            std::span<const std::int32_t>(csc.inst_ids)
+                .subspan(static_cast<std::size_t>(lo),
+                         static_cast<std::size_t>(len)));
+        report.streamed_bytes += static_cast<std::uint64_t>(len) * 8;
+        const std::int32_t left_id = d.left_id;
+        const std::int32_t right_id = d.right_id;
+        const std::int32_t default_id =
+            d.default_left ? d.left_id : d.right_id;
+        const float split_value = d.split_value;
+        auto v = d_v.span();
+        auto ii = d_i.span();
+        auto node_of = st.node_of.span();
+        dev_.launch("ooc_exact_side", device::grid_for(len, kBlockDim),
+                    kBlockDim, [&](BlockCtx& b) {
+                      b.for_each_thread([&](std::int64_t e) {
+                        if (e >= len) return;
+                        const auto u = static_cast<std::size_t>(e);
+                        auto& slot_ref =
+                            node_of[static_cast<std::size_t>(ii[u])];
+                        if (slot_ref != default_id &&
+                            slot_ref != (d.default_left ? right_id : left_id)) {
+                          return;  // instance not in this node
+                        }
+                        // Instances of other nodes share neither child id.
+                        slot_ref = v[u] >= split_value ? left_id : right_id;
+                      });
+                      const auto m = elems_in_block(b, len);
+                      b.mem_coalesced(m * 8);
+                      b.mem_irregular(m);
+                    });
+      }
+
+      active = std::move(next);
+    }
+    for (const ActiveNode& node : active) {
+      auto& tn = tree.node(node.tree_node);
+      tn.weight = param_.eta * leaf_weight(node.sum_g, node.sum_h, lambda);
+      tn.n_instances = node.count;
+      tn.sum_g = node.sum_g;
+      tn.sum_h = node.sum_h;
+    }
+    active.clear();
+  }
+
+  detail::update_predictions_smart(st, report.trees.back());
+  const auto final_pred = dev_.to_host(st.y_pred);
+  report.train_scores.assign(final_pred.begin(), final_pred.end());
+  report.peak_device_bytes = dev_.allocator().peak();
+  report.modeled_seconds = dev_.elapsed_seconds() - modeled_start;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+}  // namespace gbdt

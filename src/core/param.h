@@ -1,0 +1,57 @@
+// Training hyper-parameters and the GPU-GBDT optimization toggles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gbdt {
+
+enum class LossKind {
+  kSquaredError,  // l = (y - yhat)^2, the paper's experimental loss
+  kLogistic,      // binary cross-entropy on logits
+};
+
+/// Hyper-parameters of Algorithm 1 plus the GPU-specific knobs.  The `use_*`
+/// toggles switch the paper's individual optimizations off for the Figure 9
+/// ablation study; all default to the paper's configuration.
+struct GBDTParam {
+  // ---- Algorithm 1 inputs ------------------------------------------------
+  int depth = 6;          // d: maximum tree depth (levels 0..d-1 may split)
+  int n_trees = 40;       // T
+  double lambda = 1.0;    // regularization constant in the gain formula
+  double gamma = 0.0;     // minimum gain for a valid split
+  double eta = 0.3;       // shrinkage applied to leaf weights
+  double base_score = 0.0;
+  LossKind loss = LossKind::kSquaredError;
+
+  // ---- GPU-GBDT technique knobs -----------------------------------------
+  /// R: compress with RLE when dimensionality/cardinality exceeds this.
+  double rle_threshold_r = 10.0;
+  /// C in the Customized SetKey formula segs/block = 1 + #segs/(#SM * C).
+  std::int64_t setkey_c = 1000;
+  /// Byte budget for the order-preserving partition counters (the paper's
+  /// "maximum allowed memory size", e.g. 2^30).
+  std::size_t partition_counter_budget = std::size_t{1} << 30;
+
+  // ---- Figure 9 ablation toggles ----------------------------------------
+  /// Customized SetKey: adaptive segments-per-block (off = 1 seg per block).
+  bool use_custom_setkey = true;
+  /// Customized IdxComp Workload: adaptive partition thread workload
+  /// (off = fixed workload of 16 from prior work).
+  bool use_custom_idxcomp_workload = true;
+  /// RLE compression (gated by rle_threshold_r unless force_rle).
+  bool use_rle = true;
+  /// Compress regardless of the estimated ratio (for tests/ablations).
+  bool force_rle = false;
+  /// SmartGD: gradients from the instance->leaf map left by training
+  /// (off = naive per-tree traversal prediction).
+  bool use_smart_gd = true;
+  /// Directly split RLE elements (off = decompress, partition, recompress).
+  bool use_direct_rle_split = true;
+
+  /// Treat the input as a dense matrix with missing values filled as 0 (the
+  /// xgbst-gpu layout).  Used by the dense baseline, not by GPU-GBDT.
+  bool dense_layout = false;
+};
+
+}  // namespace gbdt

@@ -1,0 +1,117 @@
+#include "core/predictor.h"
+
+#include <cstdint>
+
+#include "primitives/transform.h"
+
+namespace gbdt {
+
+using device::BlockCtx;
+using prim::kBlockDim;
+
+std::vector<double> predict_on_device(device::Device& dev,
+                                      const std::vector<Tree>& trees,
+                                      double base_score,
+                                      const data::Dataset& ds) {
+  const std::int64_t n = ds.n_instances();
+  const auto n_trees = static_cast<std::int64_t>(trees.size());
+
+  // Upload the CSR rows once.
+  std::vector<std::int32_t> attrs(static_cast<std::size_t>(ds.n_entries()));
+  std::vector<float> vals(static_cast<std::size_t>(ds.n_entries()));
+  for (std::size_t k = 0; k < attrs.size(); ++k) {
+    attrs[k] = ds.entries()[k].attr;
+    vals[k] = ds.entries()[k].value;
+  }
+  auto d_off = dev.to_device<std::int64_t>(ds.row_offsets());
+  auto d_attr = dev.to_device<std::int32_t>(attrs);
+  auto d_val = dev.to_device<float>(vals);
+
+  // Upload all trees as one flat SoA with per-tree node offsets.
+  std::vector<std::int64_t> tree_off{0};
+  std::vector<std::int32_t> left, right, attr;
+  std::vector<float> split;
+  std::vector<std::uint8_t> def_left;
+  std::vector<double> weight;
+  for (const auto& t : trees) {
+    for (const auto& nd : t.nodes()) {
+      left.push_back(nd.left);
+      right.push_back(nd.right);
+      attr.push_back(nd.attr);
+      split.push_back(nd.split_value);
+      def_left.push_back(nd.default_left ? 1 : 0);
+      weight.push_back(nd.weight);
+    }
+    tree_off.push_back(static_cast<std::int64_t>(left.size()));
+  }
+  auto d_toff = dev.to_device<std::int64_t>(tree_off);
+  auto d_left = dev.to_device<std::int32_t>(left);
+  auto d_right = dev.to_device<std::int32_t>(right);
+  auto d_tattr = dev.to_device<std::int32_t>(attr);
+  auto d_split = dev.to_device<float>(split);
+  auto d_def = dev.to_device<std::uint8_t>(def_left);
+  auto d_weight = dev.to_device<double>(weight);
+
+  auto d_out = dev.alloc<double>(static_cast<std::size_t>(n));
+  prim::fill(dev, d_out, base_score);
+
+  const std::int64_t total = n * n_trees;
+  auto ro = d_off.span();
+  auto ra = d_attr.span();
+  auto rv = d_val.span();
+  auto toff = d_toff.span();
+  auto L = d_left.span();
+  auto R = d_right.span();
+  auto A = d_tattr.span();
+  auto S = d_split.span();
+  auto D = d_def.span();
+  auto W = d_weight.span();
+  auto out = d_out.span();
+  dev.launch("predict_batch", device::grid_for(total, kBlockDim), kBlockDim,
+             [&](BlockCtx& b) {
+               std::uint64_t steps = 0;
+               b.for_each_thread([&](std::int64_t x) {
+                 if (x >= total) return;
+                 const std::int64_t i = x % n;       // instance
+                 const std::int64_t t = x / n;       // tree
+                 const auto iu = static_cast<std::size_t>(i);
+                 const std::int64_t row_lo = ro[iu];
+                 const std::int64_t row_hi = ro[iu + 1];
+                 const std::int64_t base = toff[static_cast<std::size_t>(t)];
+                 std::int64_t id = base;
+                 while (L[static_cast<std::size_t>(id)] >= 0) {
+                   const auto nu = static_cast<std::size_t>(id);
+                   const std::int32_t want = A[nu];
+                   std::int64_t lo = row_lo, hi = row_hi;
+                   const float* found = nullptr;
+                   while (lo < hi) {
+                     const std::int64_t mid = (lo + hi) / 2;
+                     const auto mu = static_cast<std::size_t>(mid);
+                     if (ra[mu] < want) {
+                       lo = mid + 1;
+                     } else if (ra[mu] > want) {
+                       hi = mid;
+                     } else {
+                       found = &rv[mu];
+                       break;
+                     }
+                     ++steps;
+                   }
+                   const bool go_left =
+                       found != nullptr ? *found >= S[nu] : D[nu] != 0;
+                   id = base + (go_left ? L[nu] : R[nu]);
+                   steps += 3;
+                 }
+                 // One thread per (instance, tree): partial sums accumulate
+                 // with a global atomic, as in the paper's prediction kernel.
+                 out[iu] += W[static_cast<std::size_t>(id)];
+               });
+               b.work(steps);
+               b.mem_irregular(steps);
+               b.atomic(prim::elems_in_block(b, total));
+             });
+
+  return dev.to_host(d_out);
+}
+
+}  // namespace gbdt

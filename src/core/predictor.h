@@ -1,0 +1,21 @@
+// Batch prediction on the simulated device (paper Section III-D): instance
+// level x tree level parallelism — one logical GPU thread computes the
+// partial prediction of one instance under one tree.  Training itself never
+// calls this (SmartGD reuses the instance->leaf map); it exists for scoring
+// unseen data, as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "core/tree.h"
+#include "data/dataset.h"
+#include "device/device_context.h"
+
+namespace gbdt {
+
+/// Raw scores (base_score + sum of leaf weights) for every instance of ds.
+[[nodiscard]] std::vector<double> predict_on_device(
+    device::Device& dev, const std::vector<Tree>& trees, double base_score,
+    const data::Dataset& ds);
+
+}  // namespace gbdt

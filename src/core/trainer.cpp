@@ -1,0 +1,508 @@
+#include "core/trainer.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/trainer_detail.h"
+#include "data/csc_matrix.h"
+#include "primitives/reduce.h"
+#include "primitives/segmented.h"
+#include "primitives/transform.h"
+#include "rle/rle.h"
+
+namespace gbdt {
+
+using detail::ActiveNode;
+using detail::BestSplit;
+using detail::LevelPlan;
+using detail::TrainState;
+using device::Device;
+using device::DeviceBuffer;
+using prim::kBlockDim;
+
+namespace detail {
+
+std::int64_t TrainState::segs_per_block(std::int64_t n_segments) const {
+  return param.use_custom_setkey
+             ? prim::auto_segs_per_block(n_segments, dev.config().num_sms,
+                                         param.setkey_c)
+             : 1;
+}
+
+SlotTables upload_slot_tables(TrainState& st) {
+  std::vector<double> g(st.active.size());
+  std::vector<double> h(st.active.size());
+  std::vector<std::int64_t> cnt(st.active.size());
+  for (std::size_t s = 0; s < st.active.size(); ++s) {
+    g[s] = st.active[s].sum_g;
+    h[s] = st.active[s].sum_h;
+    cnt[s] = st.active[s].count;
+  }
+  SlotTables t;
+  t.node_g = upload(st.dev, g);
+  t.node_h = upload(st.dev, h);
+  t.node_cnt = upload(st.dev, cnt);
+  return t;
+}
+
+void assign_default_children(TrainState& st, const LevelPlan& plan) {
+  // Per-tree-node tables: does this node split, and where do its instances
+  // go by default.  Sized by the current tree (< 2^(depth+1) nodes).
+  std::vector<std::int32_t> default_child(
+      static_cast<std::size_t>(st.tree->n_nodes()), -1);
+  for (std::size_t s = 0; s < plan.per_slot.size(); ++s) {
+    const auto& e = plan.per_slot[s];
+    if (!e.split) continue;
+    const auto tn = static_cast<std::size_t>(st.active[s].tree_node);
+    default_child[tn] = e.default_left ? e.left_id : e.right_id;
+  }
+  auto d_default = upload(st.dev, default_child);
+
+  const std::int64_t n = st.n_inst;
+  auto node_of = st.node_of.span();
+  auto def = d_default.span();
+  st.dev.launch("assign_default_child", device::grid_for(n, kBlockDim),
+                kBlockDim, [&](device::BlockCtx& b) {
+                  b.for_each_thread([&](std::int64_t i) {
+                    if (i >= n) return;
+                    const auto u = static_cast<std::size_t>(i);
+                    const std::int32_t child =
+                        def[static_cast<std::size_t>(node_of[u])];
+                    if (child >= 0) node_of[u] = child;
+                  });
+                  const auto m = prim::elems_in_block(b, n);
+                  b.mem_coalesced(m * 2 * sizeof(std::int32_t));
+                  b.mem_irregular(m / 8 + 1);  // small table lookups, cached
+                });
+}
+
+void compute_gradients(TrainState& st, const DeviceBuffer<float>& labels) {
+  const std::int64_t n = st.n_inst;
+  auto y = labels.span();
+  auto p = st.y_pred.span();
+  auto g = st.grad.span();
+  auto h = st.hess.span();
+  const Loss& loss = st.loss;
+  st.dev.launch("compute_gradients", device::grid_for(n, kBlockDim), kBlockDim,
+                [&](device::BlockCtx& b) {
+                  b.for_each_thread([&](std::int64_t i) {
+                    if (i >= n) return;
+                    const auto u = static_cast<std::size_t>(i);
+                    const GradPair gp = loss.gradient(y[u], p[u]);
+                    g[u] = gp.g;
+                    h[u] = gp.h;
+                  });
+                  b.mem_coalesced(prim::elems_in_block(b, n) * 24);
+                  b.flop(prim::elems_in_block(b, n) * 4);
+                });
+}
+
+/// SmartGD prediction update: one gather through the instance->leaf map the
+/// tree construction left behind — no tree traversal (paper Section III-B).
+void update_predictions_smart(TrainState& st, const Tree& tree) {
+  std::vector<double> weights(static_cast<std::size_t>(tree.n_nodes()), 0.0);
+  for (std::int32_t i = 0; i < tree.n_nodes(); ++i) {
+    weights[static_cast<std::size_t>(i)] = tree.node(i).weight;
+  }
+  auto d_w = upload(st.dev, weights);
+  const std::int64_t n = st.n_inst;
+  auto p = st.y_pred.span();
+  auto node_of = st.node_of.span();
+  auto w = d_w.span();
+  st.dev.launch("smartgd_update", device::grid_for(n, kBlockDim), kBlockDim,
+                [&](device::BlockCtx& b) {
+                  b.for_each_thread([&](std::int64_t i) {
+                    if (i >= n) return;
+                    const auto u = static_cast<std::size_t>(i);
+                    p[u] = static_cast<float>(
+                        p[u] + w[static_cast<std::size_t>(node_of[u])]);
+                  });
+                  const auto m = prim::elems_in_block(b, n);
+                  b.mem_coalesced(m * 12);
+                  b.mem_irregular(m / 8 + 1);  // leaf-weight table, cached
+                });
+}
+
+template <typename T>
+void device_copy(Device& dev, const DeviceBuffer<T>& src, DeviceBuffer<T>& dst,
+                 std::int64_t n) {
+  auto s = src.span();
+  auto d = dst.span();
+  dev.launch("tree_reset_copy", device::grid_for(n, kBlockDim), kBlockDim,
+             [&](device::BlockCtx& b) {
+               b.for_each_thread([&](std::int64_t i) {
+                 if (i < n) {
+                   d[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)];
+                 }
+               });
+               b.mem_coalesced(prim::elems_in_block(b, n) * 2 * sizeof(T));
+             });
+}
+
+/// Re-initialises the working layout from the root-level originals.  The
+/// working buffers shrink level by level (leaves drop out), so every tree
+/// starts with fresh allocations of the original size.
+void reset_working_layout(TrainState& st) {
+  auto& dev = st.dev;
+  if (st.rle) {
+    st.n_runs = st.orig_n_runs;
+    st.run_values = dev.alloc<float>(static_cast<std::size_t>(st.n_runs));
+    st.run_starts =
+        dev.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs) + 1);
+    st.run_seg_offsets =
+        dev.alloc<std::int64_t>(st.orig_run_seg_offsets.size());
+    device_copy(dev, st.orig_run_values, st.run_values, st.n_runs);
+    device_copy(dev, st.orig_run_starts, st.run_starts, st.n_runs + 1);
+    device_copy(dev, st.orig_run_seg_offsets, st.run_seg_offsets,
+                static_cast<std::int64_t>(st.orig_run_seg_offsets.size()));
+  } else {
+    st.values = dev.alloc<float>(st.orig_values.size());
+    device_copy(dev, st.orig_values, st.values,
+                static_cast<std::int64_t>(st.orig_values.size()));
+  }
+  st.n_elems = static_cast<std::int64_t>(st.orig_inst.size());
+  st.inst = dev.alloc<std::int32_t>(st.orig_inst.size());
+  st.seg_offsets = dev.alloc<std::int64_t>(st.orig_seg_offsets.size());
+  device_copy(dev, st.orig_inst, st.inst, st.n_elems);
+  device_copy(dev, st.orig_seg_offsets, st.seg_offsets,
+              static_cast<std::int64_t>(st.orig_seg_offsets.size()));
+  prim::fill(dev, st.node_of, std::int32_t{0});
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Scoped accumulation of modeled device seconds into a phase counter.
+class PhaseScope {
+ public:
+  PhaseScope(Device& dev, double& sink)
+      : dev_(dev), sink_(sink), start_(dev.elapsed_seconds()) {}
+  ~PhaseScope() { sink_ += dev_.elapsed_seconds() - start_; }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Device& dev_;
+  double& sink_;
+  double start_;
+};
+
+/// Naive prediction update (SmartGD disabled): every instance traverses the
+/// freshly trained tree, binary-searching its CSR row at each internal node.
+/// Branch-divergent and irregular — the cost SmartGD removes.
+void update_predictions_naive(TrainState& st, const Tree& tree) {
+  struct NodeSoA {
+    std::vector<std::int32_t> left, right, attr;
+    std::vector<float> split;
+    std::vector<std::uint8_t> def_left;
+    std::vector<double> weight;
+  } soa;
+  const auto n_nodes = static_cast<std::size_t>(tree.n_nodes());
+  soa.left.resize(n_nodes);
+  soa.right.resize(n_nodes);
+  soa.attr.resize(n_nodes);
+  soa.split.resize(n_nodes);
+  soa.def_left.resize(n_nodes);
+  soa.weight.resize(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const auto& nd = tree.node(static_cast<std::int32_t>(i));
+    soa.left[i] = nd.left;
+    soa.right[i] = nd.right;
+    soa.attr[i] = nd.attr;
+    soa.split[i] = nd.split_value;
+    soa.def_left[i] = nd.default_left ? 1 : 0;
+    soa.weight[i] = nd.weight;
+  }
+  auto d_left = detail::upload(st.dev, soa.left);
+  auto d_right = detail::upload(st.dev, soa.right);
+  auto d_attr = detail::upload(st.dev, soa.attr);
+  auto d_split = detail::upload(st.dev, soa.split);
+  auto d_def = detail::upload(st.dev, soa.def_left);
+  auto d_weight = detail::upload(st.dev, soa.weight);
+
+  const std::int64_t n = st.n_inst;
+  auto p = st.y_pred.span();
+  auto ro = st.csr_offsets.span();
+  auto ra = st.csr_attrs.span();
+  auto rv = st.csr_values.span();
+  auto L = d_left.span();
+  auto R = d_right.span();
+  auto A = d_attr.span();
+  auto S = d_split.span();
+  auto D = d_def.span();
+  auto W = d_weight.span();
+  st.dev.launch("naive_traverse_update", device::grid_for(n, kBlockDim),
+                kBlockDim, [&](device::BlockCtx& b) {
+                  std::uint64_t steps = 0;
+                  b.for_each_thread([&](std::int64_t i) {
+                    if (i >= n) return;
+                    const auto u = static_cast<std::size_t>(i);
+                    const std::int64_t row_lo = ro[u];
+                    const std::int64_t row_hi = ro[u + 1];
+                    std::int32_t id = 0;
+                    while (L[static_cast<std::size_t>(id)] >= 0) {
+                      const auto nu = static_cast<std::size_t>(id);
+                      // Binary search the CSR row for the split attribute.
+                      const std::int32_t want = A[nu];
+                      std::int64_t lo = row_lo, hi = row_hi;
+                      const float* found = nullptr;
+                      while (lo < hi) {
+                        const std::int64_t mid = (lo + hi) / 2;
+                        const auto mu = static_cast<std::size_t>(mid);
+                        if (ra[mu] < want) {
+                          lo = mid + 1;
+                        } else if (ra[mu] > want) {
+                          hi = mid;
+                        } else {
+                          found = &rv[mu];
+                          break;
+                        }
+                        ++steps;
+                      }
+                      const bool go_left =
+                          found != nullptr ? *found >= S[nu] : D[nu] != 0;
+                      id = go_left ? L[nu] : R[static_cast<std::size_t>(id)];
+                      steps += 4;  // divergent node reads
+                    }
+                    p[u] = static_cast<float>(
+                        p[u] + W[static_cast<std::size_t>(id)]);
+                  });
+                  // Every instance of a warp follows its own root-to-leaf
+                  // path: the lanes diverge at every node and the scattered
+                  // loads serialise — the cost SmartGD removes entirely
+                  // (paper Section III-B).
+                  b.work(steps * 4);
+                  b.mem_irregular(steps * 2);
+                  b.mem_coalesced(prim::elems_in_block(b, n) * 24);
+                });
+}
+
+void finalize_leaf(TrainState& st, const ActiveNode& node) {
+  auto& tn = st.tree->node(node.tree_node);
+  tn.weight =
+      st.param.eta * leaf_weight(node.sum_g, node.sum_h, st.param.lambda);
+  tn.n_instances = node.count;
+  tn.sum_g = node.sum_g;
+  tn.sum_h = node.sum_h;
+}
+
+/// Models xgbst-gpu's node interleaving: one gradient/hessian copy per node
+/// being split this level (paper Section II-D).  The caller keeps the
+/// returned buffers alive for the whole level, so the copies inflate peak
+/// device memory alongside the level's working set (and a
+/// DeviceOutOfMemory fires here on oversized data).
+[[nodiscard]] std::vector<DeviceBuffer<double>> dense_node_interleaving(
+    TrainState& st) {
+  std::vector<DeviceBuffer<double>> copies;
+  copies.reserve(st.active.size() * 2);
+  for (std::size_t k = 0; k < st.active.size(); ++k) {
+    copies.push_back(st.dev.alloc<double>(static_cast<std::size_t>(st.n_inst)));
+    copies.push_back(st.dev.alloc<double>(static_cast<std::size_t>(st.n_inst)));
+    detail::device_copy(st.dev, st.grad, copies[2 * k], st.n_inst);
+    detail::device_copy(st.dev, st.hess, copies[2 * k + 1], st.n_inst);
+  }
+  return copies;
+}
+
+}  // namespace
+
+GpuGbdtTrainer::GpuGbdtTrainer(Device& dev, GBDTParam param)
+    : dev_(dev), param_(std::move(param)), loss_(make_loss(param_.loss)) {
+  if (param_.depth < 1) throw std::invalid_argument("depth must be >= 1");
+  if (param_.n_trees < 1) throw std::invalid_argument("n_trees must be >= 1");
+  if (param_.gamma < 0) throw std::invalid_argument("gamma must be >= 0");
+  if (param_.lambda < 0) throw std::invalid_argument("lambda must be >= 0");
+}
+
+TrainReport GpuGbdtTrainer::train(const data::Dataset& ds) {
+  return train(ds, TreeCallback{});
+}
+
+TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
+                                  const TreeCallback& on_tree) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  TrainReport report;
+  report.base_score = param_.base_score;
+
+  TrainState st(dev_, param_, *loss_);
+  st.n_inst = ds.n_instances();
+  st.n_attr = ds.n_attributes();
+  if (st.n_inst == 0) throw std::invalid_argument("empty dataset");
+
+  dev_.allocator().reset_peak();
+
+  // ---- build the original root-level layout (counted as transfer) --------
+  {
+    PhaseScope phase(dev_, report.modeled.transfer);
+    auto csc = data::build_csc_device(dev_, ds);
+    st.orig_values = std::move(csc.values);
+    st.orig_inst = std::move(csc.inst_ids);
+    st.orig_seg_offsets = std::move(csc.col_offsets);
+
+    const bool gate =
+        param_.force_rle ||
+        rle::paper_gate(st.n_attr, st.n_inst, param_.rle_threshold_r);
+    if (param_.use_rle && gate) {
+      auto compressed = rle::compress(dev_, st.orig_values, st.orig_seg_offsets);
+      st.rle = true;
+      report.used_rle = true;
+      st.orig_n_runs = compressed.n_runs;
+      st.rle_ratio = rle::measured_ratio(compressed);
+      report.rle_ratio = st.rle_ratio;
+      st.orig_run_values = std::move(compressed.values);
+      st.orig_run_starts = std::move(compressed.starts);
+      st.orig_run_seg_offsets = std::move(compressed.seg_offsets);
+      st.orig_values.free();  // per-element values are no longer needed
+    }
+  }
+
+  // ---- persistent per-instance state -------------------------------------
+  auto d_labels = dev_.to_device<float>(ds.labels());
+  st.grad = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
+  st.hess = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
+  st.y_pred = dev_.alloc<float>(static_cast<std::size_t>(st.n_inst));
+  st.node_of = dev_.alloc<std::int32_t>(static_cast<std::size_t>(st.n_inst));
+  prim::fill(dev_, st.y_pred, static_cast<float>(param_.base_score));
+
+  if (!param_.use_smart_gd) {
+    // The naive path needs random access to instance rows: upload the CSR.
+    PhaseScope phase(dev_, report.modeled.transfer);
+    std::vector<std::int32_t> attrs(static_cast<std::size_t>(ds.n_entries()));
+    std::vector<float> vals(static_cast<std::size_t>(ds.n_entries()));
+    for (std::size_t k = 0; k < attrs.size(); ++k) {
+      attrs[k] = ds.entries()[k].attr;
+      vals[k] = ds.entries()[k].value;
+    }
+    st.csr_offsets = dev_.to_device<std::int64_t>(ds.row_offsets());
+    st.csr_attrs = dev_.to_device<std::int32_t>(attrs);
+    st.csr_values = dev_.to_device<float>(vals);
+  }
+
+  // ---- boosting loop ------------------------------------------------------
+  report.trees.reserve(static_cast<std::size_t>(param_.n_trees));
+  for (int t = 0; t < param_.n_trees; ++t) {
+    {
+      PhaseScope phase(dev_, report.modeled.gradients);
+      if (t > 0) {
+        if (param_.use_smart_gd) {
+          update_predictions_smart(st, report.trees.back());
+        } else {
+          update_predictions_naive(st, report.trees.back());
+        }
+      }
+      compute_gradients(st, d_labels);
+    }
+
+    {
+      PhaseScope phase(dev_, report.modeled.split_node);
+      reset_working_layout(st);
+    }
+
+    report.trees.emplace_back();
+    Tree& tree = report.trees.back();
+    st.tree = &tree;
+
+    ActiveNode root;
+    root.tree_node = 0;
+    {
+      PhaseScope phase(dev_, report.modeled.gradients);
+      root.sum_g = prim::reduce_sum<double>(dev_, st.grad, "root_sum_g");
+      root.sum_h = prim::reduce_sum<double>(dev_, st.hess, "root_sum_h");
+    }
+    root.count = st.n_inst;
+    st.active.assign(1, root);
+
+    for (int level = 0; level < param_.depth && !st.active.empty(); ++level) {
+      std::vector<DeviceBuffer<double>> interleaved;
+      if (param_.dense_layout) interleaved = dense_node_interleaving(st);
+
+      std::vector<BestSplit> best;
+      {
+        PhaseScope phase(dev_, report.modeled.find_split);
+        best = st.rle ? detail::find_splits_rle(st)
+                      : detail::find_splits_sparse(st);
+      }
+
+      // Host-side split decisions (Algorithm 1 lines 14-23).
+      LevelPlan plan;
+      plan.per_slot.resize(st.active.size());
+      for (std::size_t s = 0; s < st.active.size(); ++s) {
+        const ActiveNode& node = st.active[s];
+        const BestSplit& b = best[s];
+        auto& tn = tree.node(node.tree_node);
+        tn.n_instances = node.count;
+        tn.sum_g = node.sum_g;
+        tn.sum_h = node.sum_h;
+        if (b.valid && b.gain > param_.gamma) {
+          const auto [l, r] =
+              tree.split(node.tree_node, b.attr, b.split_value,
+                         b.default_left, b.gain);
+          auto& e = plan.per_slot[s];
+          e.split = true;
+          e.chosen_seg = b.seg;
+          e.best_pos = b.pos;
+          e.left_id = l;
+          e.right_id = r;
+          e.default_left = b.default_left;
+          ActiveNode left = b.left;
+          left.tree_node = l;
+          ActiveNode right = b.right;
+          right.tree_node = r;
+          plan.next_active.push_back(left);
+          plan.next_active.push_back(right);
+        } else {
+          finalize_leaf(st, node);
+        }
+      }
+      if (plan.next_active.empty()) {
+        st.active.clear();
+        break;
+      }
+      plan.next_slot_of_tree.assign(static_cast<std::size_t>(tree.n_nodes()),
+                                    -1);
+      for (std::size_t k = 0; k < plan.next_active.size(); ++k) {
+        plan.next_slot_of_tree[static_cast<std::size_t>(
+            plan.next_active[k].tree_node)] = static_cast<std::int32_t>(k);
+      }
+
+      {
+        PhaseScope phase(dev_, report.modeled.split_node);
+        if (st.rle) {
+          detail::apply_splits_rle(st, plan);
+        } else {
+          detail::apply_splits_sparse(st, plan);
+        }
+      }
+      st.active = std::move(plan.next_active);
+    }
+
+    // Depth limit reached: remaining active nodes become leaves.
+    for (const ActiveNode& node : st.active) finalize_leaf(st, node);
+    st.active.clear();
+
+    if (on_tree && !on_tree(t, report.trees)) break;
+  }
+
+  // Fold the last tree into the scores and return them.
+  {
+    PhaseScope phase(dev_, report.modeled.gradients);
+    if (param_.use_smart_gd) {
+      update_predictions_smart(st, report.trees.back());
+    } else {
+      update_predictions_naive(st, report.trees.back());
+    }
+  }
+  const auto final_pred = dev_.to_host(st.y_pred);
+  report.train_scores.assign(final_pred.begin(), final_pred.end());
+
+  report.peak_device_bytes = dev_.allocator().peak();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+}  // namespace gbdt

@@ -1,0 +1,191 @@
+// Internal shared state of the GPU-GBDT trainer.  Not part of the public
+// API — include core/trainer.h instead.
+//
+// The trainer keeps two copies of the attribute lists: the *original*
+// root-level layout (built once per dataset, reused by every tree, as the
+// paper notes for RLE: "the compressed data can be used ... the number of
+// times equals to the number of trees"), and the *working* copy that gets
+// partitioned as the current tree grows.
+//
+// Working layout invariants:
+//  - the element domain is grouped into (active-node-slot, attribute)
+//    segments, slot-major: segment s = slot * n_attr + attr;
+//  - values are sorted descending inside each segment;
+//  - instances absent from a segment have a missing value for that attribute
+//    in that node;
+//  - in RLE mode the per-element value array is replaced by runs
+//    (run_values / run_starts / run_seg_offsets) while inst stays
+//    per-element.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/loss.h"
+#include "core/param.h"
+#include "core/tree.h"
+#include "device/device_context.h"
+
+namespace gbdt::detail {
+
+/// Fused (g, h) pair scanned in one pass, like the float2/double2 loads real
+/// GPU GBDT implementations use.  Addition is component-wise, so the fused
+/// scan is bit-identical to two separate scans with the same association.
+struct GHPair {
+  double g = 0.0;
+  double h = 0.0;
+
+  GHPair& operator+=(const GHPair& o) {
+    g += o.g;
+    h += o.h;
+    return *this;
+  }
+  friend GHPair operator+(GHPair a, const GHPair& b) { return a += b; }
+  friend bool operator==(const GHPair&, const GHPair&) = default;
+};
+
+/// An active (splittable) node of the level currently being processed.
+struct ActiveNode {
+  std::int32_t tree_node = 0;
+  double sum_g = 0.0;
+  double sum_h = 0.0;
+  std::int64_t count = 0;
+};
+
+/// Result of the find-split phase for one active node.
+struct BestSplit {
+  bool valid = false;          // a split with gain > gamma exists
+  double gain = 0.0;
+  std::int32_t attr = -1;
+  float split_value = 0.f;     // smallest value on the high (left) side
+  bool default_left = false;   // direction for missing values
+  std::int64_t seg = -1;       // global segment index of the winning attr
+  std::int64_t pos = -1;       // element index (sparse) / run index (RLE)
+  ActiveNode left;             // stats of the would-be children
+  ActiveNode right;
+};
+
+/// Host-side plan of one level's node splits (filled by the orchestrator
+/// from BestSplit + tree bookkeeping, consumed by apply_splits_*).
+struct LevelPlan {
+  struct Entry {
+    bool split = false;
+    std::int64_t chosen_seg = -1;
+    std::int64_t best_pos = -1;
+    std::int32_t left_id = -1;    // tree node ids of the children
+    std::int32_t right_id = -1;
+    bool default_left = false;
+  };
+  std::vector<Entry> per_slot;             // indexed by active slot
+  std::vector<ActiveNode> next_active;     // children, in slot order
+  /// next_slot_of_tree[tree_node] = slot in next_active, or -1.
+  std::vector<std::int32_t> next_slot_of_tree;
+};
+
+struct TrainState {
+  TrainState(device::Device& d, const GBDTParam& p, const Loss& l)
+      : dev(d), param(p), loss(l) {}
+
+  device::Device& dev;
+  const GBDTParam& param;
+  const Loss& loss;
+
+  std::int64_t n_inst = 0;
+  std::int64_t n_attr = 0;
+
+  // ---- original (root-level) layout, built once -------------------------
+  device::DeviceBuffer<float> orig_values;           // empty in RLE mode
+  device::DeviceBuffer<std::int32_t> orig_inst;
+  device::DeviceBuffer<std::int64_t> orig_seg_offsets;  // [n_attr + 1]
+  bool rle = false;
+  device::DeviceBuffer<float> orig_run_values;
+  device::DeviceBuffer<std::int64_t> orig_run_starts;
+  device::DeviceBuffer<std::int64_t> orig_run_seg_offsets;
+  std::int64_t orig_n_runs = 0;
+  double rle_ratio = 1.0;
+
+  // ---- working copy, re-initialised per tree ----------------------------
+  device::DeviceBuffer<float> values;
+  device::DeviceBuffer<std::int32_t> inst;
+  device::DeviceBuffer<std::int64_t> seg_offsets;    // [n_seg + 1]
+  std::int64_t n_elems = 0;
+  device::DeviceBuffer<float> run_values;
+  device::DeviceBuffer<std::int64_t> run_starts;     // [n_runs + 1]
+  device::DeviceBuffer<std::int64_t> run_seg_offsets;
+  std::int64_t n_runs = 0;
+
+  // Element->segment (or run->segment) keys, written by the find phase and
+  // reused by the apply phase of the same level.
+  device::DeviceBuffer<std::int32_t> keys;
+  device::DeviceBuffer<std::int32_t> run_keys;
+
+  // ---- per-instance state ------------------------------------------------
+  device::DeviceBuffer<double> grad;
+  device::DeviceBuffer<double> hess;
+  device::DeviceBuffer<float> y_pred;
+  device::DeviceBuffer<std::int32_t> node_of;  // tree node id per instance
+
+  // ---- naive-gradient mode (SmartGD off) ---------------------------------
+  device::DeviceBuffer<std::int64_t> csr_offsets;
+  device::DeviceBuffer<std::int32_t> csr_attrs;
+  device::DeviceBuffer<float> csr_values;
+
+  // ---- per-level host state ----------------------------------------------
+  std::vector<ActiveNode> active;
+  Tree* tree = nullptr;
+
+  [[nodiscard]] std::int64_t n_active() const {
+    return static_cast<std::int64_t>(active.size());
+  }
+  [[nodiscard]] std::int64_t n_seg() const { return n_active() * n_attr; }
+  [[nodiscard]] std::int64_t segs_per_block(std::int64_t n_segments) const;
+  [[nodiscard]] std::int64_t current_tree_nodes() const {
+    return tree->n_nodes();
+  }
+};
+
+/// Per-slot lookup tables uploaded to the device once per level.
+struct SlotTables {
+  device::DeviceBuffer<double> node_g;
+  device::DeviceBuffer<double> node_h;
+  device::DeviceBuffer<std::int64_t> node_cnt;
+};
+
+[[nodiscard]] SlotTables upload_slot_tables(TrainState& st);
+
+/// Sparse (uncompressed) path.  apply_splits_sparse = mark_sides +
+/// partition; the halves are exposed separately because the multi-GPU
+/// trainer synchronises the instance->node map between them.
+[[nodiscard]] std::vector<BestSplit> find_splits_sparse(TrainState& st);
+void apply_mark_sides_sparse(TrainState& st, const LevelPlan& plan);
+void apply_partition_sparse(TrainState& st, const LevelPlan& plan);
+void apply_splits_sparse(TrainState& st, const LevelPlan& plan);
+
+/// Per-instance gradient/prediction kernels (shared with the multi-GPU
+/// trainer, which runs them replicated on every shard).
+void compute_gradients(TrainState& st,
+                       const device::DeviceBuffer<float>& labels);
+void update_predictions_smart(TrainState& st, const Tree& tree);
+
+/// Restores the working attribute-list layout from the root-level
+/// originals (start of every tree).
+void reset_working_layout(TrainState& st);
+
+/// RLE path.
+[[nodiscard]] std::vector<BestSplit> find_splits_rle(TrainState& st);
+void apply_splits_rle(TrainState& st, const LevelPlan& plan);
+
+/// Shared by both paths: updates node_of for every instance of a splitting
+/// node to the default child, then lets the path-specific element/run kernel
+/// overwrite the exact side for present instances.
+void assign_default_children(TrainState& st, const LevelPlan& plan);
+
+/// Uploads a small host vector as a device buffer (per-level lookup tables;
+/// PCI-e accounted).
+template <typename T>
+[[nodiscard]] device::DeviceBuffer<T> upload(device::Device& dev,
+                                             const std::vector<T>& host) {
+  return dev.to_device<T>(host);
+}
+
+}  // namespace gbdt::detail

@@ -1,0 +1,741 @@
+// RLE-path find-split and node-split phases (paper Section III-C).
+//
+// Candidate split points are RLE elements (runs), not individual attribute
+// values: the per-run aggregated derivatives g-breve / h-breve (Figure 5)
+// feed the same segmented-scan + gain machinery, the duplicated-split-point
+// problem disappears by construction, and nodes are split either by the
+// Directly-Split-RLE technique (Figure 7: pre-allocate two children per run,
+// compact zero-length runs by prefix sum) or by the decompress - partition -
+// recompress fallback (Figure 6).
+#include <vector>
+
+#include "core/trainer_detail.h"
+#include "primitives/partition.h"
+#include "primitives/scan.h"
+#include "primitives/segmented.h"
+#include "primitives/transform.h"
+#include "rle/rle.h"
+
+namespace gbdt::detail {
+
+using device::BlockCtx;
+using device::Device;
+using device::DeviceBuffer;
+using prim::elems_in_block;
+using prim::kBlockDim;
+
+namespace {
+
+/// Per-run aggregated first/second derivatives (paper Figure 5): the
+/// gradients of all instances sharing the run's attribute value are added.
+void aggregate_run_gradients(TrainState& st, DeviceBuffer<GHPair>& rgh) {
+  const std::int64_t n_runs = st.n_runs;
+  auto starts = st.run_starts.span();
+  auto inst = st.inst.span();
+  auto g = st.grad.span();
+  auto h = st.hess.span();
+  auto out = rgh.span();
+  st.dev.launch("rle_aggregate_grad", device::grid_for(n_runs, kBlockDim),
+                kBlockDim, [&](BlockCtx& b) {
+                  std::uint64_t touched = 0;
+                  b.for_each_thread([&](std::int64_t r) {
+                    if (r >= n_runs) return;
+                    const auto u = static_cast<std::size_t>(r);
+                    GHPair sum;
+                    for (std::int64_t e = starts[u]; e < starts[u + 1]; ++e) {
+                      const auto x = static_cast<std::size_t>(
+                          inst[static_cast<std::size_t>(e)]);
+                      sum += GHPair{g[x], h[x]};
+                      ++touched;
+                    }
+                    out[u] = sum;
+                  });
+                  b.work(touched);
+                  b.mem_coalesced(touched * 4 +
+                                  elems_in_block(b, n_runs) * 32);
+                  b.mem_irregular(touched * 2);  // grad/hess gathers
+                });
+}
+
+}  // namespace
+
+std::vector<BestSplit> find_splits_rle(TrainState& st) {
+  auto& dev = st.dev;
+  const std::int64_t n_runs = st.n_runs;
+  const std::int64_t n_seg = st.n_seg();
+  const std::int64_t n_attr = st.n_attr;
+  const double lambda = st.param.lambda;
+  std::vector<BestSplit> out(st.active.size());
+  if (n_runs == 0) return out;
+
+  st.run_keys = dev.alloc<std::int32_t>(static_cast<std::size_t>(n_runs));
+  prim::set_keys(dev, st.run_seg_offsets, st.run_keys,
+                 st.segs_per_block(n_seg));
+
+  auto rgh = dev.alloc<GHPair>(static_cast<std::size_t>(n_runs));
+  aggregate_run_gradients(st, rgh);
+
+  auto ghl = dev.alloc<GHPair>(static_cast<std::size_t>(n_runs));
+  prim::segmented_inclusive_scan_by_key(dev, rgh, st.run_keys, ghl,
+                                        "rle_seg_scan_gh");
+  rgh.free();
+
+  // Present totals per segment (value of the scan at the last run).
+  auto seg_tot = dev.alloc<GHPair>(static_cast<std::size_t>(n_seg));
+  {
+    auto roff = st.run_seg_offsets.span();
+    auto scan = ghl.span();
+    auto tot = seg_tot.span();
+    dev.launch("rle_seg_present_totals", device::grid_for(n_seg, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t s) {
+                   if (s >= n_seg) return;
+                   const auto u = static_cast<std::size_t>(s);
+                   const std::int64_t hi = roff[u + 1];
+                   const bool empty = roff[u] == hi;
+                   tot[u] = empty ? GHPair{}
+                                  : scan[static_cast<std::size_t>(hi - 1)];
+                 });
+                 const auto m = elems_in_block(b, n_seg);
+                 b.mem_coalesced(m * 32);
+                 b.mem_irregular(m);
+               });
+  }
+
+  auto tables = upload_slot_tables(st);
+
+  // Gain per run: no duplicate suppression needed — adjacent runs inside a
+  // segment always carry distinct values.
+  auto gains = dev.alloc<double>(static_cast<std::size_t>(n_runs));
+  auto dirs = dev.alloc<std::uint8_t>(static_cast<std::size_t>(n_runs));
+  {
+    auto k = st.run_keys.span();
+    auto roff = st.run_seg_offsets.span();
+    auto starts = st.run_starts.span();
+    auto scan = ghl.span();
+    auto tot = seg_tot.span();
+    auto ng = tables.node_g.span();
+    auto nh = tables.node_h.span();
+    auto nc = tables.node_cnt.span();
+    auto gn = gains.span();
+    auto dr = dirs.span();
+    dev.launch("rle_compute_gains", device::grid_for(n_runs, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t r) {
+                   if (r >= n_runs) return;
+                   const auto u = static_cast<std::size_t>(r);
+                   const auto seg = static_cast<std::size_t>(k[u]);
+                   const std::int64_t run_lo = roff[seg];
+                   const std::int64_t run_hi = roff[seg + 1];
+                   const std::int64_t elem_lo =
+                       starts[static_cast<std::size_t>(run_lo)];
+                   const std::int64_t elem_hi =
+                       starts[static_cast<std::size_t>(run_hi)];
+                   const auto slot = static_cast<std::size_t>(
+                       static_cast<std::int64_t>(seg) / n_attr);
+                   const double node_g = ng[slot];
+                   const double node_h = nh[slot];
+                   const std::int64_t cnt = nc[slot];
+                   const std::int64_t seg_len = elem_hi - elem_lo;
+                   const std::int64_t miss = cnt - seg_len;
+                   const double miss_g = node_g - tot[seg].g;
+                   const double miss_h = node_h - tot[seg].h;
+                   const std::int64_t pos = starts[u + 1] - elem_lo;
+                   const double glp = scan[u].g;
+                   const double hlp = scan[u].h;
+
+                   double gain_r = 0.0;
+                   if (pos > 0 && cnt - pos > 0) {
+                     gain_r = split_gain(glp, hlp, node_g - glp, node_h - hlp,
+                                         lambda);
+                   }
+                   // With no missing instances the default direction is
+                   // irrelevant; evaluating only one keeps it deterministic
+                   // across the sparse/RLE/CPU paths.
+                   double gain_l = 0.0;
+                   if (miss > 0 && seg_len - pos > 0) {
+                     gain_l = split_gain(glp + miss_g, hlp + miss_h,
+                                         node_g - glp - miss_g,
+                                         node_h - hlp - miss_h, lambda);
+                   }
+                   if (gain_l > gain_r) {
+                     gn[u] = gain_l;
+                     dr[u] = 1;
+                   } else {
+                     gn[u] = gain_r;
+                     dr[u] = 0;
+                   }
+                 });
+                 const auto m = elems_in_block(b, n_runs);
+                 b.mem_coalesced(m * 49);
+                 b.mem_irregular(m);  // seg-table lookups
+                 b.flop(m * 16);
+               });
+  }
+
+  auto best_seg_val = dev.alloc<double>(static_cast<std::size_t>(n_seg));
+  auto best_seg_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
+  prim::segmented_arg_max(dev, gains, st.run_seg_offsets, best_seg_val,
+                          best_seg_idx, st.segs_per_block(n_seg),
+                          "rle_seg_best_gain");
+
+  std::vector<std::int64_t> node_offs(st.active.size() + 1);
+  for (std::size_t s = 0; s <= st.active.size(); ++s) {
+    node_offs[s] = static_cast<std::int64_t>(s) * n_attr;
+  }
+  auto d_node_offs = upload(dev, node_offs);
+  auto best_node_val = dev.alloc<double>(st.active.size());
+  auto best_node_idx = dev.alloc<std::int64_t>(st.active.size());
+  prim::segmented_arg_max(dev, best_seg_val, d_node_offs, best_node_val,
+                          best_node_idx, 1, "rle_node_best_gain");
+
+  for (std::size_t s = 0; s < st.active.size(); ++s) {
+    BestSplit& b = out[s];
+    const std::int64_t seg = best_node_idx[s];
+    if (seg < 0) continue;
+    const std::int64_t pos = best_seg_idx[static_cast<std::size_t>(seg)];
+    if (pos < 0) continue;
+    const double gain = best_node_val[s];
+    if (!(gain > 0.0)) continue;
+
+    const ActiveNode& node = st.active[s];
+    const auto useg = static_cast<std::size_t>(seg);
+    const auto upos = static_cast<std::size_t>(pos);
+    b.valid = true;
+    b.gain = gain;
+    b.seg = seg;
+    b.pos = pos;
+    b.attr = static_cast<std::int32_t>(seg % n_attr);
+    b.split_value = st.run_values[upos];
+    b.default_left = dirs[upos] != 0;
+
+    const std::int64_t run_lo = st.run_seg_offsets[useg];
+    const std::int64_t run_hi = st.run_seg_offsets[useg + 1];
+    const std::int64_t elem_lo =
+        st.run_starts[static_cast<std::size_t>(run_lo)];
+    const std::int64_t elem_hi =
+        st.run_starts[static_cast<std::size_t>(run_hi)];
+    const std::int64_t present_left = st.run_starts[upos + 1] - elem_lo;
+    const std::int64_t seg_len = elem_hi - elem_lo;
+    const std::int64_t miss = node.count - seg_len;
+    double left_g = ghl[upos].g;
+    double left_h = ghl[upos].h;
+    std::int64_t left_cnt = present_left;
+    if (b.default_left) {
+      left_g += node.sum_g - seg_tot[useg].g;
+      left_h += node.sum_h - seg_tot[useg].h;
+      left_cnt += miss;
+    }
+    b.left.sum_g = left_g;
+    b.left.sum_h = left_h;
+    b.left.count = left_cnt;
+    b.right.sum_g = node.sum_g - left_g;
+    b.right.sum_h = node.sum_h - left_h;
+    b.right.count = node.count - left_cnt;
+  }
+  return out;
+}
+
+namespace {
+
+/// Exact side assignment through the runs of the winning segments: the
+/// sorted prefix of runs up to the split position goes left.
+void assign_exact_side_rle(TrainState& st,
+                           const DeviceBuffer<std::int64_t>& d_chosen,
+                           const DeviceBuffer<std::int64_t>& d_pos,
+                           const DeviceBuffer<std::int32_t>& d_left,
+                           const DeviceBuffer<std::int32_t>& d_right) {
+  auto& dev = st.dev;
+  const std::int64_t n_runs = st.n_runs;
+  const std::int64_t n_attr = st.n_attr;
+  {
+    auto k = st.run_keys.span();
+    auto starts = st.run_starts.span();
+    auto inst = st.inst.span();
+    auto node_of = st.node_of.span();
+    auto cs = d_chosen.span();
+    auto bp = d_pos.span();
+    auto li = d_left.span();
+    auto ri = d_right.span();
+    dev.launch("rle_assign_exact_side", device::grid_for(n_runs, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 std::uint64_t writes = 0;
+                 b.for_each_thread([&](std::int64_t r) {
+                   if (r >= n_runs) return;
+                   const auto u = static_cast<std::size_t>(r);
+                   const std::int64_t seg = k[u];
+                   const auto slot = static_cast<std::size_t>(seg / n_attr);
+                   if (cs[slot] != seg) return;
+                   const std::int32_t target =
+                       r <= bp[slot] ? li[slot] : ri[slot];
+                   for (std::int64_t e = starts[u]; e < starts[u + 1]; ++e) {
+                     node_of[static_cast<std::size_t>(
+                         inst[static_cast<std::size_t>(e)])] = target;
+                     ++writes;
+                   }
+                 });
+                 b.work(writes);
+                 b.mem_coalesced(elems_in_block(b, n_runs) * 24 + writes * 4);
+                 b.mem_irregular(writes);
+               });
+  }
+}
+
+/// Child-slot tables of one level, device-resident.
+struct ChildSlotTables {
+  DeviceBuffer<std::int32_t> left_slot;    // per active slot, -1 for leaves
+  DeviceBuffer<std::int32_t> right_slot;
+  DeviceBuffer<std::int32_t> parent_slot;  // per next-level slot
+};
+
+ChildSlotTables build_child_slot_tables(TrainState& st,
+                                        const LevelPlan& plan) {
+  const auto n_slots = st.active.size();
+  const auto n_new_slots = plan.next_active.size();
+  std::vector<std::int32_t> left_slot(n_slots, -1), right_slot(n_slots, -1);
+  std::vector<std::int32_t> parent_slot(n_new_slots, -1);
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    const auto& e = plan.per_slot[s];
+    if (!e.split) continue;
+    left_slot[s] = plan.next_slot_of_tree[static_cast<std::size_t>(e.left_id)];
+    right_slot[s] =
+        plan.next_slot_of_tree[static_cast<std::size_t>(e.right_id)];
+    parent_slot[static_cast<std::size_t>(left_slot[s])] =
+        static_cast<std::int32_t>(s);
+    parent_slot[static_cast<std::size_t>(right_slot[s])] =
+        static_cast<std::int32_t>(s);
+  }
+  ChildSlotTables t;
+  t.left_slot = upload(st.dev, left_slot);
+  t.right_slot = upload(st.dev, right_slot);
+  t.parent_slot = upload(st.dev, parent_slot);
+  return t;
+}
+
+/// Per-element partition ids and the order-preserving partition of the
+/// (uncompressed) instance ids.  Returns the new element-domain segment
+/// offsets; st.inst is replaced.  Must run after the exact-side assignment
+/// and after any consumer of the *old* element domain (e.g. the child-length
+/// counting of Directly-Split-RLE).
+/// When `slots` is non-null (Directly-Split-RLE), the same pass also counts
+/// each run's left/right child lengths (paper Figure 7 middle row) into
+/// len_l/len_r — the counting must see the *old* element domain, and fusing
+/// it here avoids a second irregular sweep over the instance ids.
+DeviceBuffer<std::int64_t> partition_instances_rle(
+    TrainState& st, const LevelPlan& plan,
+    DeviceBuffer<std::int64_t>& scatter, const ChildSlotTables* slots,
+    DeviceBuffer<std::int64_t>* len_l, DeviceBuffer<std::int64_t>* len_r) {
+  auto& dev = st.dev;
+  const std::int64_t n_runs = st.n_runs;
+  const std::int64_t n = st.n_elems;
+  const std::int64_t n_attr = st.n_attr;
+
+  // Partition ids in the element domain (attribute comes from the run).
+  const auto n_new_slots = static_cast<std::int64_t>(plan.next_active.size());
+  const std::int64_t n_parts = n_new_slots * n_attr;
+  auto d_next_slot = upload(dev, plan.next_slot_of_tree);
+  auto part_ids = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
+  {
+    auto k = st.run_keys.span();
+    auto starts = st.run_starts.span();
+    auto inst = st.inst.span();
+    auto node_of = st.node_of.span();
+    auto nsl = d_next_slot.span();
+    auto p = part_ids.span();
+    const bool count_children = slots != nullptr;
+    auto ls = count_children ? slots->left_slot.span()
+                             : std::span<const std::int32_t>{};
+    auto rs = count_children ? slots->right_slot.span()
+                             : std::span<const std::int32_t>{};
+    auto ll = count_children ? len_l->span() : std::span<std::int64_t>{};
+    auto lr = count_children ? len_r->span() : std::span<std::int64_t>{};
+    dev.launch("rle_compute_part_ids", device::grid_for(n_runs, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 std::uint64_t touched = 0;
+                 b.for_each_thread([&](std::int64_t r) {
+                   if (r >= n_runs) return;
+                   const auto u = static_cast<std::size_t>(r);
+                   const auto old_slot = static_cast<std::size_t>(k[u] / n_attr);
+                   const std::int32_t attr =
+                       static_cast<std::int32_t>(k[u] % n_attr);
+                   std::int64_t cl = 0, cr = 0;
+                   for (std::int64_t e = starts[u]; e < starts[u + 1]; ++e) {
+                     const auto eu = static_cast<std::size_t>(e);
+                     const std::int32_t ns =
+                         nsl[static_cast<std::size_t>(node_of[static_cast<std::size_t>(inst[eu])])];
+                     p[eu] = ns < 0 ? -1
+                                    : static_cast<std::int32_t>(
+                                          ns * n_attr + attr);
+                     if (count_children) {
+                       cl += ns == ls[old_slot];
+                       cr += ns == rs[old_slot];
+                     }
+                     ++touched;
+                   }
+                   if (count_children) {
+                     ll[u] = cl;
+                     lr[u] = cr;
+                   }
+                 });
+                 b.work(touched);
+                 b.mem_coalesced(touched * 8 + elems_in_block(b, n_runs) * 24);
+                 b.mem_irregular(touched);
+               });
+  }
+
+  const auto pplan = prim::plan_partition(
+      n, n_parts, st.param.partition_counter_budget,
+      st.param.use_custom_idxcomp_workload);
+  auto new_offsets =
+      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_parts) + 1);
+  prim::histogram_partition(dev, part_ids, n_parts, scatter, new_offsets,
+                            pplan);
+  const std::int64_t new_n = new_offsets[static_cast<std::size_t>(n_parts)];
+
+  auto new_inst = dev.alloc<std::int32_t>(static_cast<std::size_t>(new_n));
+  {
+    auto inst = st.inst.span();
+    auto sc = scatter.span();
+    auto ni = new_inst.span();
+    dev.launch("rle_scatter_inst", device::grid_for(n, kBlockDim), kBlockDim,
+               [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t e) {
+                   if (e >= n) return;
+                   const auto u = static_cast<std::size_t>(e);
+                   if (sc[u] >= 0) {
+                     ni[static_cast<std::size_t>(sc[u])] = inst[u];
+                   }
+                 });
+                 const auto m = elems_in_block(b, n);
+                 b.mem_coalesced(m * 12);
+                 b.mem_irregular(m / 4 + 1);
+               });
+  }
+  st.inst = std::move(new_inst);
+  st.n_elems = new_n;
+  return new_offsets;
+}
+
+/// Directly-Split-RLE (paper Figure 7): every run of a splitting node
+/// pre-allocates a left and a right child run with the precomputed child
+/// lengths; zero-length runs are removed by prefix-sum compaction.
+void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
+                       const DeviceBuffer<std::int64_t>& len_l,
+                       const DeviceBuffer<std::int64_t>& len_r,
+                       std::int64_t n_new_slots,
+                       DeviceBuffer<std::int64_t>& new_elem_offsets) {
+  auto& dev = st.dev;
+  const std::int64_t n_runs = st.n_runs;
+  const std::int64_t n_attr = st.n_attr;
+  const std::int64_t n_new_seg = n_new_slots * n_attr;
+  const auto& d_left_slot = slots.left_slot;
+  const auto& d_right_slot = slots.right_slot;
+  const auto& d_parent_slot = slots.parent_slot;
+
+  // Candidate layout: for each new segment, one candidate slot per run of
+  // the parent segment.
+  auto cand_counts =
+      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg));
+  {
+    auto roff = st.run_seg_offsets.span();
+    auto ps = d_parent_slot.span();
+    auto cc = cand_counts.span();
+    dev.launch("rle_cand_counts", device::grid_for(n_new_seg, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t nseg) {
+                   if (nseg >= n_new_seg) return;
+                   const auto u = static_cast<std::size_t>(nseg);
+                   const std::int32_t parent =
+                       ps[static_cast<std::size_t>(nseg / n_attr)];
+                   const auto pseg = static_cast<std::size_t>(
+                       static_cast<std::int64_t>(parent) * n_attr +
+                       nseg % n_attr);
+                   cc[u] = roff[pseg + 1] - roff[pseg];
+                 });
+                 const auto m = elems_in_block(b, n_new_seg);
+                 b.mem_coalesced(m * 8);
+                 b.mem_irregular(m);
+               });
+  }
+  auto cand_base =
+      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg));
+  prim::exclusive_scan(dev, cand_counts, cand_base, "rle_cand_base_scan");
+  const std::int64_t total_cand =
+      n_new_seg == 0 ? 0
+                     : cand_base[static_cast<std::size_t>(n_new_seg - 1)] +
+                           cand_counts[static_cast<std::size_t>(n_new_seg - 1)];
+
+  // Pre-allocate the two child runs of every run (Figure 7 middle row).
+  auto cand_len = dev.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
+  auto cand_val = dev.alloc<float>(static_cast<std::size_t>(total_cand));
+  prim::fill(dev, cand_len, std::int64_t{0});
+  {
+    auto k = st.run_keys.span();
+    auto roff = st.run_seg_offsets.span();
+    auto rv = st.run_values.span();
+    auto ls = d_left_slot.span();
+    auto rs = d_right_slot.span();
+    auto ll = len_l.span();
+    auto lr = len_r.span();
+    auto cb = cand_base.span();
+    auto cl = cand_len.span();
+    auto cv = cand_val.span();
+    dev.launch("rle_emit_candidates", device::grid_for(n_runs, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t r) {
+                   if (r >= n_runs) return;
+                   const auto u = static_cast<std::size_t>(r);
+                   const std::int64_t seg = k[u];
+                   const auto slot = static_cast<std::size_t>(seg / n_attr);
+                   if (ls[slot] < 0) return;  // leaf: runs dropped
+                   const std::int64_t attr = seg % n_attr;
+                   const std::int64_t r_local =
+                       r - roff[static_cast<std::size_t>(seg)];
+                   const auto lseg = static_cast<std::size_t>(
+                       static_cast<std::int64_t>(ls[slot]) * n_attr + attr);
+                   const auto rseg = static_cast<std::size_t>(
+                       static_cast<std::int64_t>(rs[slot]) * n_attr + attr);
+                   const auto lpos =
+                       static_cast<std::size_t>(cb[lseg] + r_local);
+                   const auto rpos =
+                       static_cast<std::size_t>(cb[rseg] + r_local);
+                   cl[lpos] = ll[u];
+                   cv[lpos] = rv[u];
+                   cl[rpos] = lr[u];
+                   cv[rpos] = rv[u];
+                 });
+                 const auto m = elems_in_block(b, n_runs);
+                 b.mem_coalesced(m * 36);
+                 b.mem_irregular(m * 2);  // the two candidate writes
+               });
+  }
+
+  // Remove zero-length runs with a prefix sum (Figure 7 bottom row).
+  auto flags = dev.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
+  {
+    auto cl = cand_len.span();
+    auto f = flags.span();
+    dev.launch("rle_flag_nonzero", device::grid_for(total_cand, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t c) {
+                   if (c < total_cand) {
+                     const auto u = static_cast<std::size_t>(c);
+                     f[u] = cl[u] > 0 ? 1 : 0;
+                   }
+                 });
+                 b.mem_coalesced(elems_in_block(b, total_cand) * 16);
+               });
+  }
+  auto new_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
+  prim::exclusive_scan(dev, flags, new_idx, "rle_compact_scan");
+  const std::int64_t n_new_runs =
+      total_cand == 0
+          ? 0
+          : new_idx[static_cast<std::size_t>(total_cand - 1)] +
+                flags[static_cast<std::size_t>(total_cand - 1)];
+
+  auto new_val = dev.alloc<float>(static_cast<std::size_t>(n_new_runs));
+  auto new_len = dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs));
+  {
+    auto cl = cand_len.span();
+    auto cv = cand_val.span();
+    auto f = flags.span();
+    auto ni = new_idx.span();
+    auto nv = new_val.span();
+    auto nl = new_len.span();
+    dev.launch("rle_compact_runs", device::grid_for(total_cand, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t c) {
+                   if (c >= total_cand) return;
+                   const auto u = static_cast<std::size_t>(c);
+                   if (f[u] != 0) {
+                     const auto dst = static_cast<std::size_t>(ni[u]);
+                     nv[dst] = cv[u];
+                     nl[dst] = cl[u];
+                   }
+                 });
+                 b.mem_coalesced(elems_in_block(b, total_cand) * 40);
+               });
+  }
+
+  // New run starts: exclusive scan of the surviving lengths.
+  auto new_starts =
+      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs) + 1);
+  if (n_new_runs > 0) {
+    auto starts_body =
+        dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs));
+    prim::exclusive_scan(dev, new_len, starts_body, "rle_new_starts_scan");
+    device::DeviceBuffer<std::int64_t>& sb = starts_body;
+    auto src = sb.span();
+    auto dst = new_starts.span();
+    dev.launch("rle_new_starts_copy", device::grid_for(n_new_runs, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t r) {
+                   if (r < n_new_runs) {
+                     dst[static_cast<std::size_t>(r)] =
+                         src[static_cast<std::size_t>(r)];
+                   }
+                 });
+                 b.mem_coalesced(elems_in_block(b, n_new_runs) * 16);
+               });
+    new_starts[static_cast<std::size_t>(n_new_runs)] =
+        new_starts[static_cast<std::size_t>(n_new_runs - 1)] +
+        new_len[static_cast<std::size_t>(n_new_runs - 1)];
+  } else {
+    new_starts[0] = 0;
+  }
+
+  // New segment offsets in the run domain.
+  auto new_seg_off =
+      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg) + 1);
+  {
+    auto cb = cand_base.span();
+    auto ni = new_idx.span();
+    auto so = new_seg_off.span();
+    dev.launch("rle_new_seg_offsets", device::grid_for(n_new_seg + 1, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t s) {
+                   if (s > n_new_seg) return;
+                   const auto u = static_cast<std::size_t>(s);
+                   if (s == n_new_seg) {
+                     so[u] = n_new_runs;
+                   } else {
+                     const std::int64_t base = cb[u];
+                     so[u] = base >= total_cand
+                                 ? n_new_runs
+                                 : ni[static_cast<std::size_t>(base)];
+                   }
+                 });
+                 const auto m = elems_in_block(b, n_new_seg + 1);
+                 b.mem_coalesced(m * 16);
+                 b.mem_irregular(m);
+               });
+  }
+
+  st.run_values = std::move(new_val);
+  st.run_starts = std::move(new_starts);
+  st.run_seg_offsets = std::move(new_seg_off);
+  st.n_runs = n_new_runs;
+  st.seg_offsets = std::move(new_elem_offsets);
+}
+
+/// Decompress -> partition -> recompress fallback (paper Figure 6).  The
+/// repeated (de)compression every level is the cost Directly-Split-RLE
+/// avoids; Figure 9 quantifies the difference.
+void decompress_split_runs(TrainState& st,
+                           DeviceBuffer<std::int64_t>& scatter,
+                           DeviceBuffer<std::int64_t>& new_elem_offsets,
+                           std::int64_t old_n_elems) {
+  auto& dev = st.dev;
+  const std::int64_t n_runs = st.n_runs;
+
+  // Decompress the runs into the (old) element domain.
+  auto old_values = dev.alloc<float>(static_cast<std::size_t>(old_n_elems));
+  {
+    auto rv = st.run_values.span();
+    auto rs = st.run_starts.span();
+    auto o = old_values.span();
+    dev.launch("rle_split_decompress", device::grid_for(n_runs, kBlockDim),
+               kBlockDim, [&](BlockCtx& b) {
+                 std::uint64_t written = 0;
+                 b.for_each_thread([&](std::int64_t r) {
+                   if (r >= n_runs) return;
+                   const auto u = static_cast<std::size_t>(r);
+                   for (std::int64_t e = rs[u]; e < rs[u + 1]; ++e) {
+                     o[static_cast<std::size_t>(e)] = rv[u];
+                   }
+                   written += static_cast<std::uint64_t>(rs[u + 1] - rs[u]);
+                 });
+                 b.work(written);
+                 b.mem_coalesced(written * 4 + elems_in_block(b, n_runs) * 20);
+               });
+  }
+
+  // Partition the decompressed values with the scatter already computed for
+  // the instance ids (same element order).
+  const std::int64_t new_n = st.n_elems;  // updated by partition_instances_rle
+  auto new_values = dev.alloc<float>(static_cast<std::size_t>(new_n));
+  {
+    auto v = old_values.span();
+    auto sc = scatter.span();
+    auto nv = new_values.span();
+    dev.launch("rle_split_scatter_values",
+               device::grid_for(old_n_elems, kBlockDim), kBlockDim,
+               [&](BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t e) {
+                   if (e >= old_n_elems) return;
+                   const auto u = static_cast<std::size_t>(e);
+                   if (sc[u] >= 0) {
+                     nv[static_cast<std::size_t>(sc[u])] = v[u];
+                   }
+                 });
+                 const auto m = elems_in_block(b, old_n_elems);
+                 b.mem_coalesced(m * 12);
+                 b.mem_irregular(m / 4 + 1);
+               });
+  }
+
+  // Recompress per new segment.
+  auto compressed = rle::compress(dev, new_values, new_elem_offsets);
+  st.n_runs = compressed.n_runs;
+  st.run_values = std::move(compressed.values);
+  st.run_starts = std::move(compressed.starts);
+  st.run_seg_offsets = std::move(compressed.seg_offsets);
+  st.seg_offsets = std::move(new_elem_offsets);
+}
+
+}  // namespace
+
+void apply_splits_rle(TrainState& st, const LevelPlan& plan) {
+  auto& dev = st.dev;
+  const auto n_slots = st.active.size();
+  const std::int64_t old_n_elems = st.n_elems;
+
+  assign_default_children(st, plan);
+
+  std::vector<std::int64_t> chosen_seg(n_slots, -1);
+  std::vector<std::int64_t> best_pos(n_slots, -1);
+  std::vector<std::int32_t> left_id(n_slots, -1);
+  std::vector<std::int32_t> right_id(n_slots, -1);
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    const auto& e = plan.per_slot[s];
+    if (!e.split) continue;
+    chosen_seg[s] = e.chosen_seg;
+    best_pos[s] = e.best_pos;
+    left_id[s] = e.left_id;
+    right_id[s] = e.right_id;
+  }
+  auto d_chosen = upload(dev, chosen_seg);
+  auto d_pos = upload(dev, best_pos);
+  auto d_left = upload(dev, left_id);
+  auto d_right = upload(dev, right_id);
+
+  assign_exact_side_rle(st, d_chosen, d_pos, d_left, d_right);
+
+  // Directly-Split-RLE needs the child lengths per run, counted on the old
+  // element domain; the partition pass below counts them on the fly.
+  ChildSlotTables slots;
+  DeviceBuffer<std::int64_t> len_l, len_r;
+  const bool direct = st.param.use_direct_rle_split;
+  if (direct) {
+    slots = build_child_slot_tables(st, plan);
+    len_l = dev.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs));
+    len_r = dev.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs));
+  }
+
+  auto scatter = dev.alloc<std::int64_t>(static_cast<std::size_t>(old_n_elems));
+  auto new_elem_offsets = partition_instances_rle(
+      st, plan, scatter, direct ? &slots : nullptr,
+      direct ? &len_l : nullptr, direct ? &len_r : nullptr);
+
+  if (st.param.use_direct_rle_split) {
+    direct_split_runs(st, slots, len_l, len_r,
+                      static_cast<std::int64_t>(plan.next_active.size()),
+                      new_elem_offsets);
+  } else {
+    decompress_split_runs(st, scatter, new_elem_offsets, old_n_elems);
+  }
+  st.run_keys.free();
+}
+
+}  // namespace gbdt::detail

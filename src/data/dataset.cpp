@@ -1,0 +1,50 @@
+#include "data/dataset.h"
+
+#include <cassert>
+#include <utility>
+
+namespace gbdt::data {
+
+void Dataset::add_instance(std::span<const Entry> entries, float label) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    assert(entries[i].attr >= 0 && entries[i].attr < n_attributes_ &&
+           "entry attribute out of range");
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      assert(entries[i].attr != entries[j].attr && "duplicate attribute");
+    }
+  }
+#endif
+  entries_.insert(entries_.end(), entries.begin(), entries.end());
+  row_offsets_.push_back(static_cast<std::int64_t>(entries_.size()));
+  labels_.push_back(label);
+}
+
+double Dataset::density() const {
+  const double cells =
+      static_cast<double>(n_instances()) * static_cast<double>(n_attributes_);
+  return cells == 0 ? 0.0 : static_cast<double>(n_entries()) / cells;
+}
+
+std::size_t Dataset::sparse_bytes() const {
+  return entries_.size() * sizeof(Entry) +
+         row_offsets_.size() * sizeof(std::int64_t) +
+         labels_.size() * sizeof(float);
+}
+
+std::size_t Dataset::dense_bytes() const {
+  return static_cast<std::size_t>(n_instances()) *
+             static_cast<std::size_t>(n_attributes_) * sizeof(float) +
+         labels_.size() * sizeof(float);
+}
+
+std::pair<Dataset, Dataset> Dataset::split_at(std::int64_t head) const {
+  Dataset a(n_attributes_);
+  Dataset b(n_attributes_);
+  for (std::int64_t i = 0; i < n_instances(); ++i) {
+    (i < head ? a : b).add_instance(instance(i), labels_[static_cast<std::size_t>(i)]);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace gbdt::data

@@ -1,0 +1,73 @@
+// Instance-major sparse training data (the "sparse representation" of paper
+// Table I): each instance stores only its non-missing (attribute, value)
+// pairs, CSR-style, plus a label per instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gbdt::data {
+
+/// One non-missing feature of an instance.
+struct Entry {
+  std::int32_t attr = 0;
+  float value = 0.f;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+/// Sparse instance-major dataset (CSR rows of Entry + labels).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::int64_t n_attributes) : n_attributes_(n_attributes) {}
+
+  /// Appends an instance; entries must have attr in [0, n_attributes) and be
+  /// free of duplicate attributes (checked in debug builds).
+  void add_instance(std::span<const Entry> entries, float label);
+
+  [[nodiscard]] std::int64_t n_instances() const {
+    return static_cast<std::int64_t>(row_offsets_.size()) - 1;
+  }
+  [[nodiscard]] std::int64_t n_attributes() const { return n_attributes_; }
+  [[nodiscard]] std::int64_t n_entries() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  /// Fraction of the dense n x d grid that is present.
+  [[nodiscard]] double density() const;
+
+  [[nodiscard]] std::span<const Entry> instance(std::int64_t i) const {
+    return {entries_.data() + row_offsets_[static_cast<std::size_t>(i)],
+            entries_.data() + row_offsets_[static_cast<std::size_t>(i) + 1]};
+  }
+  [[nodiscard]] const std::vector<float>& labels() const { return labels_; }
+  [[nodiscard]] std::vector<float>& labels() { return labels_; }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] const std::vector<std::int64_t>& row_offsets() const {
+    return row_offsets_;
+  }
+
+  /// Raises n_attributes (e.g. after reading a file with unknown width).
+  void set_n_attributes(std::int64_t d) {
+    if (d > n_attributes_) n_attributes_ = d;
+  }
+
+  /// Bytes of the sparse representation (entries + offsets + labels).
+  [[nodiscard]] std::size_t sparse_bytes() const;
+  /// Bytes a dense n x d float matrix of the same data would need.
+  [[nodiscard]] std::size_t dense_bytes() const;
+
+  /// Splits off the first `head` instances into one dataset and the rest into
+  /// another (train/test split helper; instances keep their order).
+  [[nodiscard]] std::pair<Dataset, Dataset> split_at(std::int64_t head) const;
+
+ private:
+  std::int64_t n_attributes_ = 0;
+  std::vector<std::int64_t> row_offsets_{0};
+  std::vector<Entry> entries_;
+  std::vector<float> labels_;
+};
+
+}  // namespace gbdt::data

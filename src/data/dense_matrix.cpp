@@ -1,0 +1,16 @@
+#include "data/dense_matrix.h"
+
+namespace gbdt::data {
+
+DenseMatrix::DenseMatrix(const Dataset& ds)
+    : n_(ds.n_instances()), d_(ds.n_attributes()) {
+  cells_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(d_),
+                0.f);  // missing -> 0
+  for (std::int64_t i = 0; i < n_; ++i) {
+    for (const auto& e : ds.instance(i)) {
+      cells_[static_cast<std::size_t>(i * d_ + e.attr)] = e.value;
+    }
+  }
+}
+
+}  // namespace gbdt::data

@@ -1,0 +1,89 @@
+#include "data/libsvm_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gbdt::data {
+
+namespace {
+
+[[noreturn]] void fail(std::int64_t line_no, const std::string& what) {
+  throw std::runtime_error("libsvm parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Dataset read_libsvm(std::istream& in) {
+  Dataset ds;
+  std::string line;
+  std::vector<Entry> entries;
+  std::int64_t line_no = 0;
+  std::int64_t max_attr = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ss(line);
+    float label = 0.f;
+    if (!(ss >> label)) continue;  // blank line
+
+    entries.clear();
+    std::string tok;
+    std::int64_t prev_idx = 0;
+    while (ss >> tok) {
+      const auto colon = tok.find(':');
+      if (colon == std::string::npos) fail(line_no, "missing ':' in '" + tok + "'");
+      std::int64_t idx = 0;
+      const auto* first = tok.data();
+      const auto [p, ec] = std::from_chars(first, first + colon, idx);
+      if (ec != std::errc{} || p != first + colon || idx < 1) {
+        fail(line_no, "bad feature index in '" + tok + "'");
+      }
+      if (idx <= prev_idx) fail(line_no, "indices not strictly increasing");
+      prev_idx = idx;
+      float value = 0.f;
+      try {
+        value = std::stof(tok.substr(colon + 1));
+      } catch (const std::exception&) {
+        fail(line_no, "bad feature value in '" + tok + "'");
+      }
+      entries.push_back({static_cast<std::int32_t>(idx - 1), value});
+      if (idx > max_attr) max_attr = idx;
+    }
+    ds.set_n_attributes(max_attr);
+    ds.add_instance(entries, label);
+  }
+  ds.set_n_attributes(max_attr);
+  return ds;
+}
+
+Dataset read_libsvm_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_libsvm(in);
+}
+
+void write_libsvm(const Dataset& ds, std::ostream& out) {
+  out.precision(9);  // float round-trip precision
+  for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+    out << ds.labels()[static_cast<std::size_t>(i)];
+    for (const auto& e : ds.instance(i)) {
+      out << ' ' << (e.attr + 1) << ':' << e.value;
+    }
+    out << '\n';
+  }
+}
+
+void write_libsvm_file(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_libsvm(ds, out);
+}
+
+}  // namespace gbdt::data

@@ -1,0 +1,21 @@
+// LibSVM text format I/O ("label idx:value idx:value ...", 1-based indices),
+// the format of the eight datasets the paper downloads from the LibSVM site.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace gbdt::data {
+
+/// Parses LibSVM text.  Lines may end with comments introduced by '#'.
+/// Indices must be strictly increasing within a line (LibSVM convention);
+/// violations raise std::runtime_error with the offending line number.
+[[nodiscard]] Dataset read_libsvm(std::istream& in);
+[[nodiscard]] Dataset read_libsvm_file(const std::string& path);
+
+void write_libsvm(const Dataset& ds, std::ostream& out);
+void write_libsvm_file(const Dataset& ds, const std::string& path);
+
+}  // namespace gbdt::data

@@ -1,0 +1,37 @@
+#include "device/cost_model.h"
+
+#include <algorithm>
+
+namespace gbdt::device {
+
+double CostModel::kernel_seconds(const KernelStats& s) const {
+  const double launch = cfg_.kernel_launch_us * 1e-6;
+  const double schedule = static_cast<double>(s.blocks) *
+                          cfg_.block_schedule_ns * 1e-9 / cfg_.num_sms;
+
+  double t_compute =
+      static_cast<double>(s.thread_work) / cfg_.compute_throughput();
+  // Load-imbalance bound: the kernel cannot finish before its busiest block.
+  const double busiest =
+      static_cast<double>(s.max_block_work) / cfg_.sm_throughput();
+  t_compute = std::max(t_compute, busiest);
+
+  const double bw = cfg_.mem_bandwidth_gbps * 1e9;
+  const double streaming = static_cast<double>(s.coalesced_bytes) / bw;
+  const double irregular = static_cast<double>(s.irregular_accesses) *
+                           cfg_.irregular_transaction_bytes *
+                           cfg_.irregular_penalty / bw;
+  // Atomics to the same lines serialise; charge a conservative 2 transactions.
+  const double atomics = static_cast<double>(s.atomic_ops) * 2.0 *
+                         cfg_.irregular_transaction_bytes / bw;
+  const double t_memory = streaming + irregular + atomics;
+
+  return launch + schedule + std::max(t_compute, t_memory);
+}
+
+double CostModel::transfer_seconds(std::uint64_t bytes) const {
+  return cfg_.pcie_latency_us * 1e-6 +
+         static_cast<double>(bytes) / (cfg_.pcie_bandwidth_gbps * 1e9);
+}
+
+}  // namespace gbdt::device

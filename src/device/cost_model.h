@@ -1,0 +1,41 @@
+// Converts counted kernel work into modeled seconds.
+//
+// The model is deliberately simple and fully documented so its assumptions
+// can be audited (see DESIGN.md section 6):
+//
+//   t_kernel = launch + schedule + max(t_compute, t_memory)
+//
+//   t_compute = thread_work / compute_throughput, but never below the time
+//               the single busiest block needs on one SM (load imbalance).
+//   t_memory  = coalesced_bytes / BW
+//             + irregular_accesses * transaction_bytes * penalty / BW
+//             + atomic serialisation cost
+//   schedule  = blocks * block_schedule_ns / num_sms
+//
+// The GBDT kernels are memory bound, so the ratios between configurations
+// track bandwidth and irregular-traffic differences, which is exactly the
+// axis on which the paper's optimizations act.
+#pragma once
+
+#include "device/device_config.h"
+#include "device/kernel_stats.h"
+
+namespace gbdt::device {
+
+class CostModel {
+ public:
+  explicit CostModel(DeviceConfig cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] const DeviceConfig& config() const { return cfg_; }
+
+  /// Modeled execution time of one kernel, in seconds (includes launch cost).
+  [[nodiscard]] double kernel_seconds(const KernelStats& s) const;
+
+  /// Modeled time of a host<->device transfer of `bytes`, in seconds.
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes) const;
+
+ private:
+  DeviceConfig cfg_;
+};
+
+}  // namespace gbdt::device

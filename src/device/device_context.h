@@ -1,0 +1,227 @@
+// The simulated device: allocator + kernel launcher + modeled timeline.
+//
+// Usage mirrors CUDA host code:
+//
+//   Device dev(DeviceConfig::titan_x_pascal());
+//   auto buf = dev.to_device<float>(host_values);          // PCI-e modeled
+//   dev.launch("scale", grid_for(n, 256), 256, [&](BlockCtx& b) {
+//     b.for_each_thread([&](std::int64_t i) {
+//       if (i < n) buf[i] *= 2.f;
+//     });
+//     b.mem_coalesced(2 * elems_in_block * sizeof(float));
+//   });
+//   auto out = dev.to_host(buf);
+//
+// Kernel bodies run on the host (optionally across a host thread pool, one
+// logical block at a time) and *count* their work; the CostModel converts
+// counts into modeled device seconds accumulated on the timeline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/cost_model.h"
+#include "device/device_config.h"
+#include "device/device_memory.h"
+#include "device/kernel_stats.h"
+#include "device/thread_pool.h"
+
+namespace gbdt::device {
+
+/// Number of blocks needed to cover n items with block_dim threads.
+[[nodiscard]] constexpr std::int64_t grid_for(std::int64_t n, int block_dim) {
+  return n <= 0 ? 1 : (n + block_dim - 1) / block_dim;
+}
+
+/// Per-block execution context handed to kernel bodies.
+class BlockCtx {
+ public:
+  BlockCtx(std::int64_t block_idx, int block_dim, std::int64_t grid_dim)
+      : block_idx_(block_idx), block_dim_(block_dim), grid_dim_(grid_dim) {
+    stats_.blocks = 1;
+  }
+
+  [[nodiscard]] std::int64_t block_idx() const { return block_idx_; }
+  [[nodiscard]] int block_dim() const { return block_dim_; }
+  [[nodiscard]] std::int64_t grid_dim() const { return grid_dim_; }
+
+  /// Global index of this block's thread `tid` (the usual CUDA formula).
+  [[nodiscard]] std::int64_t global_index(int tid) const {
+    return block_idx_ * block_dim_ + tid;
+  }
+
+  /// Runs f(global_index) for each logical thread of the block and counts one
+  /// work unit per thread.
+  template <typename F>
+  void for_each_thread(F&& f) {
+    for (int t = 0; t < block_dim_; ++t) f(global_index(t));
+    stats_.thread_work += static_cast<std::uint64_t>(block_dim_);
+  }
+
+  /// Extra compute work units (e.g. per-thread loops over several items).
+  void work(std::uint64_t n) { stats_.thread_work += n; }
+  /// Streaming (coalesced) global-memory traffic in bytes.
+  void mem_coalesced(std::uint64_t bytes) { stats_.coalesced_bytes += bytes; }
+  /// Irregular (random) global-memory transactions.
+  void mem_irregular(std::uint64_t n) { stats_.irregular_accesses += n; }
+  /// Global atomic operations.
+  void atomic(std::uint64_t n) { stats_.atomic_ops += n; }
+  /// Floating point operations.
+  void flop(std::uint64_t n) { stats_.flops += n; }
+
+  [[nodiscard]] const KernelStats& stats() const { return stats_; }
+  [[nodiscard]] KernelStats take_stats() {
+    stats_.max_block_work = stats_.thread_work;
+    return stats_;
+  }
+
+ private:
+  std::int64_t block_idx_;
+  int block_dim_;
+  std::int64_t grid_dim_;
+  KernelStats stats_;
+};
+
+/// Aggregate record of one kernel name over the device lifetime.
+struct KernelRecord {
+  std::uint64_t launches = 0;
+  double seconds = 0.0;
+  KernelStats stats;
+};
+
+/// Modeled time accumulated by a Device.
+struct Timeline {
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  std::uint64_t launches = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes_to_device = 0;
+  std::uint64_t bytes_to_host = 0;
+  std::map<std::string, KernelRecord, std::less<>> kernels;
+
+  [[nodiscard]] double total_seconds() const {
+    return kernel_seconds + transfer_seconds;
+  }
+};
+
+class Device {
+ public:
+  /// host_workers: host threads executing blocks (1 = deterministic serial
+  /// execution; modeled time never depends on this).
+  explicit Device(DeviceConfig cfg, unsigned host_workers = 1)
+      : cost_(std::move(cfg)),
+        allocator_(cost_.config().global_mem_bytes),
+        pool_(host_workers) {}
+
+  [[nodiscard]] const DeviceConfig& config() const { return cost_.config(); }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+  [[nodiscard]] DeviceAllocator& allocator() { return allocator_; }
+  [[nodiscard]] const DeviceAllocator& allocator() const { return allocator_; }
+  [[nodiscard]] const Timeline& timeline() const { return timeline_; }
+  [[nodiscard]] double elapsed_seconds() const {
+    return timeline_.total_seconds();
+  }
+
+  void reset_timeline() { timeline_ = Timeline{}; }
+
+  /// Allocates an uninitialised device buffer of n elements of T.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n) {
+    return DeviceBuffer<T>(allocator_, n);
+  }
+
+  /// Launches a kernel: body(BlockCtx&) is invoked once per block.
+  template <typename Body>
+  void launch(std::string_view name, std::int64_t grid_dim, int block_dim,
+              Body&& body) {
+    if (grid_dim <= 0) grid_dim = 1;
+    KernelStats total;
+    if (pool_.worker_count() <= 1 || grid_dim == 1) {
+      for (std::int64_t blk = 0; blk < grid_dim; ++blk) {
+        BlockCtx ctx(blk, block_dim, grid_dim);
+        body(ctx);
+        total += ctx.take_stats();
+      }
+    } else {
+      std::mutex merge_mu;
+      // Chunk blocks so pool dispatch overhead stays small.
+      const std::uint64_t chunks =
+          std::min<std::uint64_t>(grid_dim, 4ull * pool_.worker_count());
+      const std::int64_t per_chunk = (grid_dim + chunks - 1) / chunks;
+      pool_.run_chunks(chunks, [&](std::uint64_t c) {
+        KernelStats local;
+        const std::int64_t lo = static_cast<std::int64_t>(c) * per_chunk;
+        const std::int64_t hi = std::min<std::int64_t>(lo + per_chunk, grid_dim);
+        for (std::int64_t blk = lo; blk < hi; ++blk) {
+          BlockCtx ctx(blk, block_dim, grid_dim);
+          body(ctx);
+          local += ctx.take_stats();
+        }
+        std::lock_guard lk(merge_mu);
+        total += local;
+      });
+    }
+    record_kernel(name, total);
+  }
+
+  // ---- PCI-e modeled transfers -------------------------------------------
+
+  /// Allocates a device buffer and copies host data into it.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> to_device(std::span<const T> host) {
+    DeviceBuffer<T> buf(allocator_, host.size());
+    copy_to_device(host, buf);
+    return buf;
+  }
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> to_device(const std::vector<T>& host) {
+    return to_device(std::span<const T>(host));
+  }
+
+  template <typename T>
+  void copy_to_device(std::span<const T> host, DeviceBuffer<T>& buf) {
+    std::copy(host.begin(), host.end(), buf.data());
+    record_transfer(host.size_bytes(), /*to_device=*/true);
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> to_host(const DeviceBuffer<T>& buf) {
+    std::vector<T> out(buf.span().begin(), buf.span().end());
+    record_transfer(buf.bytes(), /*to_device=*/false);
+    return out;
+  }
+
+ private:
+  void record_kernel(std::string_view name, const KernelStats& s) {
+    const double secs = cost_.kernel_seconds(s);
+    timeline_.kernel_seconds += secs;
+    ++timeline_.launches;
+    auto it = timeline_.kernels.find(name);
+    if (it == timeline_.kernels.end()) {
+      it = timeline_.kernels.emplace(std::string(name), KernelRecord{}).first;
+    }
+    ++it->second.launches;
+    it->second.seconds += secs;
+    it->second.stats += s;
+  }
+
+  void record_transfer(std::uint64_t bytes, bool to_device) {
+    timeline_.transfer_seconds += cost_.transfer_seconds(bytes);
+    ++timeline_.transfers;
+    (to_device ? timeline_.bytes_to_device : timeline_.bytes_to_host) += bytes;
+  }
+
+  CostModel cost_;
+  DeviceAllocator allocator_;
+  ThreadPool pool_;
+  Timeline timeline_;
+};
+
+}  // namespace gbdt::device

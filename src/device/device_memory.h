@@ -1,0 +1,155 @@
+// Capacity-tracked device memory: RAII buffers drawn from a fixed-size pool.
+//
+// The allocator enforces the simulated board's global-memory capacity; a
+// request past the limit throws DeviceOutOfMemory.  This is how the
+// repository reproduces the paper's finding that the dense-representation
+// XGBoost GPU plugin runs out of memory on most datasets while GPU-GBDT (CSC
+// + RLE) does not.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gbdt::device {
+
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t used,
+                    std::size_t capacity)
+      : std::runtime_error(
+            "device out of memory: requested " + std::to_string(requested) +
+            " B with " + std::to_string(used) + "/" +
+            std::to_string(capacity) + " B in use"),
+        requested_(requested),
+        used_(used),
+        capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t requested() const { return requested_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t used_;
+  std::size_t capacity_;
+};
+
+/// Tracks how much of the simulated device memory is in use.
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  DeviceAllocator(const DeviceAllocator&) = delete;
+  DeviceAllocator& operator=(const DeviceAllocator&) = delete;
+
+  void acquire(std::size_t bytes) {
+    if (used_ + bytes > capacity_) {
+      throw DeviceOutOfMemory(bytes, used_, capacity_);
+    }
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+    ++allocations_;
+  }
+
+  void release(std::size_t bytes) noexcept {
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t peak() const { return peak_; }
+  [[nodiscard]] std::size_t allocations() const { return allocations_; }
+  [[nodiscard]] std::size_t available() const { return capacity_ - used_; }
+
+  /// Resets the peak-usage watermark (not the current usage).
+  void reset_peak() { peak_ = used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t allocations_ = 0;
+};
+
+/// RAII array in simulated device memory.
+///
+/// Host code should move data in and out with the Device's PCI-e copy
+/// helpers so the traffic is accounted; kernels receive plain spans.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(DeviceAllocator& alloc, std::size_t n) : alloc_(&alloc) {
+    alloc_->acquire(n * sizeof(T));
+    data_.assign(n, T{});
+  }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : alloc_(o.alloc_), data_(std::move(o.data_)) {
+    o.alloc_ = nullptr;
+    o.data_.clear();
+  }
+
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      free();
+      alloc_ = o.alloc_;
+      data_ = std::move(o.data_);
+      o.alloc_ = nullptr;
+      o.data_.clear();
+    }
+    return *this;
+  }
+
+  ~DeviceBuffer() { free(); }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  [[nodiscard]] std::span<T> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> span() const {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  /// Direct element access for test assertions and host-side setup glue.
+  /// Bulk data movement must go through Device::copy_to_device /
+  /// copy_to_host so PCI-e traffic is modeled.
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  void free() {
+    if (alloc_ != nullptr) {
+      alloc_->release(bytes());
+      alloc_ = nullptr;
+    }
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  /// Shrinks the logical size to n elements, returning memory to the pool.
+  void shrink(std::size_t n) {
+    if (n >= data_.size()) return;
+    const std::size_t freed = (data_.size() - n) * sizeof(T);
+    data_.resize(n);
+    data_.shrink_to_fit();
+    if (alloc_ != nullptr) alloc_->release(freed);
+  }
+
+ private:
+  DeviceAllocator* alloc_ = nullptr;
+  std::vector<T> data_;
+};
+
+}  // namespace gbdt::device

@@ -1,0 +1,86 @@
+#include "device/thread_pool.h"
+
+#include <algorithm>
+
+namespace gbdt::device {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates, so spawn workers-1 helpers.
+  for (unsigned i = 1; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunks(std::uint64_t chunks,
+                            const std::function<void(std::uint64_t)>& fn) {
+  if (chunks == 0) return;
+  if (threads_.empty()) {
+    for (std::uint64_t c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  std::uint64_t my_generation = 0;
+  {
+    std::lock_guard lk(mu_);
+    job_ = &fn;
+    total_chunks_ = chunks;
+    next_chunk_ = 0;
+    done_chunks_ = 0;
+    my_generation = ++generation_;
+  }
+  cv_work_.notify_all();
+  // The calling thread helps drain the chunk queue.
+  for (;;) {
+    std::uint64_t c = 0;
+    {
+      std::lock_guard lk(mu_);
+      if (next_chunk_ >= total_chunks_) break;
+      c = next_chunk_++;
+    }
+    fn(c);
+    {
+      std::lock_guard lk(mu_);
+      ++done_chunks_;
+    }
+  }
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return done_chunks_ == total_chunks_ && generation_ == my_generation;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    const std::function<void(std::uint64_t)>* job = nullptr;
+    std::uint64_t c = 0;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && next_chunk_ < total_chunks_);
+      });
+      if (stop_) return;
+      job = job_;
+      c = next_chunk_++;
+    }
+    (*job)(c);
+    {
+      std::lock_guard lk(mu_);
+      ++done_chunks_;
+      if (done_chunks_ == total_chunks_) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace gbdt::device

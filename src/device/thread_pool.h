@@ -1,0 +1,52 @@
+// Minimal host thread pool used to execute simulated thread blocks.
+//
+// The pool parallelises the *host-side* execution of kernels when the host
+// has spare cores; modeled device time is independent of how many host
+// workers run the blocks.  Kernel bodies must only write to disjoint outputs
+// per block (all primitives in this repository are written that way), so the
+// static block partitioning below is race-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gbdt::device {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads; 0 means hardware concurrency.
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(threads_.size()) + 1;  // + calling thread
+  }
+
+  /// Runs fn(chunk_index) for chunk_index in [0, chunks) across the workers
+  /// and the calling thread; returns when all chunks finished.
+  void run_chunks(std::uint64_t chunks,
+                  const std::function<void(std::uint64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::uint64_t)>* job_ = nullptr;
+  std::uint64_t total_chunks_ = 0;
+  std::uint64_t next_chunk_ = 0;
+  std::uint64_t done_chunks_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gbdt::device

@@ -1,0 +1,384 @@
+#include "multigpu/multi_trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/trainer_detail.h"
+#include "data/csc_matrix.h"
+#include "primitives/reduce.h"
+
+namespace gbdt::multigpu {
+
+using detail::ActiveNode;
+using detail::BestSplit;
+using detail::LevelPlan;
+using detail::TrainState;
+using device::Device;
+
+namespace {
+
+/// One device + its attribute shard.
+struct Shard {
+  std::unique_ptr<Device> dev;
+  std::unique_ptr<TrainState> state;
+  std::int64_t n_local_attrs = 0;
+  double busy_seconds = 0.0;  // accumulated modeled time of this shard
+};
+
+/// Accumulates the max-over-shards modeled time of one parallel step into
+/// the critical path.
+class ParallelStep {
+ public:
+  explicit ParallelStep(std::vector<Shard>& shards, double& critical,
+                        std::vector<double>* per_device = nullptr)
+      : shards_(shards), critical_(critical), per_device_(per_device) {
+    before_.reserve(shards.size());
+    for (auto& s : shards_) before_.push_back(s.dev->elapsed_seconds());
+  }
+  ~ParallelStep() {
+    double slowest = 0.0;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      const double delta = shards_[k].dev->elapsed_seconds() - before_[k];
+      shards_[k].busy_seconds += delta;
+      slowest = std::max(slowest, delta);
+      if (per_device_ != nullptr) (*per_device_)[k] += delta;
+    }
+    critical_ += slowest;
+  }
+  ParallelStep(const ParallelStep&) = delete;
+  ParallelStep& operator=(const ParallelStep&) = delete;
+
+ private:
+  std::vector<Shard>& shards_;
+  double& critical_;
+  std::vector<double>* per_device_;
+  std::vector<double> before_;
+};
+
+}  // namespace
+
+struct MultiGpuTrainer::Impl {
+  device::DeviceConfig cfg;
+  int n_devices;
+  GBDTParam param;
+  Interconnect link;
+  std::unique_ptr<Loss> loss;
+
+  Impl(device::DeviceConfig c, int n, GBDTParam p, Interconnect l)
+      : cfg(std::move(c)), n_devices(n), param(std::move(p)), link(l),
+        loss(make_loss(param.loss)) {
+    if (n_devices < 1) throw std::invalid_argument("need >= 1 device");
+    // The multi-GPU path shards by attribute over the sparse layout.
+    param.use_rle = false;
+    param.force_rle = false;
+  }
+
+  void account_comm(MultiTrainReport& r, std::uint64_t bytes,
+                    int messages) const {
+    r.comm_bytes += bytes;
+    const double secs = messages * link.latency_us * 1e-6 +
+                        static_cast<double>(bytes) / (link.bandwidth_gbps * 1e9);
+    r.comm_seconds += secs;
+    r.modeled_seconds += secs;
+  }
+};
+
+MultiGpuTrainer::MultiGpuTrainer(device::DeviceConfig cfg, int n_devices,
+                                 GBDTParam param, Interconnect link)
+    : impl_(std::make_unique<Impl>(std::move(cfg), n_devices, std::move(param),
+                                   link)) {}
+
+MultiGpuTrainer::~MultiGpuTrainer() = default;
+
+int MultiGpuTrainer::n_devices() const { return impl_->n_devices; }
+
+MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto& impl = *impl_;
+  const GBDTParam& param = impl.param;
+  const int K = impl.n_devices;
+  if (ds.n_instances() == 0) throw std::invalid_argument("empty dataset");
+  if (K > ds.n_attributes()) {
+    throw std::invalid_argument("more devices than attributes");
+  }
+  const std::int64_t n_inst = ds.n_instances();
+
+  MultiTrainReport report;
+  report.base_score = param.base_score;
+  report.device_seconds.assign(static_cast<std::size_t>(K), 0.0);
+
+  // ---- build shards: attribute a lives on device a % K as local a / K ----
+  std::vector<Shard> shards(static_cast<std::size_t>(K));
+  {
+    for (int k = 0; k < K; ++k) {
+      auto& sh = shards[static_cast<std::size_t>(k)];
+      sh.dev = std::make_unique<Device>(impl.cfg);
+      sh.n_local_attrs =
+          (ds.n_attributes() + (K - 1 - k)) / K;  // ceil((d - k) / K)
+      sh.state = std::make_unique<TrainState>(*sh.dev, param, *impl.loss);
+      sh.state->n_inst = n_inst;
+      sh.state->n_attr = sh.n_local_attrs;
+    }
+    // Per-shard datasets with remapped attribute ids.
+    ParallelStep step(shards, report.modeled_seconds);
+    std::vector<data::Entry> row;
+    for (int k = 0; k < K; ++k) {
+      data::Dataset local(shards[static_cast<std::size_t>(k)].n_local_attrs);
+      for (std::int64_t i = 0; i < n_inst; ++i) {
+        row.clear();
+        for (const auto& e : ds.instance(i)) {
+          if (e.attr % K == k) row.push_back({e.attr / K, e.value});
+        }
+        local.add_instance(row, ds.labels()[static_cast<std::size_t>(i)]);
+      }
+      auto& st = *shards[static_cast<std::size_t>(k)].state;
+      auto csc = data::build_csc_device(*shards[static_cast<std::size_t>(k)].dev,
+                                        local);
+      st.orig_values = std::move(csc.values);
+      st.orig_inst = std::move(csc.inst_ids);
+      st.orig_seg_offsets = std::move(csc.col_offsets);
+    }
+  }
+
+  // Replicated per-instance state + labels on every shard.
+  std::vector<device::DeviceBuffer<float>> labels(static_cast<std::size_t>(K));
+  {
+    ParallelStep step(shards, report.modeled_seconds);
+    for (int k = 0; k < K; ++k) {
+      auto& sh = shards[static_cast<std::size_t>(k)];
+      auto& st = *sh.state;
+      labels[static_cast<std::size_t>(k)] =
+          sh.dev->to_device<float>(ds.labels());
+      st.grad = sh.dev->alloc<double>(static_cast<std::size_t>(n_inst));
+      st.hess = sh.dev->alloc<double>(static_cast<std::size_t>(n_inst));
+      st.y_pred = sh.dev->alloc<float>(static_cast<std::size_t>(n_inst));
+      st.node_of = sh.dev->alloc<std::int32_t>(static_cast<std::size_t>(n_inst));
+      prim::fill(*sh.dev, st.y_pred, static_cast<float>(param.base_score));
+    }
+  }
+
+  report.trees.reserve(static_cast<std::size_t>(param.n_trees));
+  std::vector<std::int32_t> pre_update_node;  // node_of snapshot per level
+  std::vector<std::int32_t> owner_of_node;    // winning shard per tree node
+
+  for (int t = 0; t < param.n_trees; ++t) {
+    {
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      for (int k = 0; k < K; ++k) {
+        auto& st = *shards[static_cast<std::size_t>(k)].state;
+        if (t > 0) detail::update_predictions_smart(st, report.trees.back());
+        detail::compute_gradients(st, labels[static_cast<std::size_t>(k)]);
+        detail::reset_working_layout(st);
+      }
+    }
+
+    report.trees.emplace_back();
+    Tree& tree = report.trees.back();
+
+    ActiveNode root;
+    root.tree_node = 0;
+    {
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      // Root statistics computed on shard 0 (all shards agree bitwise).
+      auto& st0 = *shards[0].state;
+      root.sum_g = prim::reduce_sum<double>(*shards[0].dev, st0.grad,
+                                            "mgpu_root_sum_g");
+      root.sum_h = prim::reduce_sum<double>(*shards[0].dev, st0.hess,
+                                            "mgpu_root_sum_h");
+    }
+    // Broadcast of the root stats: two doubles per peer.
+    if (K > 1) {
+      impl.account_comm(report, static_cast<std::uint64_t>(K - 1) * 16,
+                        K - 1);
+    }
+    root.count = n_inst;
+
+    std::vector<ActiveNode> active{root};
+    for (auto& sh : shards) {
+      sh.state->tree = &tree;
+      sh.state->active = active;
+    }
+
+    for (int level = 0; level < param.depth && !active.empty(); ++level) {
+      // 1. Local best splits per shard.
+      std::vector<std::vector<BestSplit>> local(static_cast<std::size_t>(K));
+      {
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        for (int k = 0; k < K; ++k) {
+          local[static_cast<std::size_t>(k)] =
+              detail::find_splits_sparse(*shards[static_cast<std::size_t>(k)].state);
+        }
+      }
+
+      // 2. Allreduce the candidates: the global winner per node is the
+      //    maximum gain, ties resolved to the lowest *global* attribute —
+      //    the same order a single device enumerates.
+      if (K > 1) {
+        impl.account_comm(
+            report,
+            static_cast<std::uint64_t>(K) * active.size() * sizeof(BestSplit),
+            K);
+      }
+      std::vector<BestSplit> best(active.size());
+      std::vector<std::int32_t> owner(active.size(), -1);
+      for (std::size_t s = 0; s < active.size(); ++s) {
+        for (int k = 0; k < K; ++k) {
+          BestSplit cand = local[static_cast<std::size_t>(k)][s];
+          if (!cand.valid) continue;
+          cand.attr = static_cast<std::int32_t>(cand.attr) * K + k;  // global
+          const bool better =
+              !best[s].valid || cand.gain > best[s].gain ||
+              (cand.gain == best[s].gain && cand.attr < best[s].attr);
+          if (better) {
+            best[s] = cand;
+            owner[s] = k;
+          }
+        }
+      }
+
+      // 3. Host-side split decisions (same logic as the single-GPU loop).
+      LevelPlan plan;
+      plan.per_slot.resize(active.size());
+      owner_of_node.assign(static_cast<std::size_t>(tree.n_nodes()) + 2 * active.size(), -1);
+      for (std::size_t s = 0; s < active.size(); ++s) {
+        const ActiveNode& node = active[s];
+        const BestSplit& b = best[s];
+        auto& tn = tree.node(node.tree_node);
+        tn.n_instances = node.count;
+        tn.sum_g = node.sum_g;
+        tn.sum_h = node.sum_h;
+        if (b.valid && b.gain > param.gamma) {
+          const auto [l, r] = tree.split(node.tree_node, b.attr,
+                                         b.split_value, b.default_left,
+                                         b.gain);
+          auto& e = plan.per_slot[s];
+          e.split = true;
+          e.chosen_seg = b.seg;  // shard-local; cleared for non-owners below
+          e.best_pos = b.pos;
+          e.left_id = l;
+          e.right_id = r;
+          e.default_left = b.default_left;
+          owner_of_node[static_cast<std::size_t>(node.tree_node)] = owner[s];
+          ActiveNode left = b.left;
+          left.tree_node = l;
+          ActiveNode right = b.right;
+          right.tree_node = r;
+          plan.next_active.push_back(left);
+          plan.next_active.push_back(right);
+        } else {
+          auto& leaf = tree.node(node.tree_node);
+          leaf.weight =
+              param.eta * leaf_weight(node.sum_g, node.sum_h, param.lambda);
+        }
+      }
+      if (plan.next_active.empty()) {
+        active.clear();
+        break;
+      }
+      plan.next_slot_of_tree.assign(static_cast<std::size_t>(tree.n_nodes()),
+                                    -1);
+      for (std::size_t k2 = 0; k2 < plan.next_active.size(); ++k2) {
+        plan.next_slot_of_tree[static_cast<std::size_t>(
+            plan.next_active[k2].tree_node)] = static_cast<std::int32_t>(k2);
+      }
+
+      // Snapshot the pre-update node map (host glue for the merge below).
+      pre_update_node.assign(
+          shards[0].state->node_of.span().begin(),
+          shards[0].state->node_of.span().end());
+
+      // 4. Mark instance sides: every shard applies the defaults; only the
+      //    owner of a node's winning attribute knows the exact sides.
+      std::vector<LevelPlan> shard_plans(static_cast<std::size_t>(K), plan);
+      for (std::size_t s = 0; s < active.size(); ++s) {
+        if (!plan.per_slot[s].split) continue;
+        for (int k = 0; k < K; ++k) {
+          if (k != owner[s]) {
+            auto& e = shard_plans[static_cast<std::size_t>(k)].per_slot[s];
+            e.chosen_seg = -1;
+            e.best_pos = -1;
+          }
+        }
+      }
+      {
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        for (int k = 0; k < K; ++k) {
+          detail::apply_mark_sides_sparse(
+              *shards[static_cast<std::size_t>(k)].state,
+              shard_plans[static_cast<std::size_t>(k)]);
+        }
+      }
+
+      // 5. Synchronise node_of: instance i's authoritative value lives on
+      //    the shard owning its (old) node's winning attribute.  Modeled as
+      //    an allgather of the map (4 B x n_inst to and from each peer).
+      if (K > 1) {
+        impl.account_comm(report,
+                          static_cast<std::uint64_t>(K - 1) * 2 *
+                              static_cast<std::uint64_t>(n_inst) * 4,
+                          2 * (K - 1));
+        auto merged = shards[0].state->node_of.span();
+        for (std::int64_t i = 0; i < n_inst; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          const std::int32_t w =
+              owner_of_node[static_cast<std::size_t>(pre_update_node[u])];
+          if (w > 0) {
+            merged[u] = shards[static_cast<std::size_t>(w)].state->node_of[u];
+          }
+        }
+        for (int k = 1; k < K; ++k) {
+          auto dst = shards[static_cast<std::size_t>(k)].state->node_of.span();
+          std::copy(merged.begin(), merged.end(), dst.begin());
+        }
+      }
+
+      // 6. Local order-preserving partition of every shard's lists.
+      {
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        for (int k = 0; k < K; ++k) {
+          detail::apply_partition_sparse(
+              *shards[static_cast<std::size_t>(k)].state,
+              shard_plans[static_cast<std::size_t>(k)]);
+        }
+      }
+
+      active = plan.next_active;
+      for (auto& sh : shards) sh.state->active = active;
+    }
+
+    // Remaining active nodes become leaves.
+    for (const ActiveNode& node : active) {
+      auto& leaf = tree.node(node.tree_node);
+      leaf.weight =
+          param.eta * leaf_weight(node.sum_g, node.sum_h, param.lambda);
+      leaf.n_instances = node.count;
+      leaf.sum_g = node.sum_g;
+      leaf.sum_h = node.sum_h;
+    }
+    active.clear();
+  }
+
+  // Fold the last tree into the replicated predictions; report shard 0's.
+  {
+    ParallelStep step(shards, report.modeled_seconds, &report.device_seconds);
+    for (int k = 0; k < K; ++k) {
+      detail::update_predictions_smart(*shards[static_cast<std::size_t>(k)].state,
+                                       report.trees.back());
+    }
+  }
+  const auto final_pred = shards[0].dev->to_host(shards[0].state->y_pred);
+  report.train_scores.assign(final_pred.begin(), final_pred.end());
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+}  // namespace gbdt::multigpu

@@ -1,0 +1,71 @@
+// Multi-GPU GBDT training — the paper's stated future work ("our algorithm
+// is naturally applicable to multiple GPUs or GPU clusters", Section VI).
+//
+// Strategy: feature-parallel exact training.  The attribute lists are
+// sharded round-robin across K simulated devices; per-instance state
+// (gradients, predictions, instance->node map) is replicated.  Each level:
+//
+//   1. every shard finds the best split of every node over its attributes;
+//   2. the global best per node is an allreduce over K x nodes candidates;
+//   3. shards owning winning attributes mark the exact instance sides, and
+//      the instance->node map is synchronised across shards (the only bulk
+//      communication: ~4 B x n_instances per level);
+//   4. every shard partitions its own attribute lists locally.
+//
+// The trees are equivalent to single-device training (identical splits up
+// to floating-point tie-breaks; see EXPERIMENTS.md).  Communication is
+// modeled over a configurable interconnect.  RLE mode is not sharded yet —
+// the multi-GPU path trains on the sparse representation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/param.h"
+#include "core/tree.h"
+#include "data/dataset.h"
+#include "device/device_config.h"
+
+namespace gbdt::multigpu {
+
+/// Link connecting the devices (PCI-e switch or NVLink-style mesh).
+struct Interconnect {
+  double bandwidth_gbps = 12.0;  // per-direction, per transfer
+  double latency_us = 10.0;      // per message
+
+  static Interconnect pcie3() { return {12.0, 10.0}; }
+  static Interconnect nvlink() { return {40.0, 5.0}; }
+};
+
+struct MultiTrainReport {
+  std::vector<Tree> trees;
+  double base_score = 0.0;
+  std::vector<double> train_scores;
+
+  /// Critical-path modeled seconds: sum over steps of the slowest shard,
+  /// plus communication.
+  double modeled_seconds = 0.0;
+  double comm_seconds = 0.0;          // included in modeled_seconds
+  std::uint64_t comm_bytes = 0;
+  std::vector<double> device_seconds;  // per-shard busy time
+  double wall_seconds = 0.0;
+};
+
+class MultiGpuTrainer {
+ public:
+  /// n_devices identical devices of configuration `cfg`.
+  MultiGpuTrainer(device::DeviceConfig cfg, int n_devices, GBDTParam param,
+                  Interconnect link = Interconnect::pcie3());
+  ~MultiGpuTrainer();
+
+  [[nodiscard]] MultiTrainReport train(const data::Dataset& ds);
+
+  [[nodiscard]] int n_devices() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gbdt::multigpu

@@ -1,0 +1,53 @@
+// Order-preserving multiway partition (paper Section III-B, Figures 2-3).
+//
+// Given a partition id per element, computes for every element its scatter
+// destination such that the output is grouped by partition and the original
+// relative order *within* each partition is preserved.  This is what lets
+// GPU-GBDT keep every attribute's value list sorted inside the child nodes
+// without re-sorting: elements only ever move to positions computed from
+// per-thread, per-partition counters.
+//
+// Memory management follows the paper: each logical thread owns one counter
+// per partition, so counter memory = #threads x #partitions x 8 B.  The
+// "Customized IdxComp Workload" formula sizes the per-thread workload so the
+// counters fit a fixed budget; the naive scheme (workload fixed at 16) blows
+// the budget for large (#values x #nodes) and must fall back to multiple
+// passes over the data — the slowdown Figure 9 measures.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device_context.h"
+
+namespace gbdt::prim {
+
+struct PartitionPlan {
+  std::int64_t n_threads = 1;
+  std::int64_t workload = 1;       // elements per logical thread
+  std::int64_t parts_per_pass = 1; // < n_parts when counters exceed budget
+  int passes = 1;
+  std::size_t counter_bytes = 0;
+};
+
+/// Sizes the partition counters.  customized == true applies the paper's
+/// workload formula; false uses the fixed workload of 16 elements per thread
+/// from prior work, falling back to multi-pass when the counters do not fit.
+[[nodiscard]] PartitionPlan plan_partition(std::int64_t n_elements,
+                                           std::int64_t n_parts,
+                                           std::size_t max_counter_bytes,
+                                           bool customized);
+
+/// Computes scatter destinations.
+///  - part_ids[i] in [0, n_parts) selects the target partition; -1 drops the
+///    element (scatter_out[i] = -1).
+///  - part_offsets must have n_parts + 1 entries; on return part_offsets[p]
+///    is the first output index of partition p and part_offsets[n_parts] the
+///    number of kept elements.
+void histogram_partition(device::Device& dev,
+                         const device::DeviceBuffer<std::int32_t>& part_ids,
+                         std::int64_t n_parts,
+                         device::DeviceBuffer<std::int64_t>& scatter_out,
+                         device::DeviceBuffer<std::int64_t>& part_offsets,
+                         const PartitionPlan& plan);
+
+}  // namespace gbdt::prim

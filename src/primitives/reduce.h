@@ -1,0 +1,97 @@
+// Device reductions: sum, max, and argmax, via the standard two-level GPU
+// scheme (per-block partial reduction, then a single-block final pass).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "device/device_context.h"
+#include "primitives/transform.h"
+
+namespace gbdt::prim {
+
+/// Sum of all elements.  Accumulates in Acc (use double for float inputs so
+/// the result does not depend on the block decomposition at float precision).
+template <typename T, typename Acc = T>
+[[nodiscard]] Acc reduce_sum(device::Device& dev,
+                             const device::DeviceBuffer<T>& in,
+                             std::string_view name = "reduce_sum") {
+  const std::int64_t n = static_cast<std::int64_t>(in.size());
+  if (n == 0) return Acc{};
+  const std::int64_t grid = device::grid_for(n, kBlockDim);
+  auto partials = dev.alloc<Acc>(static_cast<std::size_t>(grid));
+  auto src = in.span();
+  auto part = partials.span();
+  dev.launch(name, grid, kBlockDim, [&](device::BlockCtx& b) {
+    Acc acc{};
+    b.for_each_thread([&](std::int64_t i) {
+      if (i < n) acc += static_cast<Acc>(src[static_cast<std::size_t>(i)]);
+    });
+    part[static_cast<std::size_t>(b.block_idx())] = acc;
+    b.mem_coalesced(elems_in_block(b, n) * sizeof(T) + sizeof(Acc));
+  });
+  Acc total{};
+  dev.launch("reduce_final", 1, kBlockDim, [&](device::BlockCtx& b) {
+    for (std::int64_t i = 0; i < grid; ++i) {
+      total += part[static_cast<std::size_t>(i)];
+    }
+    b.work(static_cast<std::uint64_t>(grid));
+    b.mem_coalesced(static_cast<std::uint64_t>(grid) * sizeof(Acc));
+  });
+  return total;
+}
+
+/// Result of an argmax reduction.
+template <typename T>
+struct ArgMax {
+  T value{};
+  std::int64_t index = -1;  // -1 when the input is empty
+};
+
+/// Position and value of the maximum element; ties resolve to the lowest
+/// index so results are independent of the block decomposition.
+template <typename T>
+[[nodiscard]] ArgMax<T> arg_max(device::Device& dev,
+                                const device::DeviceBuffer<T>& in,
+                                std::string_view name = "arg_max") {
+  const std::int64_t n = static_cast<std::int64_t>(in.size());
+  ArgMax<T> result;
+  if (n == 0) return result;
+  const std::int64_t grid = device::grid_for(n, kBlockDim);
+  auto vals = dev.alloc<T>(static_cast<std::size_t>(grid));
+  auto idxs = dev.alloc<std::int64_t>(static_cast<std::size_t>(grid));
+  auto src = in.span();
+  auto pv = vals.span();
+  auto pi = idxs.span();
+  dev.launch(name, grid, kBlockDim, [&](device::BlockCtx& b) {
+    T best{};
+    std::int64_t best_i = -1;
+    b.for_each_thread([&](std::int64_t i) {
+      if (i < n) {
+        const T v = src[static_cast<std::size_t>(i)];
+        if (best_i < 0 || v > best) {
+          best = v;
+          best_i = i;
+        }
+      }
+    });
+    pv[static_cast<std::size_t>(b.block_idx())] = best;
+    pi[static_cast<std::size_t>(b.block_idx())] = best_i;
+    b.mem_coalesced(elems_in_block(b, n) * sizeof(T) + sizeof(T) + 8);
+  });
+  dev.launch("arg_max_final", 1, kBlockDim, [&](device::BlockCtx& b) {
+    for (std::int64_t g = 0; g < grid; ++g) {
+      const auto u = static_cast<std::size_t>(g);
+      if (pi[u] >= 0 && (result.index < 0 || pv[u] > result.value)) {
+        result.value = pv[u];
+        result.index = pi[u];
+      }
+    }
+    b.work(static_cast<std::uint64_t>(grid));
+    b.mem_coalesced(static_cast<std::uint64_t>(grid) * (sizeof(T) + 8));
+  });
+  return result;
+}
+
+}  // namespace gbdt::prim

@@ -1,0 +1,132 @@
+// reduce_by_key (Thrust analog): collapses runs of equal consecutive keys
+// into one (key, aggregated value) pair — the generic form of the per-run
+// gradient aggregation the RLE trainer performs (paper Figure 5).
+// Built from head-flagging + exclusive scan + ordered scatter.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "device/device_context.h"
+#include "primitives/scan.h"
+#include "primitives/transform.h"
+
+namespace gbdt::prim {
+
+/// Sums `values` over runs of equal consecutive `keys`.  Outputs must be at
+/// least as long as the input (shrink afterwards); returns the number of
+/// runs.  Keys need not be sorted — only consecutive equality defines runs,
+/// exactly like thrust::reduce_by_key.
+template <typename K, typename V>
+[[nodiscard]] std::int64_t reduce_by_key(device::Device& dev,
+                                         const device::DeviceBuffer<K>& keys,
+                                         const device::DeviceBuffer<V>& values,
+                                         device::DeviceBuffer<K>& out_keys,
+                                         device::DeviceBuffer<V>& out_sums,
+                                         std::string_view name = "reduce_by_key") {
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  if (n == 0) return 0;
+
+  // Head flags -> run ids.
+  auto head = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
+  {
+    auto k = keys.span();
+    auto h = head.span();
+    dev.launch("rbk_flag_heads", device::grid_for(n, kBlockDim), kBlockDim,
+               [&](device::BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t i) {
+                   if (i >= n) return;
+                   const auto u = static_cast<std::size_t>(i);
+                   h[u] = (i == 0 || k[u] != k[u - 1]) ? 1 : 0;
+                 });
+                 b.mem_coalesced(elems_in_block(b, n) * (2 * sizeof(K) + 8));
+               });
+  }
+  auto run_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
+  exclusive_scan(dev, head, run_idx, "rbk_scan");
+  const std::int64_t n_runs = run_idx[static_cast<std::size_t>(n - 1)] +
+                              head[static_cast<std::size_t>(n - 1)];
+
+  // Per-run sums: each run's head thread walks its run (runs are short in
+  // the common use; long runs are bounded by the busiest-block model).
+  {
+    auto k = keys.span();
+    auto v = values.span();
+    auto h = head.span();
+    auto r = run_idx.span();
+    auto ok = out_keys.span();
+    auto os = out_sums.span();
+    dev.launch(name, device::grid_for(n, kBlockDim), kBlockDim,
+               [&](device::BlockCtx& b) {
+                 std::uint64_t touched = 0;
+                 b.for_each_thread([&](std::int64_t i) {
+                   if (i >= n) return;
+                   const auto u = static_cast<std::size_t>(i);
+                   if (h[u] == 0) return;
+                   V acc{};
+                   std::int64_t j = i;
+                   while (j < n &&
+                          (j == i ||
+                           h[static_cast<std::size_t>(j)] == 0)) {
+                     acc += v[static_cast<std::size_t>(j)];
+                     ++j;
+                     ++touched;
+                   }
+                   const auto dst = static_cast<std::size_t>(r[u]);
+                   ok[dst] = k[u];
+                   os[dst] = acc;
+                 });
+                 b.work(touched);
+                 b.mem_coalesced(touched * sizeof(V) +
+                                 elems_in_block(b, n) * (sizeof(K) + 16));
+               });
+  }
+  return n_runs;
+}
+
+/// Number of runs of equal consecutive keys (thrust::unique_count analog).
+template <typename K>
+[[nodiscard]] std::int64_t count_runs(device::Device& dev,
+                                      const device::DeviceBuffer<K>& keys) {
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  if (n == 0) return 0;
+  auto head = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
+  {
+    auto k = keys.span();
+    auto h = head.span();
+    dev.launch("count_runs_flag", device::grid_for(n, kBlockDim), kBlockDim,
+               [&](device::BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t i) {
+                   if (i >= n) return;
+                   const auto u = static_cast<std::size_t>(i);
+                   h[u] = (i == 0 || k[u] != k[u - 1]) ? 1 : 0;
+                 });
+                 b.mem_coalesced(elems_in_block(b, n) * (2 * sizeof(K) + 8));
+               });
+  }
+  auto scanned = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
+  inclusive_scan(dev, head, scanned, "count_runs_scan");
+  return scanned[static_cast<std::size_t>(n - 1)];
+}
+
+/// out[i] = in[i] - in[i-1]; out[0] = in[0] (thrust::adjacent_difference).
+template <typename T>
+void adjacent_difference(device::Device& dev,
+                         const device::DeviceBuffer<T>& in,
+                         device::DeviceBuffer<T>& out,
+                         std::string_view name = "adjacent_difference") {
+  const std::int64_t n = static_cast<std::int64_t>(in.size());
+  auto src = in.span();
+  auto dst = out.span();
+  dev.launch(name, device::grid_for(n, kBlockDim), kBlockDim,
+             [&](device::BlockCtx& b) {
+               b.for_each_thread([&](std::int64_t i) {
+                 if (i >= n) return;
+                 const auto u = static_cast<std::size_t>(i);
+                 dst[u] = i == 0 ? src[u] : src[u] - src[u - 1];
+               });
+               b.mem_coalesced(elems_in_block(b, n) * 3 * sizeof(T));
+             });
+}
+
+}  // namespace gbdt::prim

@@ -1,0 +1,93 @@
+// Device prefix sums (Blelloch-style three-phase blocked scan).
+//
+//   phase 1: each block scans its 256-element tile locally and emits its sum
+//   phase 2: a single block scans the per-block sums
+//   phase 3: each block adds its incoming offset to the tile
+//
+// The association order is fixed by the tile decomposition, so results are
+// bit-identical across runs and host worker counts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+
+#include "device/device_context.h"
+#include "primitives/transform.h"
+
+namespace gbdt::prim {
+
+namespace detail {
+
+template <typename T>
+void scan_impl(device::Device& dev, const device::DeviceBuffer<T>& in,
+               device::DeviceBuffer<T>& out, bool inclusive,
+               std::string_view name) {
+  const std::int64_t n = static_cast<std::int64_t>(in.size());
+  if (n == 0) return;
+  const std::int64_t grid = device::grid_for(n, kBlockDim);
+  auto block_sums = dev.alloc<T>(static_cast<std::size_t>(grid));
+  auto src = in.span();
+  auto dst = out.span();
+  auto sums = block_sums.span();
+
+  dev.launch(name, grid, kBlockDim, [&](device::BlockCtx& b) {
+    const std::int64_t lo = b.block_idx() * b.block_dim();
+    const std::int64_t hi = std::min<std::int64_t>(lo + b.block_dim(), n);
+    T acc{};
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (inclusive) {
+        acc += src[u];
+        dst[u] = acc;
+      } else {
+        dst[u] = acc;
+        acc += src[u];
+      }
+    }
+    sums[static_cast<std::size_t>(b.block_idx())] = acc;
+    const std::uint64_t m = elems_in_block(b, n);
+    b.work(m);
+    b.mem_coalesced(m * 2 * sizeof(T) + sizeof(T));
+  });
+
+  dev.launch("scan_block_sums", 1, kBlockDim, [&](device::BlockCtx& b) {
+    T acc{};
+    for (std::int64_t g = 0; g < grid; ++g) {
+      const auto u = static_cast<std::size_t>(g);
+      const T v = sums[u];
+      sums[u] = acc;  // exclusive scan of the block sums
+      acc += v;
+    }
+    b.work(static_cast<std::uint64_t>(grid));
+    b.mem_coalesced(static_cast<std::uint64_t>(grid) * 2 * sizeof(T));
+  });
+
+  dev.launch("scan_add_offsets", grid, kBlockDim, [&](device::BlockCtx& b) {
+    const T offset = sums[static_cast<std::size_t>(b.block_idx())];
+    b.for_each_thread([&](std::int64_t i) {
+      if (i < n) dst[static_cast<std::size_t>(i)] += offset;
+    });
+    b.mem_coalesced(elems_in_block(b, n) * 2 * sizeof(T) + sizeof(T));
+  });
+}
+
+}  // namespace detail
+
+/// out[i] = in[0] + ... + in[i].
+template <typename T>
+void inclusive_scan(device::Device& dev, const device::DeviceBuffer<T>& in,
+                    device::DeviceBuffer<T>& out,
+                    std::string_view name = "inclusive_scan") {
+  detail::scan_impl(dev, in, out, /*inclusive=*/true, name);
+}
+
+/// out[i] = in[0] + ... + in[i-1]; out[0] = 0.
+template <typename T>
+void exclusive_scan(device::Device& dev, const device::DeviceBuffer<T>& in,
+                    device::DeviceBuffer<T>& out,
+                    std::string_view name = "exclusive_scan") {
+  detail::scan_impl(dev, in, out, /*inclusive=*/false, name);
+}
+
+}  // namespace gbdt::prim

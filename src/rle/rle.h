@@ -1,0 +1,68 @@
+// Run-Length Encoding of segmented, sorted attribute values (paper Section
+// III-C, Figure 4).
+//
+// The element domain is the flat array of attribute values grouped into
+// (node, attribute) segments and sorted within each segment; because the
+// values are sorted, equal values form contiguous runs and compression is a
+// single linear pass.  Runs never cross segment boundaries.  Instance ids
+// are NOT compressed (each id is unique); they stay aligned with the element
+// domain, and `starts` maps runs back onto it.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device_context.h"
+
+namespace gbdt::rle {
+
+/// RLE-compressed view of a segmented value array, device-resident.
+struct DeviceRle {
+  std::int64_t n_runs = 0;
+  std::int64_t n_elements = 0;
+  /// One value per run.                                  [n_runs]
+  device::DeviceBuffer<float> values;
+  /// Element-domain start of each run; starts[n_runs] == n_elements.
+  device::DeviceBuffer<std::int64_t> starts;
+  /// Segment boundaries in the *run* domain.             [n_seg + 1]
+  device::DeviceBuffer<std::int64_t> seg_offsets;
+
+  [[nodiscard]] std::int64_t run_length(std::int64_t r) const {
+    return starts[static_cast<std::size_t>(r) + 1] -
+           starts[static_cast<std::size_t>(r)];
+  }
+  /// Compressed bytes (values + starts + seg offsets).
+  [[nodiscard]] std::size_t bytes() const {
+    return values.bytes() + starts.bytes() + seg_offsets.bytes();
+  }
+};
+
+/// Compresses sorted segmented values.  elem_seg_offsets has n_seg + 1
+/// entries in the element domain.  Head flags + scan + scatter: O(n) device
+/// work, as the paper notes ("the attribute values are already sorted and we
+/// only need linear time").
+[[nodiscard]] DeviceRle compress(device::Device& dev,
+                                 const device::DeviceBuffer<float>& values,
+                                 const device::DeviceBuffer<std::int64_t>& elem_seg_offsets);
+
+/// Expands runs back into the element domain; out must be n_elements long.
+void decompress(device::Device& dev, const DeviceRle& rle,
+                device::DeviceBuffer<float>& out);
+
+/// The paper's cheap a-priori gate: compress when dimensionality/cardinality
+/// exceeds the user constant R (high-dimensional sparse datasets repeat
+/// values heavily).
+[[nodiscard]] inline bool paper_gate(std::int64_t dimensionality,
+                                     std::int64_t cardinality, double r) {
+  return cardinality > 0 &&
+         static_cast<double>(dimensionality) / static_cast<double>(cardinality) > r;
+}
+
+/// Exact compression ratio of an already-built RLE (elements per run).
+[[nodiscard]] inline double measured_ratio(const DeviceRle& rle) {
+  return rle.n_runs == 0
+             ? 1.0
+             : static_cast<double>(rle.n_elements) /
+                   static_cast<double>(rle.n_runs);
+}
+
+}  // namespace gbdt::rle

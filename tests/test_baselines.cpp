@@ -1,0 +1,274 @@
+// Tests for the comparators: blocked host reductions mirror the device
+// bit-for-bit, the CPU cost model behaves like the paper's thread-scaling
+// column, and the dense xgbst-gpu baseline reproduces both failure modes the
+// paper reports (out-of-memory on big/sparse data, deviating RMSE from
+// missing-as-zero).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/blocked.h"
+#include "baselines/cpu_model.h"
+#include "baselines/xgb_exact.h"
+#include "baselines/xgb_gpu_dense.h"
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+#include "primitives/reduce.h"
+#include "primitives/segmented.h"
+#include "primitives/transform.h"
+
+namespace gbdt::baseline {
+namespace {
+
+using device::CpuConfig;
+using device::Device;
+using device::DeviceConfig;
+
+TEST(Blocked, SumIsBitIdenticalToDeviceReduce) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (std::size_t n : {1u, 255u, 256u, 1000u, 54321u}) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = d(rng);
+    Device dev(DeviceConfig::titan_x_pascal());
+    auto buf = dev.to_device<double>(v);
+    const double device_sum = prim::reduce_sum<double>(dev, buf);
+    EXPECT_EQ(blocked_sum(v), device_sum) << n;  // bitwise, not NEAR
+  }
+}
+
+TEST(Blocked, SegScanIsBitIdenticalToDeviceScan) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (std::size_t n : {1u, 700u, 8192u, 30001u}) {
+    std::vector<double> v(n);
+    std::vector<std::int32_t> keys(n);
+    std::int32_t key = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = d(rng);
+      if (rng() % 97 == 0) ++key;  // segments of ~97 elements
+      keys[i] = key;
+    }
+    Device dev(DeviceConfig::titan_x_pascal());
+    auto d_v = dev.to_device<double>(v);
+    auto d_k = dev.to_device<std::int32_t>(keys);
+    auto d_out = dev.alloc<double>(n);
+    prim::segmented_inclusive_scan_by_key(dev, d_v, d_k, d_out);
+
+    std::vector<double> host_out(n);
+    blocked_seg_scan(v, keys, host_out);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(host_out[i], d_out[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(CpuModel, MoreThreadsNeverSlower) {
+  const auto cfg = CpuConfig::dual_xeon_e5_2640v4();
+  CpuCounters c;
+  c.work = 1'000'000'000;
+  c.stream_bytes = 4'000'000'000;
+  c.irregular = 50'000'000;
+  double prev = cpu_modeled_seconds(cfg, c, 1);
+  for (int t : {2, 5, 10, 20, 40}) {
+    const double now = cpu_modeled_seconds(cfg, c, t);
+    EXPECT_LE(now, prev) << t;
+    prev = now;
+  }
+}
+
+TEST(CpuModel, FortyThreadSpeedupInPaperBand) {
+  // Table II: xgbst-40 is 5.7x - 10.7x faster than xgbst-1.
+  const auto cfg = CpuConfig::dual_xeon_e5_2640v4();
+  for (auto [work, bytes, irr] :
+       {std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>{
+            std::uint64_t{2} << 30, 1u << 28, 1u << 20},  // compute heavy
+        {1u << 20, std::uint64_t{8} << 30, 1u << 26}}) {  // memory heavy
+    CpuCounters c;
+    c.work = work;
+    c.stream_bytes = bytes;
+    c.irregular = irr;
+    const double ratio =
+        cpu_modeled_seconds(cfg, c, 1) / cpu_modeled_seconds(cfg, c, 40);
+    EXPECT_GE(ratio, 5.0) << work;
+    EXPECT_LE(ratio, 11.0) << work;
+  }
+}
+
+TEST(XgbExact, FindSplitFractionNearPaperSeventyFivePercent) {
+  data::SyntheticSpec spec;
+  spec.n_instances = 5000;
+  spec.n_attributes = 25;
+  spec.density = 0.8;
+  spec.seed = 77;
+  const auto ds = generate(spec);
+  GBDTParam p;
+  p.depth = 6;
+  p.n_trees = 10;
+  const auto r = XgbExactTrainer(p).train(ds);
+  // "around 75% of total training time for XGBoost"
+  const double frac = r.find_split_fraction(CpuConfig::dual_xeon_e5_2640v4());
+  EXPECT_GT(frac, 0.55);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(XgbExact, ReportsMonotoneCounters) {
+  data::SyntheticSpec spec;
+  spec.n_instances = 500;
+  spec.n_attributes = 10;
+  spec.seed = 6;
+  const auto ds = generate(spec);
+  GBDTParam p5;
+  p5.depth = 3;
+  p5.n_trees = 5;
+  GBDTParam p10 = p5;
+  p10.n_trees = 10;
+  const auto r5 = XgbExactTrainer(p5).train(ds);
+  const auto r10 = XgbExactTrainer(p10).train(ds);
+  EXPECT_GT(r10.total.work, r5.total.work);
+  EXPECT_GT(r10.total.stream_bytes, r5.total.stream_bytes);
+  const auto cfg = CpuConfig::dual_xeon_e5_2640v4();
+  EXPECT_GT(r10.modeled_seconds(cfg, 40), r5.modeled_seconds(cfg, 40));
+}
+
+TEST(DenseGpu, FootprintGrowsWithShape) {
+  const auto small = dense_gpu_footprint_bytes(1000, 10, 6);
+  const auto wide = dense_gpu_footprint_bytes(1000, 1000, 6);
+  const auto tall = dense_gpu_footprint_bytes(100000, 10, 6);
+  EXPECT_GT(wide, small);
+  EXPECT_GT(tall, small);
+}
+
+TEST(DenseGpu, PaperOomPattern) {
+  // With the real dataset shapes, the 12 GB Titan X must refuse the
+  // high-dimensional sparse datasets and accept susy/covtype/insurance —
+  // the availability pattern of Table II.
+  const std::size_t titan = DeviceConfig::titan_x_pascal().global_mem_bytes;
+  auto fits = [&](const char* name) {
+    const auto info = data::paper_dataset(name, 0.01);
+    return dense_gpu_footprint_bytes(info.paper_cardinality,
+                                     info.paper_dimension, 6) <= titan;
+  };
+  EXPECT_FALSE(fits("news20"));
+  EXPECT_FALSE(fits("log1p"));
+  EXPECT_FALSE(fits("e2006"));
+  EXPECT_FALSE(fits("real-sim"));
+  EXPECT_FALSE(fits("higgs"));
+  EXPECT_TRUE(fits("susy"));
+  EXPECT_TRUE(fits("covtype"));
+  EXPECT_TRUE(fits("insurance"));
+}
+
+TEST(DenseGpu, OutcomeReportsOomWithoutRunning) {
+  const auto info = data::paper_dataset("news20", 0.02);
+  const auto ds = generate(info.spec);
+  GBDTParam p;
+  p.depth = 3;
+  p.n_trees = 1;
+  const auto out = train_xgb_gpu_dense(DeviceConfig::titan_x_pascal(), ds, p,
+                                       info.paper_cardinality,
+                                       info.paper_dimension);
+  EXPECT_TRUE(out.oom);
+  EXPECT_FALSE(out.ran);
+  EXPECT_GT(out.required_bytes, out.budget_bytes);
+  EXPECT_NE(out.note.find("MiB"), std::string::npos);
+}
+
+TEST(DenseGpu, DensifyFillsMissingAsZero) {
+  data::Dataset ds(3);
+  const std::vector<data::Entry> row{{1, 2.5f}};
+  ds.add_instance(row, 1.f);
+  const auto dense = densify(ds);
+  ASSERT_EQ(dense.instance(0).size(), 3u);
+  EXPECT_EQ(dense.instance(0)[0].value, 0.f);
+  EXPECT_EQ(dense.instance(0)[1].value, 2.5f);
+  EXPECT_EQ(dense.instance(0)[2].value, 0.f);
+}
+
+TEST(DenseGpu, RmseDeviatesOnSparseDataButNotOnDense) {
+  // Paper: "the large RMSE of xgbst-gpu is probably because of dense
+  // representation which considers missing values as 0."
+  GBDTParam p;
+  p.depth = 4;
+  p.n_trees = 5;
+
+  // Sparse dataset: missing-as-zero changes the trees and the RMSE.
+  data::SyntheticSpec sparse;
+  sparse.n_instances = 800;
+  sparse.n_attributes = 15;
+  sparse.density = 0.4;
+  sparse.seed = 21;
+  const auto ds_sparse = generate(sparse);
+  Device dev(DeviceConfig::titan_x_pascal());
+  const auto ours = GpuGbdtTrainer(dev, p).train(ds_sparse);
+  const auto dense_out =
+      train_xgb_gpu_dense(DeviceConfig::titan_x_pascal(), ds_sparse, p);
+  ASSERT_TRUE(dense_out.ran);
+  const double ours_rmse = rmse(ours.train_scores, ds_sparse.labels());
+  const double dense_rmse =
+      rmse(dense_out.report.train_scores, ds_sparse.labels());
+  EXPECT_GT(std::abs(ours_rmse - dense_rmse), 1e-6);
+
+  // Fully dense dataset: identical semantics, identical RMSE.
+  data::SyntheticSpec full;
+  full.n_instances = 800;
+  full.n_attributes = 15;
+  full.density = 1.0;
+  full.seed = 22;
+  const auto ds_full = generate(full);
+  Device dev2(DeviceConfig::titan_x_pascal());
+  const auto ours_full = GpuGbdtTrainer(dev2, p).train(ds_full);
+  const auto dense_full =
+      train_xgb_gpu_dense(DeviceConfig::titan_x_pascal(), ds_full, p);
+  ASSERT_TRUE(dense_full.ran);
+  EXPECT_NEAR(rmse(ours_full.train_scores, ds_full.labels()),
+              rmse(dense_full.report.train_scores, ds_full.labels()), 1e-9);
+}
+
+TEST(DenseGpu, NodeInterleavingInflatesPeakMemory) {
+  data::SyntheticSpec spec;
+  spec.n_instances = 2000;
+  spec.n_attributes = 10;
+  spec.density = 1.0;
+  spec.seed = 33;
+  const auto ds = generate(spec);
+  GBDTParam p;
+  p.depth = 5;
+  p.n_trees = 2;
+  const auto dense_out =
+      train_xgb_gpu_dense(DeviceConfig::titan_x_pascal(), ds, p);
+  ASSERT_TRUE(dense_out.ran);
+
+  Device dev(DeviceConfig::titan_x_pascal());
+  GBDTParam ps = p;
+  ps.dense_layout = false;
+  const auto sparse_run = GpuGbdtTrainer(dev, ps).train(ds);
+  EXPECT_GT(dense_out.report.peak_device_bytes,
+            sparse_run.peak_device_bytes);
+}
+
+TEST(DenseGpu, BehaviouralOomUnderTightBudget) {
+  data::SyntheticSpec spec;
+  spec.n_instances = 3000;
+  spec.n_attributes = 50;
+  spec.density = 1.0;
+  spec.seed = 44;
+  const auto ds = generate(spec);
+  GBDTParam p;
+  p.depth = 6;
+  p.n_trees = 1;
+  auto cfg = DeviceConfig::titan_x_pascal();
+  // Enough to pass the analytic gate but not to actually run.
+  cfg.global_mem_bytes = dense_gpu_footprint_bytes(3000, 50, 6);
+  const auto out = train_xgb_gpu_dense(cfg, ds, p);
+  EXPECT_TRUE(out.oom || out.ran);  // must not crash either way
+  if (out.oom) {
+    EXPECT_FALSE(out.ran);
+    EXPECT_NE(out.note.find("device out of memory"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gbdt::baseline

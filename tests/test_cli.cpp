@@ -1,0 +1,161 @@
+// End-to-end tests of the `gbdt` command line: every subcommand is driven
+// through a real subprocess against generated LibSVM files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef GBDT_CLI_PATH
+#error "GBDT_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run(const std::string& args) {
+  const std::string cmd = std::string(GBDT_CLI_PATH) + " " + args +
+                          " > /tmp/gbdt_cli_out.txt 2>&1";
+  CommandResult r;
+  const int status = std::system(cmd.c_str());
+  r.exit_code = WEXITSTATUS(status);
+  std::ifstream in("/tmp/gbdt_cli_out.txt");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  r.output = buf.str();
+  return r;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ASSERT_EQ(run("synth --out=/tmp/gbdt_cli_train.libsvm --instances=600 "
+                  "--attributes=10 --density=0.8 --seed=5")
+                  .exit_code,
+              0);
+    ASSERT_EQ(run("synth --out=/tmp/gbdt_cli_valid.libsvm --instances=200 "
+                  "--attributes=10 --density=0.8 --seed=5")
+                  .exit_code,
+              0);
+  }
+};
+
+TEST_F(CliTest, HelpListsSubcommands) {
+  const auto r = run("help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* sub :
+       {"train", "predict", "eval", "dump", "importance", "synth"}) {
+    EXPECT_NE(r.output.find(sub), std::string::npos) << sub;
+  }
+}
+
+TEST_F(CliTest, NoArgsFailsWithUsage) {
+  const auto r = run("");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("subcommands"), std::string::npos);
+}
+
+TEST_F(CliTest, TrainPredictEvalRoundTrip) {
+  auto r = run("train --data=/tmp/gbdt_cli_train.libsvm "
+               "--model=/tmp/gbdt_cli.model --trees=8 --depth=3");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("trained 8 trees"), std::string::npos);
+  EXPECT_NE(r.output.find("modeled device time"), std::string::npos);
+
+  r = run("predict --data=/tmp/gbdt_cli_train.libsvm "
+          "--model=/tmp/gbdt_cli.model --output=/tmp/gbdt_cli_pred.txt");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream pred("/tmp/gbdt_cli_pred.txt");
+  int lines = 0;
+  std::string line;
+  while (std::getline(pred, line)) ++lines;
+  EXPECT_EQ(lines, 600);
+
+  r = run("eval --data=/tmp/gbdt_cli_train.libsvm --model=/tmp/gbdt_cli.model");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("rmse:"), std::string::npos);
+}
+
+TEST_F(CliTest, TrainWithValidationAndEarlyStopping) {
+  const auto r =
+      run("train --data=/tmp/gbdt_cli_train.libsvm "
+          "--valid=/tmp/gbdt_cli_valid.libsvm --early-stopping=3 "
+          "--model=/tmp/gbdt_cli_es.model --trees=100 --depth=6 --eta=0.8");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("validation rmse"), std::string::npos);
+}
+
+TEST_F(CliTest, DumpShowsTreeStructure) {
+  const auto r = run("dump --model=/tmp/gbdt_cli.model --tree=0");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("booster[0]"), std::string::npos);
+  EXPECT_NE(r.output.find("leaf="), std::string::npos);
+  EXPECT_EQ(r.output.find("booster[1]"), std::string::npos);  // filtered
+}
+
+TEST_F(CliTest, ImportanceRanksFeatures) {
+  const auto r = run("importance --model=/tmp/gbdt_cli.model --kind=gain");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("f"), std::string::npos);
+  // Scores are descending.
+  std::istringstream in(r.output);
+  std::string name;
+  double prev = 1e18, v = 0;
+  while (in >> name >> v) {
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(CliTest, LogisticLossFlag) {
+  ASSERT_EQ(run("synth --out=/tmp/gbdt_cli_bin.libsvm --instances=400 "
+                "--attributes=8 --binary --seed=9")
+                .exit_code,
+            0);
+  const auto r = run("train --data=/tmp/gbdt_cli_bin.libsvm "
+                     "--model=/tmp/gbdt_cli_bin.model --trees=5 --depth=3 "
+                     "--loss=logistic");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(CliTest, PaperDatasetSynth) {
+  const auto r = run("synth --out=/tmp/gbdt_cli_covtype.libsvm "
+                     "--paper=covtype --scale=0.01");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("x 54"), std::string::npos);
+}
+
+TEST_F(CliTest, BadInputsFailGracefully) {
+  EXPECT_NE(run("train --model=/tmp/x.model").exit_code, 0);  // no data
+  EXPECT_NE(run("train --data=/nonexistent --model=/tmp/x.model").exit_code,
+            0);
+  EXPECT_NE(run("predict --data=/tmp/gbdt_cli_train.libsvm "
+                "--model=/nonexistent")
+                .exit_code,
+            0);
+  EXPECT_NE(run("frobnicate").exit_code, 0);
+  EXPECT_NE(run("train --data=a --model=b --loss=hinge").exit_code, 0);
+  EXPECT_NE(run("synth --out=/tmp/x --paper=unknown-set").exit_code, 0);
+}
+
+TEST_F(CliTest, DeviceSelection) {
+  for (const char* dev : {"titanx", "p100", "k20"}) {
+    const auto r = run(std::string("train --data=/tmp/gbdt_cli_train.libsvm "
+                                   "--model=/tmp/gbdt_cli_dev.model "
+                                   "--trees=2 --depth=2 --device=") +
+                       dev);
+    EXPECT_EQ(r.exit_code, 0) << dev << ": " << r.output;
+  }
+  EXPECT_NE(run("train --data=/tmp/gbdt_cli_train.libsvm "
+                "--model=/tmp/x.model --device=voodoo2")
+                .exit_code,
+            0);
+}
+
+}  // namespace

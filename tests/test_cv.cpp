@@ -1,0 +1,105 @@
+// Tests for k-fold cross-validation.
+#include <gtest/gtest.h>
+
+#include "core/cv.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+
+namespace gbdt {
+namespace {
+
+using data::SyntheticSpec;
+using device::Device;
+using device::DeviceConfig;
+
+TEST(CrossValidate, ReportsPerFoldMetrics) {
+  SyntheticSpec s;
+  s.n_instances = 600;
+  s.n_attributes = 8;
+  s.seed = 61;
+  const auto ds = generate(s);
+  Device dev(DeviceConfig::titan_x_pascal());
+  GBDTParam p;
+  p.depth = 3;
+  p.n_trees = 5;
+  const auto cv = cross_validate(dev, ds, p, 5);
+  EXPECT_EQ(cv.metric_name, "rmse");
+  ASSERT_EQ(cv.fold_metric.size(), 5u);
+  for (double m : cv.fold_metric) {
+    EXPECT_GT(m, 0.0);
+    EXPECT_LT(m, 2.0);
+  }
+  EXPECT_GT(cv.mean, 0.0);
+  EXPECT_GE(cv.stddev, 0.0);
+}
+
+TEST(CrossValidate, DeterministicPerSeed) {
+  SyntheticSpec s;
+  s.n_instances = 300;
+  s.n_attributes = 6;
+  s.seed = 62;
+  const auto ds = generate(s);
+  Device dev(DeviceConfig::titan_x_pascal());
+  GBDTParam p;
+  p.depth = 2;
+  p.n_trees = 3;
+  const auto a = cross_validate(dev, ds, p, 3, 7);
+  const auto b = cross_validate(dev, ds, p, 3, 7);
+  EXPECT_EQ(a.fold_metric, b.fold_metric);
+  const auto c = cross_validate(dev, ds, p, 3, 8);
+  EXPECT_NE(a.fold_metric, c.fold_metric);
+}
+
+TEST(CrossValidate, BetterHyperparamsScoreBetter) {
+  SyntheticSpec s;
+  s.n_instances = 900;
+  s.n_attributes = 10;
+  s.label_noise = 0.05;
+  s.seed = 63;
+  const auto ds = generate(s);
+  Device dev(DeviceConfig::titan_x_pascal());
+  GBDTParam weak;
+  weak.depth = 1;
+  weak.n_trees = 1;
+  GBDTParam strong;
+  strong.depth = 4;
+  strong.n_trees = 20;
+  const auto a = cross_validate(dev, ds, weak, 3);
+  const auto b = cross_validate(dev, ds, strong, 3);
+  EXPECT_LT(b.mean, a.mean);
+}
+
+TEST(CrossValidate, LogisticReportsErrorRate) {
+  SyntheticSpec s;
+  s.n_instances = 500;
+  s.n_attributes = 8;
+  s.binary_labels = true;
+  s.seed = 64;
+  const auto ds = generate(s);
+  Device dev(DeviceConfig::titan_x_pascal());
+  GBDTParam p;
+  p.depth = 3;
+  p.n_trees = 8;
+  p.loss = LossKind::kLogistic;
+  const auto cv = cross_validate(dev, ds, p, 4);
+  EXPECT_EQ(cv.metric_name, "error");
+  for (double m : cv.fold_metric) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+}
+
+TEST(CrossValidate, RejectsDegenerateFolds) {
+  SyntheticSpec s;
+  s.n_instances = 10;
+  s.n_attributes = 3;
+  s.seed = 65;
+  const auto ds = generate(s);
+  Device dev(DeviceConfig::titan_x_pascal());
+  GBDTParam p;
+  EXPECT_THROW((void)cross_validate(dev, ds, p, 1), std::invalid_argument);
+  EXPECT_THROW((void)cross_validate(dev, ds, p, 11), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbdt

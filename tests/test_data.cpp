@@ -1,0 +1,291 @@
+// Tests for the data substrate: sparse dataset container, CSC attribute
+// lists (host and device builds must agree exactly), dense matrix fill,
+// LibSVM round trips, synthetic generator statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "data/csc_matrix.h"
+#include "data/dataset.h"
+#include "data/dense_matrix.h"
+#include "data/libsvm_io.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+
+namespace gbdt::data {
+namespace {
+
+using device::Device;
+using device::DeviceConfig;
+
+/// The running example of paper Table I: 4 instances, 4 attributes.
+Dataset paper_table1() {
+  Dataset ds(4);
+  const std::vector<std::vector<Entry>> rows = {
+      {{2, 0.1f}},
+      {{0, 1.2f}, {2, 0.1f}, {3, 0.6f}},
+      {{0, 0.5f}, {1, 1.0f}},
+      {{0, 1.2f}, {2, 2.0f}},
+  };
+  const std::vector<float> labels = {0.f, 1.f, 0.f, 1.f};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ds.add_instance(rows[i], labels[i]);
+  }
+  return ds;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const auto ds = paper_table1();
+  EXPECT_EQ(ds.n_instances(), 4);
+  EXPECT_EQ(ds.n_attributes(), 4);
+  EXPECT_EQ(ds.n_entries(), 8);
+  EXPECT_DOUBLE_EQ(ds.density(), 8.0 / 16.0);
+  ASSERT_EQ(ds.instance(1).size(), 3u);
+  EXPECT_EQ(ds.instance(1)[2].attr, 3);
+  EXPECT_FLOAT_EQ(ds.instance(1)[2].value, 0.6f);
+  EXPECT_EQ(ds.instance(0).size(), 1u);
+}
+
+TEST(Dataset, MemoryFootprints) {
+  const auto ds = paper_table1();
+  EXPECT_EQ(ds.dense_bytes(), 16 * sizeof(float) + 4 * sizeof(float));
+  EXPECT_LT(ds.sparse_bytes(), ds.dense_bytes() * 4);  // sanity only
+  EXPECT_GT(ds.sparse_bytes(), 0u);
+}
+
+TEST(Dataset, SplitAtPreservesInstances) {
+  const auto ds = paper_table1();
+  const auto [a, b] = ds.split_at(3);
+  EXPECT_EQ(a.n_instances(), 3);
+  EXPECT_EQ(b.n_instances(), 1);
+  EXPECT_EQ(b.instance(0).size(), 2u);
+  EXPECT_EQ(b.labels()[0], 1.f);
+  EXPECT_EQ(a.n_attributes(), 4);
+}
+
+TEST(CscHost, MatchesPaperSortedLists) {
+  // Section II-A sorted attribute lists:
+  //   a1: (x2,1.2) (x4,1.2) (x3,0.5)   a2: (x3,1.0)
+  //   a3: (x4,2.0) (x2,0.1) (x1,0.1)   a4: (x2,0.6)
+  const auto csc = build_csc_host(paper_table1());
+  ASSERT_EQ(csc.n_entries(), 8);
+  const std::vector<std::int64_t> want_offs{0, 3, 4, 7, 8};
+  EXPECT_EQ(csc.col_offsets, want_offs);
+  const std::vector<float> want_vals{1.2f, 1.2f, 0.5f, 1.0f,
+                                     2.0f, 0.1f, 0.1f, 0.6f};
+  const std::vector<std::int32_t> want_ids{1, 3, 2, 2, 3, 0, 1, 1};
+  EXPECT_EQ(csc.values, want_vals);
+  EXPECT_EQ(csc.inst_ids, want_ids);
+}
+
+TEST(CscDevice, AgreesWithHostBuild) {
+  for (unsigned seed : {1u, 2u, 3u}) {
+    SyntheticSpec spec;
+    spec.n_instances = 500;
+    spec.n_attributes = 40;
+    spec.density = 0.3;
+    spec.distinct_values = 6;  // ties exercise stable ordering
+    spec.seed = seed;
+    const auto ds = generate(spec);
+    const auto host = build_csc_host(ds);
+
+    Device dev(DeviceConfig::titan_x_pascal());
+    const auto on_dev = build_csc_device(dev, ds);
+    ASSERT_EQ(on_dev.values.size(), host.values.size());
+    for (std::size_t i = 0; i < host.values.size(); ++i) {
+      ASSERT_EQ(on_dev.values[i], host.values[i]) << i;
+      ASSERT_EQ(on_dev.inst_ids[i], host.inst_ids[i]) << i;
+    }
+    for (std::size_t a = 0; a < host.col_offsets.size(); ++a) {
+      ASSERT_EQ(on_dev.col_offsets[a], host.col_offsets[a]) << a;
+    }
+    // The build must have moved the entries over the modeled PCI-e link.
+    EXPECT_GT(dev.timeline().bytes_to_device, 0u);
+  }
+}
+
+TEST(CscDevice, ColumnsSortedDescendingWithStableTies) {
+  SyntheticSpec spec;
+  spec.n_instances = 300;
+  spec.n_attributes = 10;
+  spec.density = 0.5;
+  spec.distinct_values = 3;
+  const auto ds = generate(spec);
+  Device dev(DeviceConfig::titan_x_pascal());
+  const auto csc = build_csc_device(dev, ds);
+  for (std::int64_t a = 0; a < csc.n_attributes; ++a) {
+    for (std::int64_t e = csc.col_offsets[static_cast<std::size_t>(a)] + 1;
+         e < csc.col_offsets[static_cast<std::size_t>(a) + 1]; ++e) {
+      const auto u = static_cast<std::size_t>(e);
+      ASSERT_GE(csc.values[u - 1], csc.values[u]);
+      if (csc.values[u - 1] == csc.values[u]) {
+        ASSERT_LT(csc.inst_ids[u - 1], csc.inst_ids[u]);  // stable ties
+      }
+    }
+  }
+}
+
+TEST(DenseMatrix, FillsMissingWithZero) {
+  const DenseMatrix m(paper_table1());
+  EXPECT_EQ(m.n_instances(), 4);
+  EXPECT_EQ(m.n_attributes(), 4);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.f);  // missing -> 0
+  EXPECT_FLOAT_EQ(m.at(0, 2), 0.1f);
+  EXPECT_FLOAT_EQ(m.at(1, 3), 0.6f);
+  EXPECT_FLOAT_EQ(m.at(3, 2), 2.0f);
+  EXPECT_EQ(m.bytes(), 16 * sizeof(float));
+  EXPECT_EQ(DenseMatrix::bytes_for(paper_table1()), 16 * sizeof(float));
+}
+
+TEST(LibsvmIo, ParsesBasicFile) {
+  std::istringstream in(
+      "1.5 1:0.5 3:2.25\n"
+      "-1 2:1\n"
+      "0  # a comment-only payload\n");
+  const auto ds = read_libsvm(in);
+  EXPECT_EQ(ds.n_instances(), 3);
+  EXPECT_EQ(ds.n_attributes(), 3);
+  EXPECT_FLOAT_EQ(ds.labels()[0], 1.5f);
+  ASSERT_EQ(ds.instance(0).size(), 2u);
+  EXPECT_EQ(ds.instance(0)[1].attr, 2);  // 1-based "3" -> 0-based 2
+  EXPECT_FLOAT_EQ(ds.instance(0)[1].value, 2.25f);
+  EXPECT_EQ(ds.instance(2).size(), 0u);
+}
+
+TEST(LibsvmIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("1 2.5\n");
+    EXPECT_THROW((void)read_libsvm(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 0:1\n");  // index must be >= 1
+    EXPECT_THROW((void)read_libsvm(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 3:1 2:1\n");  // not increasing
+    EXPECT_THROW((void)read_libsvm(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 2:abc\n");
+    EXPECT_THROW((void)read_libsvm(in), std::runtime_error);
+  }
+}
+
+TEST(LibsvmIo, RoundTrips) {
+  SyntheticSpec spec;
+  spec.n_instances = 200;
+  spec.n_attributes = 30;
+  spec.density = 0.4;
+  const auto ds = generate(spec);
+  std::stringstream buf;
+  write_libsvm(ds, buf);
+  const auto back = read_libsvm(buf);
+  ASSERT_EQ(back.n_instances(), ds.n_instances());
+  // Width can shrink if the last attribute never appears; entries must match.
+  for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+    const auto a = ds.instance(i);
+    const auto b = back.instance(i);
+    ASSERT_EQ(a.size(), b.size()) << i;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].attr, b[k].attr);
+      EXPECT_FLOAT_EQ(a[k].value, b[k].value);
+    }
+    EXPECT_FLOAT_EQ(ds.labels()[static_cast<std::size_t>(i)],
+                    back.labels()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Synthetic, RespectsShapeParameters) {
+  SyntheticSpec spec;
+  spec.n_instances = 2000;
+  spec.n_attributes = 100;
+  spec.density = 0.25;
+  spec.seed = 9;
+  const auto ds = generate(spec);
+  EXPECT_EQ(ds.n_instances(), 2000);
+  EXPECT_EQ(ds.n_attributes(), 100);
+  EXPECT_NEAR(ds.density(), 0.25, 0.02);
+}
+
+TEST(Synthetic, DistinctValuesBoundsCardinality) {
+  SyntheticSpec spec;
+  spec.n_instances = 3000;
+  spec.n_attributes = 5;
+  spec.distinct_values = 4;
+  const auto ds = generate(spec);
+  std::map<std::int32_t, std::map<float, int>> per_attr;
+  for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+    for (const auto& e : ds.instance(i)) ++per_attr[e.attr][e.value];
+  }
+  for (const auto& [attr, vals] : per_attr) {
+    EXPECT_LE(vals.size(), 4u) << attr;
+  }
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticSpec spec;
+  spec.n_instances = 100;
+  spec.n_attributes = 10;
+  spec.density = 0.5;
+  const auto a = generate(spec);
+  const auto b = generate(spec);
+  EXPECT_EQ(a.entries(), b.entries());
+  spec.seed += 1;
+  const auto c = generate(spec);
+  EXPECT_NE(a.entries(), c.entries());
+}
+
+TEST(Synthetic, BinaryLabelsAreBinary) {
+  SyntheticSpec spec;
+  spec.n_instances = 500;
+  spec.n_attributes = 10;
+  spec.binary_labels = true;
+  const auto ds = generate(spec);
+  int ones = 0;
+  for (float y : ds.labels()) {
+    ASSERT_TRUE(y == 0.f || y == 1.f);
+    ones += y == 1.f;
+  }
+  // Both classes occur.
+  EXPECT_GT(ones, 50);
+  EXPECT_LT(ones, 450);
+}
+
+TEST(Synthetic, RejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.n_instances = 0;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+  spec.n_instances = 10;
+  spec.density = 0.0;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+  spec.density = 1.5;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+}
+
+TEST(PaperRegistry, HasEightDatasetsInPaperRegimes) {
+  const auto all = paper_datasets(0.1);
+  ASSERT_EQ(all.size(), 8u);
+  const auto& news = paper_dataset("news20", 0.1);
+  EXPECT_GT(news.spec.n_attributes, 10000);  // high-dimensional regime
+  EXPECT_LT(news.spec.density, 0.01);
+  EXPECT_GT(news.spec.distinct_values, 0);   // RLE-compressible
+  const auto& susy = paper_dataset("susy", 0.1);
+  EXPECT_LT(susy.spec.n_attributes, 30);     // dense low-dim regime
+  EXPECT_GT(susy.spec.density, 0.9);
+  EXPECT_FALSE(susy.paper_xgb_gpu_fails);    // the one dataset xgbst-gpu ran
+  EXPECT_TRUE(news.paper_xgb_gpu_fails);
+  EXPECT_THROW((void)paper_dataset("nope"), std::out_of_range);
+}
+
+TEST(PaperRegistry, ScaleControlsCardinality) {
+  const auto big = paper_dataset("higgs", 1.0);
+  const auto small = paper_dataset("higgs", 0.01);
+  EXPECT_EQ(big.spec.n_attributes, small.spec.n_attributes);
+  EXPECT_GT(big.spec.n_instances, 10 * small.spec.n_instances);
+  EXPECT_THROW((void)paper_datasets(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbdt::data

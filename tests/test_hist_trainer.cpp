@@ -1,0 +1,160 @@
+// Tests for the histogram-based (approximate) trainer: learning quality
+// relative to the exact trainer, bin-grid split semantics, feasibility
+// limits, determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/hist_trainer.h"
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+
+namespace gbdt::baseline {
+namespace {
+
+using data::SyntheticSpec;
+using device::Device;
+using device::DeviceConfig;
+
+data::Dataset make_data(unsigned seed, std::int64_t n = 2000,
+                        std::int64_t d = 16) {
+  SyntheticSpec s;
+  s.n_instances = n;
+  s.n_attributes = d;
+  s.density = 0.8;
+  s.label_noise = 0.1;
+  s.seed = seed;
+  return generate(s);
+}
+
+GBDTParam small_param() {
+  GBDTParam p;
+  p.depth = 4;
+  p.n_trees = 8;
+  return p;
+}
+
+TEST(HistTrainer, LearnsCloseToExact) {
+  const auto ds = make_data(21);
+  const auto p = small_param();
+  Device dev1(DeviceConfig::titan_x_pascal());
+  const auto exact = GpuGbdtTrainer(dev1, p).train(ds);
+  Device dev2(DeviceConfig::titan_x_pascal());
+  const auto hist = HistGbdtTrainer(dev2, p, 64).train(ds);
+
+  const double exact_rmse = rmse(exact.train_scores, ds.labels());
+  const double hist_rmse = rmse(hist.train_scores, ds.labels());
+  // Approximate splits cannot beat exact enumeration by much, and with 64
+  // quantile bins they should be close.
+  EXPECT_GT(hist_rmse, exact_rmse - 1e-9);
+  EXPECT_LT(hist_rmse, exact_rmse * 1.35 + 0.05);
+}
+
+TEST(HistTrainer, MoreBinsApproachExactQuality) {
+  const auto ds = make_data(22);
+  const auto p = small_param();
+  double prev = 1e9;
+  for (int bins : {4, 16, 256}) {
+    Device dev(DeviceConfig::titan_x_pascal());
+    const auto r = HistGbdtTrainer(dev, p, bins).train(ds);
+    const double e = rmse(r.train_scores, ds.labels());
+    EXPECT_LT(e, prev * 1.02) << bins;  // near-monotone improvement
+    prev = e;
+  }
+}
+
+TEST(HistTrainer, SplitValuesLieOnTheBinGrid) {
+  // With very few bins, every split threshold must be one of <= 8 distinct
+  // cut values per attribute.
+  const auto ds = make_data(23, 1500, 6);
+  GBDTParam p = small_param();
+  p.n_trees = 4;
+  Device dev(DeviceConfig::titan_x_pascal());
+  const auto r = HistGbdtTrainer(dev, p, 8).train(ds);
+  std::map<std::int32_t, std::set<float>> per_attr;
+  for (const auto& t : r.trees) {
+    for (const auto& n : t.nodes()) {
+      if (!n.is_leaf()) per_attr[n.attr].insert(n.split_value);
+    }
+  }
+  for (const auto& [attr, values] : per_attr) {
+    EXPECT_LE(values.size(), 8u) << "attr " << attr;
+  }
+}
+
+TEST(HistTrainer, FasterThanExactPerModeledSecond) {
+  // The histogram method skips sorted lists and partitioning; on dense
+  // medium-dimensional data its modeled time per tree is lower.
+  SyntheticSpec s;
+  s.n_instances = 20000;
+  s.n_attributes = 24;
+  s.density = 1.0;
+  s.seed = 24;
+  const auto ds = generate(s);
+  GBDTParam p;
+  p.depth = 6;
+  p.n_trees = 5;
+  Device dev1(DeviceConfig::titan_x_pascal());
+  const auto exact = GpuGbdtTrainer(dev1, p).train(ds);
+  Device dev2(DeviceConfig::titan_x_pascal());
+  const auto hist = HistGbdtTrainer(dev2, p, 64).train(ds);
+  EXPECT_LT(hist.modeled_seconds, exact.modeled.total());
+}
+
+TEST(HistTrainer, RejectsInfeasibleHighDimensionalHistograms) {
+  SyntheticSpec s;
+  s.n_instances = 200;
+  s.n_attributes = 50000;
+  s.density = 0.001;
+  s.seed = 25;
+  const auto ds = generate(s);
+  GBDTParam p;
+  p.depth = 12;  // 2^11 nodes x 50k attrs x 256 bins blows the device
+  p.n_trees = 1;
+  Device dev(DeviceConfig::titan_x_pascal());
+  HistGbdtTrainer trainer(dev, p, 256);
+  EXPECT_THROW((void)trainer.train(ds), std::invalid_argument);
+}
+
+TEST(HistTrainer, RejectsBadConfig) {
+  Device dev(DeviceConfig::titan_x_pascal());
+  GBDTParam p;
+  EXPECT_THROW(HistGbdtTrainer(dev, p, 1), std::invalid_argument);
+  EXPECT_THROW(HistGbdtTrainer(dev, p, 1 << 20), std::invalid_argument);
+  HistGbdtTrainer ok(dev, p, 64);
+  data::Dataset empty(3);
+  EXPECT_THROW((void)ok.train(empty), std::invalid_argument);
+}
+
+TEST(HistTrainer, DeterministicAcrossRuns) {
+  const auto ds = make_data(26, 800, 8);
+  const auto p = small_param();
+  Device dev1(DeviceConfig::titan_x_pascal());
+  Device dev2(DeviceConfig::titan_x_pascal());
+  const auto a = HistGbdtTrainer(dev1, p, 32).train(ds);
+  const auto b = HistGbdtTrainer(dev2, p, 32).train(ds);
+  ASSERT_EQ(a.trees.size(), b.trees.size());
+  for (std::size_t t = 0; t < a.trees.size(); ++t) {
+    EXPECT_TRUE(Tree::same_structure(a.trees[t], b.trees[t], 0.0)) << t;
+  }
+  EXPECT_EQ(a.train_scores, b.train_scores);
+}
+
+TEST(HistTrainer, DepthAndLeafBoundsHold) {
+  const auto ds = make_data(27);
+  GBDTParam p;
+  p.depth = 3;
+  p.n_trees = 5;
+  Device dev(DeviceConfig::titan_x_pascal());
+  const auto r = HistGbdtTrainer(dev, p, 32).train(ds);
+  for (const auto& t : r.trees) {
+    EXPECT_LE(t.depth(), 3);
+    EXPECT_LE(t.n_leaves(), 8);
+    EXPECT_EQ(t.node(0).n_instances, ds.n_instances());
+  }
+}
+
+}  // namespace
+}  // namespace gbdt::baseline

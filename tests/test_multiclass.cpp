@@ -1,0 +1,109 @@
+// Tests for one-vs-rest multiclass classification.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/multiclass.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+
+namespace gbdt {
+namespace {
+
+using device::Device;
+using device::DeviceConfig;
+
+/// Three well-separated Gaussian-ish clusters over two informative features.
+data::Dataset three_clusters(unsigned seed, std::int64_t n = 900) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> noise(0.f, 0.35f);
+  const float cx[3] = {-2.f, 0.f, 2.f};
+  const float cy[3] = {0.f, 2.f, -1.f};
+  data::Dataset ds(4);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int k = static_cast<int>(i % 3);
+    const std::vector<data::Entry> row{
+        {0, cx[k] + noise(rng)},
+        {1, cy[k] + noise(rng)},
+        {2, noise(rng)},  // pure noise features
+        {3, noise(rng)},
+    };
+    ds.add_instance(row, static_cast<float>(k));
+  }
+  return ds;
+}
+
+GBDTParam small_param() {
+  GBDTParam p;
+  p.depth = 4;
+  p.n_trees = 10;
+  return p;
+}
+
+TEST(Multiclass, LearnsThreeSeparableClasses) {
+  const auto ds = three_clusters(81);
+  Device dev(DeviceConfig::titan_x_pascal());
+  auto [model, modeled] = MulticlassModel::train(dev, ds, 3, small_param());
+  EXPECT_EQ(model.n_classes(), 3);
+  EXPECT_GT(modeled, 0.0);
+  EXPECT_LT(model.error_rate(ds), 0.05);
+}
+
+TEST(Multiclass, ProbabilitiesFormADistribution) {
+  const auto ds = three_clusters(82, 300);
+  Device dev(DeviceConfig::titan_x_pascal());
+  auto [model, modeled] = MulticlassModel::train(dev, ds, 3, small_param());
+  const auto proba = model.predict_proba(ds);
+  ASSERT_EQ(proba.size(), 300u);
+  for (const auto& row : proba) {
+    ASSERT_EQ(row.size(), 3u);
+    double total = 0;
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Multiclass, PredictClassIsArgmaxOfProba) {
+  const auto ds = three_clusters(83, 200);
+  Device dev(DeviceConfig::titan_x_pascal());
+  auto [model, modeled] = MulticlassModel::train(dev, ds, 3, small_param());
+  const auto proba = model.predict_proba(ds);
+  const auto cls = model.predict_class(ds);
+  for (std::size_t i = 0; i < cls.size(); ++i) {
+    const auto arg = static_cast<int>(
+        std::max_element(proba[i].begin(), proba[i].end()) -
+        proba[i].begin());
+    ASSERT_EQ(cls[i], arg) << i;
+  }
+}
+
+TEST(Multiclass, SaveLoadRoundTrips) {
+  const auto ds = three_clusters(84, 300);
+  Device dev(DeviceConfig::titan_x_pascal());
+  auto [model, modeled] = MulticlassModel::train(dev, ds, 3, small_param());
+  model.save("/tmp/gbdt_mc");
+  const auto loaded = MulticlassModel::load("/tmp/gbdt_mc", 3);
+  EXPECT_EQ(loaded.predict_class(ds), model.predict_class(ds));
+}
+
+TEST(Multiclass, RejectsBadLabels) {
+  Device dev(DeviceConfig::titan_x_pascal());
+  data::Dataset ds(2);
+  const std::vector<data::Entry> row{{0, 1.f}};
+  ds.add_instance(row, 5.f);  // out of range for 3 classes
+  EXPECT_THROW((void)MulticlassModel::train(dev, ds, 3, small_param()),
+               std::invalid_argument);
+  data::Dataset frac(2);
+  frac.add_instance(row, 0.5f);  // non-integer
+  EXPECT_THROW((void)MulticlassModel::train(dev, frac, 3, small_param()),
+               std::invalid_argument);
+  EXPECT_THROW((void)MulticlassModel::train(dev, ds, 1, small_param()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbdt

@@ -1,0 +1,333 @@
+// gbdt — command-line interface to the GPU-GBDT library.
+//
+//   gbdt train   --data=train.libsvm --model=out.model [hyper-params...]
+//   gbdt predict --data=test.libsvm --model=out.model [--output=pred.txt]
+//   gbdt eval    --data=test.libsvm --model=out.model
+//   gbdt dump    --model=out.model [--tree=K]
+//   gbdt importance --model=out.model [--kind=gain|cover|splits]
+//   gbdt synth   --out=data.libsvm --instances=N --attributes=D [...]
+//
+// Run `gbdt help` (or any subcommand with --help) for the full flag list.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cv.h"
+#include "core/gbdt.h"
+#include "core/metrics.h"
+#include "data/libsvm_io.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+
+namespace {
+
+using namespace gbdt;
+
+/// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& def = "") const {
+    const auto it = values_.find(key);
+    if (it != values_.end()) used_.push_back(key);
+    return it == values_.end() ? def : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double def) const {
+    const auto s = str(key);
+    return s.empty() ? def : std::atof(s.c_str());
+  }
+  [[nodiscard]] long integer(const std::string& key, long def) const {
+    const auto s = str(key);
+    return s.empty() ? def : std::atol(s.c_str());
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return str(key) == "1" || str(key) == "true";
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto s = str(key);
+    if (s.empty()) {
+      std::fprintf(stderr, "missing required flag --%s=\n", key.c_str());
+      std::exit(2);
+    }
+    return s;
+  }
+
+  void warn_unused() const {
+    for (const auto& [k, v] : values_) {
+      if (std::find(used_.begin(), used_.end(), k) == used_.end()) {
+        std::fprintf(stderr, "warning: unused flag --%s\n", k.c_str());
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> used_;
+};
+
+device::DeviceConfig device_by_name(const std::string& name) {
+  if (name == "titanx" || name.empty()) return device::DeviceConfig::titan_x_pascal();
+  if (name == "p100") return device::DeviceConfig::tesla_p100();
+  if (name == "k20") return device::DeviceConfig::tesla_k20();
+  std::fprintf(stderr, "unknown device '%s' (use titanx|p100|k20)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+GBDTParam params_from(const Flags& f) {
+  GBDTParam p;
+  p.depth = static_cast<int>(f.integer("depth", p.depth));
+  p.n_trees = static_cast<int>(f.integer("trees", p.n_trees));
+  p.eta = f.num("eta", p.eta);
+  p.lambda = f.num("lambda", p.lambda);
+  p.gamma = f.num("gamma", p.gamma);
+  p.base_score = f.num("base-score", p.base_score);
+  p.rle_threshold_r = f.num("rle-threshold", p.rle_threshold_r);
+  const std::string loss = f.str("loss", "l2");
+  if (loss == "l2" || loss == "squared") {
+    p.loss = LossKind::kSquaredError;
+  } else if (loss == "logistic" || loss == "binary") {
+    p.loss = LossKind::kLogistic;
+  } else {
+    std::fprintf(stderr, "unknown loss '%s' (use l2|logistic)\n", loss.c_str());
+    std::exit(2);
+  }
+  if (f.flag("no-rle")) p.use_rle = false;
+  if (f.flag("force-rle")) p.force_rle = true;
+  if (f.flag("no-smartgd")) p.use_smart_gd = false;
+  if (f.flag("no-setkey")) p.use_custom_setkey = false;
+  if (f.flag("no-idxcomp")) p.use_custom_idxcomp_workload = false;
+  if (f.flag("no-direct-rle")) p.use_direct_rle_split = false;
+  return p;
+}
+
+int cmd_train(const Flags& f) {
+  const auto data_path = f.require("data");
+  const auto model_path = f.require("model");
+  const auto ds = data::read_libsvm_file(data_path);
+  std::fprintf(stderr, "loaded %lld instances x %lld attributes from %s\n",
+               static_cast<long long>(ds.n_instances()),
+               static_cast<long long>(ds.n_attributes()), data_path.c_str());
+
+  device::Device dev(device_by_name(f.str("device")));
+  const auto param = params_from(f);
+  const auto valid_path = f.str("valid");
+  const int early = static_cast<int>(f.integer("early-stopping", 0));
+  f.warn_unused();
+
+  GBDTModel model;
+  TrainReport report;
+  if (!valid_path.empty()) {
+    const auto valid = data::read_libsvm_file(valid_path);
+    auto [m, r, history] = GBDTModel::train_with_validation(
+        dev, ds, valid, param, early);
+    model = std::move(m);
+    report = std::move(r);
+    std::fprintf(stderr, "validation %s: best %.6f at tree %d%s\n",
+                 history.metric_name.c_str(),
+                 history.metric[static_cast<std::size_t>(
+                     std::max(history.best_iteration, 0))],
+                 history.best_iteration,
+                 history.stopped_early ? " (early stop)" : "");
+  } else {
+    auto [m, r] = GBDTModel::train(dev, ds, param);
+    model = std::move(m);
+    report = std::move(r);
+  }
+  model.save(model_path);
+  std::fprintf(stderr,
+               "trained %zu trees -> %s\n"
+               "modeled device time %.4f s (find-split %.0f%%), wall %.2f s, "
+               "peak device mem %.1f MiB, RLE %s (ratio %.2f)\n",
+               model.trees().size(), model_path.c_str(),
+               report.modeled.total(),
+               100.0 * report.modeled.find_split / report.modeled.total(),
+               report.wall_seconds,
+               static_cast<double>(report.peak_device_bytes) / (1 << 20),
+               report.used_rle ? "on" : "off", report.rle_ratio);
+  const double train_rmse = rmse(report.train_scores, ds.labels());
+  std::fprintf(stderr, "train rmse %.6f\n", train_rmse);
+  return 0;
+}
+
+int cmd_predict(const Flags& f) {
+  const auto ds = data::read_libsvm_file(f.require("data"));
+  const auto model = GBDTModel::load(f.require("model"));
+  const auto out_path = f.str("output");
+  const bool transform = f.flag("transform");
+  f.warn_unused();
+
+  auto scores = model.predict(ds);
+  if (transform) scores = model.transform_scores(scores);
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out = &file;
+  }
+  out->precision(9);
+  for (double s : scores) *out << s << '\n';
+  return 0;
+}
+
+int cmd_eval(const Flags& f) {
+  const auto ds = data::read_libsvm_file(f.require("data"));
+  const auto model = GBDTModel::load(f.require("model"));
+  f.warn_unused();
+  const auto raw = model.predict(ds);
+  const auto prob = model.transform_scores(raw);
+  std::printf("instances: %lld\n", static_cast<long long>(ds.n_instances()));
+  std::printf("rmse:      %.6f\n", rmse(raw, ds.labels()));
+  std::printf("error:     %.6f\n", error_rate(prob, ds.labels()));
+  return 0;
+}
+
+int cmd_dump(const Flags& f) {
+  const auto model = GBDTModel::load(f.require("model"));
+  const long which = f.integer("tree", -1);
+  f.warn_unused();
+  for (std::size_t t = 0; t < model.trees().size(); ++t) {
+    if (which >= 0 && static_cast<std::size_t>(which) != t) continue;
+    std::printf("booster[%zu]:\n%s", t, model.trees()[t].dump().c_str());
+  }
+  return 0;
+}
+
+int cmd_importance(const Flags& f) {
+  const auto model = GBDTModel::load(f.require("model"));
+  const auto kind_s = f.str("kind", "gain");
+  f.warn_unused();
+  ImportanceKind kind = ImportanceKind::kGain;
+  if (kind_s == "cover") kind = ImportanceKind::kCover;
+  else if (kind_s == "splits") kind = ImportanceKind::kSplitCount;
+  else if (kind_s != "gain") {
+    std::fprintf(stderr, "unknown kind '%s' (gain|cover|splits)\n",
+                 kind_s.c_str());
+    return 2;
+  }
+  const auto imp = model.feature_importance(kind);
+  std::vector<std::size_t> order(imp.size());
+  for (std::size_t i = 0; i < imp.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return imp[a] > imp[b]; });
+  for (std::size_t i : order) {
+    if (imp[i] <= 0) break;
+    std::printf("f%zu\t%.6f\n", i, imp[i]);
+  }
+  return 0;
+}
+
+int cmd_cv(const Flags& f) {
+  const auto ds = data::read_libsvm_file(f.require("data"));
+  const int folds = static_cast<int>(f.integer("folds", 5));
+  const auto seed = static_cast<unsigned>(f.integer("seed", 42));
+  device::Device dev(device_by_name(f.str("device")));
+  const auto param = params_from(f);
+  f.warn_unused();
+  const auto cv = cross_validate(dev, ds, param, folds, seed);
+  for (std::size_t k = 0; k < cv.fold_metric.size(); ++k) {
+    std::printf("fold %zu: %s = %.6f\n", k, cv.metric_name.c_str(),
+                cv.fold_metric[k]);
+  }
+  std::printf("cv-%s: %.6f +/- %.6f (%d folds)\n", cv.metric_name.c_str(),
+              cv.mean, cv.stddev, folds);
+  return 0;
+}
+
+int cmd_synth(const Flags& f) {
+  data::SyntheticSpec spec;
+  const auto paper = f.str("paper");
+  if (!paper.empty()) {
+    spec = data::paper_dataset(paper, f.num("scale", 1.0)).spec;
+  } else {
+    spec.n_instances = f.integer("instances", 1000);
+    spec.n_attributes = f.integer("attributes", 20);
+    spec.density = f.num("density", 1.0);
+    spec.distinct_values = static_cast<int>(f.integer("distinct", 0));
+    spec.binary_labels = f.flag("binary");
+    spec.seed = static_cast<unsigned>(f.integer("seed", 42));
+  }
+  const auto out = f.require("out");
+  f.warn_unused();
+  data::write_libsvm_file(data::generate(spec), out);
+  std::fprintf(stderr, "wrote %s (%lld x %lld)\n", out.c_str(),
+               static_cast<long long>(spec.n_instances),
+               static_cast<long long>(spec.n_attributes));
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "gbdt — GPU-GBDT command line (simulated device)\n"
+      "\n"
+      "subcommands:\n"
+      "  train   --data=F --model=F [--valid=F --early-stopping=K]\n"
+      "          [--trees=40 --depth=6 --eta=0.3 --lambda=1 --gamma=0\n"
+      "           --loss=l2|logistic --device=titanx|p100|k20\n"
+      "           --no-rle --force-rle --no-smartgd --no-setkey\n"
+      "           --no-idxcomp --no-direct-rle]\n"
+      "  predict --data=F --model=F [--output=F --transform]\n"
+      "  eval    --data=F --model=F\n"
+      "  cv      --data=F [--folds=5 --seed=42 + train hyper-params]\n"
+      "  dump    --model=F [--tree=K]\n"
+      "  importance --model=F [--kind=gain|cover|splits]\n"
+      "  synth   --out=F (--paper=NAME [--scale=S] |\n"
+      "           --instances=N --attributes=D [--density=1 --distinct=0\n"
+      "           --binary --seed=42])");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help") {
+    usage();
+    return 0;
+  }
+  const Flags flags(argc, argv, 2);
+  try {
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "predict") return cmd_predict(flags);
+    if (cmd == "eval") return cmd_eval(flags);
+    if (cmd == "cv") return cmd_cv(flags);
+    if (cmd == "dump") return cmd_dump(flags);
+    if (cmd == "importance") return cmd_importance(flags);
+    if (cmd == "synth") return cmd_synth(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+  usage();
+  return 2;
+}
