@@ -9,6 +9,7 @@
 #include "data/csc_matrix.h"
 #include "primitives/reduce.h"
 #include "primitives/transform.h"
+#include "testing/invariants.h"
 
 namespace gbdt {
 
@@ -497,6 +498,16 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
                     });
       }
 
+      if (testing::invariants_enabled()) {
+        std::vector<std::pair<std::int32_t, std::int64_t>> expected;
+        expected.reserve(next.size());
+        for (const ActiveNode& child : next) {
+          expected.emplace_back(child.tree_node, child.count);
+        }
+        testing::check_instance_counts(st.node_of.span(), expected,
+                                       "ooc_level");
+      }
+
       active = std::move(next);
     }
     for (const ActiveNode& node : active) {
@@ -507,6 +518,10 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
       tn.sum_h = node.sum_h;
     }
     active.clear();
+
+    if (testing::invariants_enabled()) {
+      testing::check_leaf_map(st.node_of.span(), tree, ds, "ooc_leaf_map");
+    }
   }
 
   detail::update_predictions_smart(st, report.trees.back());

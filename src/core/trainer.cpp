@@ -10,6 +10,7 @@
 #include "primitives/segmented.h"
 #include "primitives/transform.h"
 #include "rle/rle.h"
+#include "testing/invariants.h"
 
 namespace gbdt {
 
@@ -346,6 +347,10 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
         rle::paper_gate(st.n_attr, st.n_inst, param_.rle_threshold_r);
     if (param_.use_rle && gate) {
       auto compressed = rle::compress(dev_, st.orig_values, st.orig_seg_offsets);
+      if (testing::invariants_enabled()) {
+        testing::check_rle_roundtrip(dev_, compressed, st.orig_values,
+                                     "root_rle_build");
+      }
       st.rle = true;
       report.used_rle = true;
       st.orig_n_runs = compressed.n_runs;
@@ -475,12 +480,18 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
           detail::apply_splits_sparse(st, plan);
         }
       }
+      testing::check_level_conservation(
+          st, plan, st.rle ? "apply_splits_rle" : "apply_splits_sparse");
       st.active = std::move(plan.next_active);
     }
 
     // Depth limit reached: remaining active nodes become leaves.
     for (const ActiveNode& node : st.active) finalize_leaf(st, node);
     st.active.clear();
+
+    if (testing::invariants_enabled()) {
+      testing::check_leaf_map(st.node_of.span(), tree, ds, "smartgd_leaf_map");
+    }
 
     if (on_tree && !on_tree(t, report.trees)) break;
   }

@@ -15,6 +15,7 @@
 #include "primitives/segmented.h"
 #include "primitives/transform.h"
 #include "rle/rle.h"
+#include "testing/invariants.h"
 
 namespace gbdt::detail {
 
@@ -736,6 +737,10 @@ void apply_splits_rle(TrainState& st, const LevelPlan& plan) {
     decompress_split_runs(st, scatter, new_elem_offsets, old_n_elems);
   }
   st.run_keys.free();
+
+  testing::check_rle_layout(
+      st, static_cast<std::int64_t>(plan.next_active.size()) * st.n_attr,
+      "apply_splits_rle");
 }
 
 }  // namespace gbdt::detail

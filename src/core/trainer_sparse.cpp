@@ -9,6 +9,7 @@
 #include "primitives/partition.h"
 #include "primitives/segmented.h"
 #include "primitives/transform.h"
+#include "testing/invariants.h"
 
 namespace gbdt::detail {
 
@@ -369,6 +370,9 @@ void apply_partition_sparse(TrainState& st, const LevelPlan& plan) {
   st.seg_offsets = std::move(new_offsets);
   st.n_elems = new_n;
   st.keys.free();
+
+  testing::maybe_inject_partition_fault(st);
+  testing::check_sparse_layout(st, n_parts, "apply_partition_sparse");
 }
 
 void apply_splits_sparse(TrainState& st, const LevelPlan& plan) {

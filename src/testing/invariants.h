@@ -1,0 +1,122 @@
+// Structural invariant checks for the trainer paths, gated behind the
+// GBDT_CHECK_INVARIANTS flag (environment variable or programmatic toggle).
+//
+// Every optimization in the paper — RLE compression, Directly-Split-RLE,
+// the order-preserving partition, SmartGD — is claimed to be *exact*.  The
+// checks in this header make the structural half of that claim executable:
+// trainers call them at their hook points, and when checking is enabled a
+// violated invariant throws InvariantViolation with enough context to
+// pinpoint the broken kernel.  When disabled (the default) every check is a
+// single relaxed atomic load, so the hooks are free in normal builds.
+//
+// Checked invariants:
+//  * attribute lists stay value-sorted (descending) inside every segment
+//    after each order-preserving partition;
+//  * segment offsets are monotone and cover the whole element/run domain;
+//  * RLE runs have positive length, strictly descending distinct values per
+//    segment, and run/element segment boundaries agree;
+//  * decompress(compress(x)) == x for the root-level RLE build;
+//  * child instance counts (and gradient sums) conserve the parent, both in
+//    the host-side level plan and in the device instance->node map;
+//  * the instance->leaf map SmartGD gathers through matches a host-side
+//    traversal of the finished tree (the gradients it produces are exactly
+//    the traversal-computed ones).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tree.h"
+#include "data/dataset.h"
+#include "device/device_context.h"
+#include "rle/rle.h"
+
+namespace gbdt::detail {
+struct TrainState;
+struct LevelPlan;
+}  // namespace gbdt::detail
+
+namespace gbdt::testing {
+
+/// Thrown by any check when its invariant does not hold.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error("invariant violation: " + what) {}
+};
+
+/// Whether the trainer hook points run their checks.  Initialised lazily
+/// from the GBDT_CHECK_INVARIANTS environment variable ("1"/"on"/"true");
+/// set_invariants_enabled overrides it (tests, the fuzz harness).
+[[nodiscard]] bool invariants_enabled();
+void set_invariants_enabled(bool enabled);
+
+/// Test-only fault injection: lets the fuzz self-test corrupt trainer state
+/// on purpose and verify the invariant checker catches it.  All flags are
+/// off by default and only honoured while invariants are enabled.
+struct FaultInjection {
+  /// Break the descending value order of one partitioned segment (sparse
+  /// path): the next check_sparse_layout must throw.
+  bool break_partition_order = false;
+  /// Drop one instance from a child count in the level plan before the
+  /// conservation check (host-side bookkeeping corruption).
+  bool break_child_counts = false;
+};
+[[nodiscard]] FaultInjection& fault_injection();
+
+/// Applies any armed fault to the freshly partitioned sparse working layout
+/// (no-op unless invariants are enabled and a fault is armed).
+void maybe_inject_partition_fault(detail::TrainState& st);
+
+// ---- layout checks (called after each order-preserving partition) ---------
+
+/// Sparse working layout: seg_offsets monotone over [0, n_elems] with n_seg
+/// segments, values sorted descending inside every segment, instance ids in
+/// range.
+void check_sparse_layout(const detail::TrainState& st, std::int64_t n_seg,
+                         const char* where);
+
+/// RLE working layout: run_starts strictly increasing (positive run
+/// lengths) covering [0, n_elems], run_seg_offsets monotone over
+/// [0, n_runs], strictly descending distinct run values inside every
+/// segment, and element-domain segment offsets consistent with the run
+/// domain.
+void check_rle_layout(const detail::TrainState& st, std::int64_t n_seg,
+                      const char* where);
+
+/// decompress(compressed) must reproduce `original` bit for bit.
+void check_rle_roundtrip(device::Device& dev, const rle::DeviceRle& compressed,
+                         const device::DeviceBuffer<float>& original,
+                         const char* where);
+
+// ---- conservation checks ---------------------------------------------------
+
+/// Host-side level plan: each splitting node's children must conserve its
+/// instance count exactly and its gradient/hessian sums to within fp
+/// tolerance, with both children non-empty; the device instance->node map
+/// must agree with the planned child counts.
+void check_level_conservation(const detail::TrainState& st,
+                              const detail::LevelPlan& plan,
+                              const char* where);
+
+/// node_of occurrence counts must equal `expected` (pairs of tree-node id
+/// and count) for every listed node.  Used by trainers that do not go
+/// through LevelPlan (out-of-core).
+void check_instance_counts(
+    std::span<const std::int32_t> node_of,
+    std::span<const std::pair<std::int32_t, std::int64_t>> expected,
+    const char* where);
+
+// ---- SmartGD ---------------------------------------------------------------
+
+/// The instance->leaf map left by tree construction (what SmartGD gathers
+/// its prediction updates through) must match a host-side traversal of the
+/// finished tree for every training instance.
+void check_leaf_map(std::span<const std::int32_t> node_of, const Tree& tree,
+                    const data::Dataset& ds, const char* where);
+
+}  // namespace gbdt::testing

@@ -1,0 +1,246 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "baselines/xgb_exact.h"
+#include "core/metrics.h"
+#include "core/out_of_core.h"
+#include "core/trainer.h"
+#include "multigpu/multi_trainer.h"
+#include "testing/invariants.h"
+
+namespace gbdt::testing {
+
+namespace {
+
+using device::Device;
+using device::DeviceConfig;
+
+/// Trees + scores of one trainer leg, normalised across report types.
+struct LegOutput {
+  std::vector<Tree> trees;
+  std::vector<double> scores;
+  double rle_ratio = 1.0;
+};
+
+/// Compares a leg against the reference.  `tol` 0.0 demands bitwise
+/// equality (the sparse GPU leg); otherwise exact gain ties broken
+/// differently are tolerated when the forests fit identically.
+void compare_leg(LegResult& leg, const LegOutput& ref, const LegOutput& got,
+                 double tol, const std::vector<float>& labels) {
+  if (got.trees.size() != ref.trees.size()) {
+    leg.detail = "forest size " + std::to_string(got.trees.size()) +
+                 " != reference " + std::to_string(ref.trees.size());
+    return;
+  }
+  for (std::size_t t = 0; t < ref.trees.size(); ++t) {
+    if (!Tree::same_structure(ref.trees[t], got.trees[t], tol)) {
+      ++leg.divergent_trees;
+      if (leg.detail.empty()) {
+        leg.detail = "tree " + std::to_string(t) +
+                     " diverges from the reference";
+      }
+    }
+  }
+  if (leg.divergent_trees == 0) {
+    if (tol == 0.0) {
+      // Bitwise score agreement too.
+      for (std::size_t i = 0; i < ref.scores.size(); ++i) {
+        if (got.scores[i] != ref.scores[i]) {
+          leg.detail = "train score " + std::to_string(i) +
+                       " differs bitwise (" + std::to_string(got.scores[i]) +
+                       " vs " + std::to_string(ref.scores[i]) + ")";
+          return;
+        }
+      }
+    }
+    leg.exact = true;
+    leg.detail.clear();
+    return;
+  }
+  // Tie-break divergence: accept only functional equivalence.
+  const double ref_fit = rmse(ref.scores, labels);
+  const double got_fit = rmse(got.scores, labels);
+  if (tol > 0.0 && std::abs(ref_fit - got_fit) <= 1e-3 * (1.0 + ref_fit)) {
+    leg.tie_equivalent = true;
+    leg.detail += " (exact-gain tie, fits agree: " + std::to_string(ref_fit) +
+                  " vs " + std::to_string(got_fit) + ")";
+  } else {
+    leg.detail += "; fits disagree: rmse " + std::to_string(ref_fit) +
+                  " vs " + std::to_string(got_fit);
+  }
+}
+
+/// Runs one leg, converting invariant violations and trainer errors into a
+/// failed LegResult instead of propagating.
+LegResult run_leg(const std::string& name,
+                  const std::function<LegOutput()>& body, const LegOutput& ref,
+                  double tol, const std::vector<float>& labels) {
+  LegResult leg;
+  leg.name = name;
+  leg.ran = true;
+  try {
+    const LegOutput got = body();
+    leg.rle_ratio = got.rle_ratio;
+    compare_leg(leg, ref, got, tol, labels);
+  } catch (const InvariantViolation& e) {
+    leg.invariant_violation = true;
+    leg.detail = e.what();
+  } catch (const std::exception& e) {
+    leg.detail = std::string("trainer threw: ") + e.what();
+  }
+  return leg;
+}
+
+}  // namespace
+
+std::string OracleResult::failure_report() const {
+  std::ostringstream os;
+  for (const auto& l : legs) {
+    if (!l.failed()) continue;
+    os << "  leg " << l.name << ": " << l.detail << "\n";
+  }
+  return os.str();
+}
+
+OracleResult run_oracle(const FuzzCase& c, bool check_invariants) {
+  OracleResult result;
+  result.c = c;
+
+  const bool was_enabled = invariants_enabled();
+  set_invariants_enabled(check_invariants);
+
+  const auto ds = data::generate(c.dataset_spec());
+  const GBDTParam base = c.base_param();
+
+  // Reference: the exact-greedy CPU baseline.
+  LegOutput ref;
+  {
+    auto r = baseline::XgbExactTrainer(base).train(ds);
+    ref.trees = std::move(r.trees);
+    ref.scores = std::move(r.train_scores);
+  }
+
+  result.legs.push_back(run_leg(
+      "gpu_sparse",
+      [&] {
+        Device dev(DeviceConfig::titan_x_pascal());
+        auto r = GpuGbdtTrainer(dev, base).train(ds);
+        return LegOutput{std::move(r.trees), std::move(r.train_scores), 1.0};
+      },
+      ref, 0.0, ds.labels()));
+
+  auto rle_leg = [&](bool direct) {
+    GBDTParam p = base;
+    p.use_rle = true;
+    p.force_rle = true;
+    p.use_direct_rle_split = direct;
+    Device dev(DeviceConfig::titan_x_pascal());
+    auto r = GpuGbdtTrainer(dev, p).train(ds);
+    return LegOutput{std::move(r.trees), std::move(r.train_scores),
+                     r.rle_ratio};
+  };
+  result.legs.push_back(run_leg("gpu_rle_direct", [&] { return rle_leg(true); },
+                                ref, 1e-7, ds.labels()));
+  result.legs.push_back(
+      run_leg("gpu_rle_fallback", [&] { return rle_leg(false); }, ref, 1e-7,
+              ds.labels()));
+
+  // The two RLE node-split strategies must account compression identically.
+  {
+    auto& direct = result.legs[result.legs.size() - 2];
+    auto& fallback = result.legs.back();
+    if (direct.ran && fallback.ran && !direct.invariant_violation &&
+        !fallback.invariant_violation &&
+        direct.rle_ratio != fallback.rle_ratio) {
+      direct.exact = false;
+      direct.tie_equivalent = false;
+      direct.detail = "rle_ratio accounting differs between Directly-Split (" +
+                      std::to_string(direct.rle_ratio) + ") and fallback (" +
+                      std::to_string(fallback.rle_ratio) + ")";
+    }
+  }
+
+  const int n_gpus =
+      static_cast<int>(std::min<std::int64_t>(c.n_gpus, c.n_attributes));
+  if (n_gpus >= 2) {
+    result.legs.push_back(run_leg(
+        "multigpu_x" + std::to_string(n_gpus),
+        [&] {
+          multigpu::MultiGpuTrainer trainer(DeviceConfig::titan_x_pascal(),
+                                            n_gpus, base);
+          auto r = trainer.train(ds);
+          return LegOutput{std::move(r.trees), std::move(r.train_scores), 1.0};
+        },
+        ref, 1e-7, ds.labels()));
+  } else {
+    LegResult skipped;
+    skipped.name = "multigpu";
+    skipped.ran = false;
+    skipped.detail = "skipped: fewer than 2 shardable attributes";
+    result.legs.push_back(std::move(skipped));
+  }
+
+  result.legs.push_back(run_leg(
+      "out_of_core",
+      [&] {
+        Device dev(DeviceConfig::titan_x_pascal());
+        OutOfCoreTrainer trainer(dev, base, c.ooc_chunk_bytes,
+                                 c.ooc_stream_compressed);
+        auto r = trainer.train(ds);
+        return LegOutput{std::move(r.trees), std::move(r.train_scores), 1.0};
+      },
+      ref, 1e-7, ds.labels()));
+
+  set_invariants_enabled(was_enabled);
+  return result;
+}
+
+FuzzCase minimize_case(const FuzzCase& failing, bool check_invariants,
+                       int max_attempts) {
+  FuzzCase best = failing;
+  int attempts = 0;
+  bool shrunk = true;
+  while (shrunk && attempts < max_attempts) {
+    shrunk = false;
+    // Shrink operations, most impactful first.
+    const std::vector<std::function<bool(FuzzCase&)>> ops = {
+        [](FuzzCase& c) {
+          if (c.n_instances <= 10) return false;
+          c.n_instances = std::max<std::int64_t>(10, c.n_instances / 2);
+          return true;
+        },
+        [](FuzzCase& c) {
+          if (c.n_trees <= 1) return false;
+          c.n_trees = std::max(1, c.n_trees / 2);
+          return true;
+        },
+        [](FuzzCase& c) {
+          if (c.n_attributes <= 2) return false;
+          c.n_attributes = std::max<std::int64_t>(2, c.n_attributes / 2);
+          return true;
+        },
+        [](FuzzCase& c) {
+          if (c.depth <= 1) return false;
+          c.depth = std::max(1, c.depth / 2);
+          return true;
+        },
+    };
+    for (const auto& op : ops) {
+      if (attempts >= max_attempts) break;
+      FuzzCase candidate = best;
+      if (!op(candidate)) continue;
+      ++attempts;
+      if (!run_oracle(candidate, check_invariants).pass()) {
+        best = candidate;
+        shrunk = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace gbdt::testing

@@ -1,0 +1,79 @@
+// Trainer-path equivalence oracle.
+//
+// Trains one FuzzCase through every trainer path in the repository — the
+// exact-greedy CPU reference (xgb_exact), the sparse GPU path, both RLE
+// node-split strategies (Directly-Split and decompress/partition/
+// recompress), feature-parallel multi-GPU, and out-of-core streaming — and
+// verifies the paper's exactness claim: every path must construct the same
+// trees and the same training scores as the reference.
+//
+// Comparison policy per leg (mirrors the repository's established tests):
+//  * gpu_sparse must match the CPU reference bit for bit (trees and
+//    scores) — the accumulation orders are deliberately identical;
+//  * the other legs must match tree for tree within 1e-7 on split values,
+//    except that *exact* gain ties may be broken differently when prefix
+//    sums differ in the last ulp; such a divergence is accepted only when
+//    the forests are functionally equivalent (same tree count and the same
+//    training fit to within 1e-3 RMSE) and is reported separately from a
+//    real discrepancy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testing/case_gen.h"
+
+namespace gbdt::testing {
+
+/// Outcome of one trainer leg compared against the CPU reference.
+struct LegResult {
+  std::string name;
+  bool ran = false;            // leg skipped (e.g. too few attributes)
+  bool exact = false;          // every tree structurally identical
+  int divergent_trees = 0;     // trees differing within tie tolerance
+  bool tie_equivalent = false; // divergences are functionally equivalent
+  bool invariant_violation = false;
+  double rle_ratio = 1.0;      // RLE legs only
+  std::string detail;          // first failure / divergence description
+
+  /// A real discrepancy: ran, and neither exact nor tie-equivalent (or an
+  /// invariant fired inside the trainer).
+  [[nodiscard]] bool failed() const {
+    return ran && (invariant_violation || !(exact || tie_equivalent));
+  }
+};
+
+struct OracleResult {
+  FuzzCase c;
+  std::vector<LegResult> legs;
+
+  [[nodiscard]] bool pass() const {
+    for (const auto& l : legs) {
+      if (l.failed()) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] int ties() const {
+    int t = 0;
+    for (const auto& l : legs) t += l.divergent_trees;
+    return t;
+  }
+  /// Multi-line report of the failing legs (empty when pass()).
+  [[nodiscard]] std::string failure_report() const;
+};
+
+/// Runs every trainer path on the case and compares against the CPU
+/// reference.  With check_invariants, the structural invariant hooks inside
+/// the trainers are armed for the duration of the run (a violation marks
+/// the leg failed instead of propagating).
+[[nodiscard]] OracleResult run_oracle(const FuzzCase& c,
+                                      bool check_invariants = true);
+
+/// Shrinks a failing case by halving rows/columns and dropping trees/depth
+/// while the oracle keeps failing; returns the smallest still-failing case.
+/// max_attempts bounds the number of oracle re-runs.
+[[nodiscard]] FuzzCase minimize_case(const FuzzCase& failing,
+                                     bool check_invariants = true,
+                                     int max_attempts = 64);
+
+}  // namespace gbdt::testing

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the repository with AddressSanitizer + UndefinedBehaviorSanitizer
+# (the GBDT_SANITIZE CMake option) and runs the test suite under it.
+#
+#   tools/check_sanitizers.sh             # unit + property tests
+#   tools/check_sanitizers.sh -L unit     # any extra args go to ctest
+#
+# The sanitized tree lives in build-asan/ next to the regular build/.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DGBDT_SANITIZE=ON
+cmake --build "${build_dir}" -j
+
+# halt_on_error keeps a sanitizer report from being drowned out by later
+# tests; detect_leaks stays on (the default) to catch allocator misuse in
+# the simulated-device buffers.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+cd "${build_dir}"
+ctest --output-on-failure "$@"

@@ -1,0 +1,241 @@
+// Differential fuzzer for the trainer paths.
+//
+// Draws random cases (dataset shape, loss, depth, RLE gating, #GPUs,
+// out-of-core chunking) from a replayable 64-bit seed stream, trains each
+// case through every trainer path, and checks the paths agree with the
+// exact-greedy CPU reference (see src/testing/oracle.h for the comparison
+// policy).  On a failure the case is shrunk to a minimal reproducer and a
+// one-line replay command is printed.
+//
+//   gbdt_fuzz --cases 50 --start-seed 0x1234        # fuzzing sweep
+//   gbdt_fuzz --seed 0xdeadbeef                     # replay one case
+//   gbdt_fuzz --seed 0xdeadbeef --rows 25 --cols 4  # replay a shrunk case
+//   gbdt_fuzz --self-test                           # fault-injection check
+//
+// Exit code 0: all cases pass.  1: at least one real discrepancy.  2: bad
+// usage.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "testing/invariants.h"
+#include "testing/oracle.h"
+
+namespace {
+
+using gbdt::testing::FuzzCase;
+using gbdt::testing::OracleResult;
+
+struct Options {
+  int cases = 50;
+  std::uint64_t start_seed = 0x9d1cebab5eedull;
+  std::optional<std::uint64_t> seed;  // single-case replay
+  std::optional<std::int64_t> rows;
+  std::optional<std::int64_t> cols;
+  std::optional<int> trees;
+  std::optional<int> depth;
+  bool check_invariants = true;
+  bool minimize = true;
+  bool self_test = false;
+};
+
+void usage() {
+  std::cerr
+      << "usage: gbdt_fuzz [options]\n"
+         "  --cases N          number of random cases to run (default 50)\n"
+         "  --start-seed SEED  base of the case-seed stream (hex ok)\n"
+         "  --seed SEED        replay a single case from its seed\n"
+         "  --rows N           override n_instances (replay of a shrunk case)\n"
+         "  --cols N           override n_attributes\n"
+         "  --trees N          override n_trees\n"
+         "  --depth N          override depth\n"
+         "  --no-invariants    do not arm in-trainer invariant checks\n"
+         "  --no-minimize      report failures without shrinking them\n"
+         "  --self-test        verify the invariant checker catches injected\n"
+         "                     faults, then exit\n";
+}
+
+std::uint64_t parse_u64(const char* s) {
+  return std::strtoull(s, nullptr, 0);  // base 0: accepts 0x-prefixed hex
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--cases") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.cases = std::atoi(v);
+    } else if (a == "--start-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.start_seed = parse_u64(v);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.seed = parse_u64(v);
+    } else if (a == "--rows") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.rows = std::atoll(v);
+    } else if (a == "--cols") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.cols = std::atoll(v);
+    } else if (a == "--trees") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.trees = std::atoi(v);
+    } else if (a == "--depth") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.depth = std::atoi(v);
+    } else if (a == "--no-invariants") {
+      opt.check_invariants = false;
+    } else if (a == "--no-minimize") {
+      opt.minimize = false;
+    } else if (a == "--self-test") {
+      opt.self_test = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      return false;
+    }
+  }
+  if (opt.cases < 0) {
+    std::cerr << "--cases must be >= 0\n";
+    return false;
+  }
+  if ((opt.rows && *opt.rows < 1) || (opt.cols && *opt.cols < 1) ||
+      (opt.trees && *opt.trees < 1) || (opt.depth && *opt.depth < 1)) {
+    std::cerr << "--rows/--cols/--trees/--depth must be >= 1\n";
+    return false;
+  }
+  return true;
+}
+
+FuzzCase build_case(std::uint64_t seed, const Options& opt) {
+  FuzzCase c = FuzzCase::from_seed(seed);
+  if (opt.rows) c.n_instances = *opt.rows;
+  if (opt.cols) c.n_attributes = *opt.cols;
+  if (opt.trees) c.n_trees = *opt.trees;
+  if (opt.depth) c.depth = *opt.depth;
+  return c;
+}
+
+/// Runs one case; on failure minimizes and prints the repro line.  Returns
+/// true when the case passes.
+bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
+  const OracleResult r = run_oracle(c, opt.check_invariants);
+  std::cout << "[" << index << "/" << total << "] "
+            << (r.pass() ? "PASS" : "FAIL") << " " << c.describe();
+  if (r.pass() && r.ties() > 0) {
+    std::cout << " (" << r.ties() << " exact-gain tie"
+              << (r.ties() > 1 ? "s" : "") << ")";
+  }
+  std::cout << "\n";
+  if (r.pass()) return true;
+
+  std::cout << r.failure_report();
+  FuzzCase repro = c;
+  if (opt.minimize) {
+    repro = gbdt::testing::minimize_case(c, opt.check_invariants);
+    if (repro.n_instances != c.n_instances ||
+        repro.n_attributes != c.n_attributes || repro.n_trees != c.n_trees ||
+        repro.depth != c.depth) {
+      std::cout << "  minimized to: " << repro.describe() << "\n";
+    }
+  }
+  std::cout << "  repro: " << repro.repro_command() << "\n";
+  return false;
+}
+
+/// Fault-injection self-test: armed faults must be caught by the invariant
+/// checker, and must be inert while checking is disabled.
+int self_test() {
+  // A case that exercises the sparse partition on every leg: dense-ish,
+  // multiple levels, two trees.
+  FuzzCase c = FuzzCase::from_seed(0x5e1f7e57ull);
+  c.n_instances = 120;
+  c.n_attributes = 6;
+  c.depth = 3;
+  c.n_trees = 2;
+  auto& fi = gbdt::testing::fault_injection();
+  int failures = 0;
+
+  auto expect = [&](const char* what, bool ok) {
+    std::cout << "self-test: " << what << ": " << (ok ? "ok" : "FAILED")
+              << "\n";
+    if (!ok) ++failures;
+  };
+
+  {
+    fi = {};
+    fi.break_partition_order = true;
+    const OracleResult r = run_oracle(c, /*check_invariants=*/true);
+    bool caught = false;
+    for (const auto& leg : r.legs) caught |= leg.invariant_violation;
+    expect("partition-order fault caught by invariant checker",
+           caught && !r.pass());
+  }
+  {
+    fi = {};
+    fi.break_child_counts = true;
+    const OracleResult r = run_oracle(c, /*check_invariants=*/true);
+    bool caught = false;
+    for (const auto& leg : r.legs) caught |= leg.invariant_violation;
+    expect("child-count fault caught by conservation check",
+           caught && !r.pass());
+  }
+  {
+    fi = {};
+    fi.break_partition_order = true;
+    const OracleResult r = run_oracle(c, /*check_invariants=*/false);
+    expect("armed fault inert while checks disabled", r.pass());
+  }
+  {
+    fi = {};
+    const OracleResult r = run_oracle(c, /*check_invariants=*/true);
+    expect("clean run passes with checks armed", r.pass());
+  }
+  fi = {};
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  if (opt.self_test) return self_test();
+
+  if (opt.seed) {
+    const FuzzCase c = build_case(*opt.seed, opt);
+    return run_case(c, opt, 1, 1) ? 0 : 1;
+  }
+
+  int failures = 0;
+  std::uint64_t stream = opt.start_seed;
+  for (int i = 0; i < opt.cases; ++i) {
+    const std::uint64_t seed = gbdt::testing::splitmix64(stream);
+    const FuzzCase c = build_case(seed, opt);
+    if (!run_case(c, opt, i + 1, opt.cases)) ++failures;
+  }
+  std::cout << (opt.cases - failures) << "/" << opt.cases << " cases passed\n";
+  return failures == 0 ? 0 : 1;
+}
