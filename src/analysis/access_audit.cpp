@@ -1,0 +1,177 @@
+#include "analysis/access_audit.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gbdt::analysis {
+
+namespace {
+
+bool env_audit_enabled() {
+  const char* v = std::getenv("GBDT_AUDIT_ACCESS");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "on" || s == "true" || s == "ON" || s == "TRUE";
+}
+
+std::atomic<int>& audit_state() {
+  // -1: unresolved (consult the environment), 0: off, 1: on.
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+}  // namespace
+
+bool audit_enabled() {
+  int s = audit_state().load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = env_audit_enabled() ? 1 : 0;
+    audit_state().store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void set_audit_enabled(bool enabled) {
+  audit_state().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void report_over_release(std::size_t bytes, std::size_t used) {
+  if (!audit_enabled()) return;
+  // release() is noexcept and runs inside destructors, so the only honest
+  // way to fail is hard: report and abort (EXPECT_DEATH-testable).
+  std::fprintf(stderr,
+               "gbdt audit: DeviceAllocator over-release: released %zu bytes "
+               "with only %zu in use\n",
+               bytes, used);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void LaunchAuditor::begin(std::string_view kernel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  kernel_.assign(kernel);
+  buffers_.clear();
+}
+
+std::string LaunchAuditor::describe_buffer(const void* base,
+                                           const ShadowMap& m) const {
+  std::ostringstream os;
+  os << "buffer " << base << " (" << m.n_elems << " elems x " << m.elem_size
+     << "B)";
+  return os.str();
+}
+
+void LaunchAuditor::record(std::int64_t block, const void* base,
+                           std::size_t elem_size, std::size_t n_elems,
+                           std::int64_t lo, std::int64_t count,
+                           bool is_write) {
+  if (count <= 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  ShadowMap& m = buffers_[base];
+  if (m.elem_size == 0) {
+    m.elem_size = elem_size;
+    m.n_elems = n_elems;
+  }
+  if (lo < 0 || count > static_cast<std::int64_t>(n_elems) ||
+      lo > static_cast<std::int64_t>(n_elems) - count) {
+    std::ostringstream os;
+    os << "kernel '" << kernel_ << "': block " << block << " "
+       << (is_write ? "writes" : "reads") << " out of bounds: elements [" << lo
+       << ", " << (lo + count) << ") of " << describe_buffer(base, m);
+    throw AuditViolation(os.str());
+  }
+  std::vector<Interval>& v = is_write ? m.writes : m.reads;
+  // Coalesce the common pattern of a block touching consecutive elements.
+  if (!v.empty() && v.back().block == block && v.back().hi == lo) {
+    v.back().hi = lo + count;
+  } else {
+    v.push_back(Interval{lo, lo + count, block});
+  }
+}
+
+void LaunchAuditor::abandon() {
+  std::lock_guard<std::mutex> lk(mu_);
+  buffers_.clear();
+  kernel_.clear();
+}
+
+void LaunchAuditor::finish() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> problems;
+  const auto interval_less = [](const Interval& a, const Interval& b) {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+  };
+  for (auto& [base, m] : buffers_) {
+    std::sort(m.writes.begin(), m.writes.end(), interval_less);
+
+    // (a) No two blocks may write overlapping elements.  Sweep the sorted
+    // intervals keeping the furthest-reaching open interval; a report names
+    // the first conflicting pair per buffer (minimized: one line each).
+    if (!m.writes.empty()) {
+      Interval cur = m.writes.front();
+      for (std::size_t i = 1; i < m.writes.size(); ++i) {
+        const Interval& w = m.writes[i];
+        if (w.lo < cur.hi && w.block != cur.block) {
+          std::ostringstream os;
+          os << "kernel '" << kernel_ << "': blocks " << cur.block << " and "
+             << w.block << " both write elements [" << w.lo << ", "
+             << std::min(cur.hi, w.hi) << ") of " << describe_buffer(base, m);
+          problems.push_back(os.str());
+          break;
+        }
+        if (w.hi > cur.hi || w.lo >= cur.hi) {
+          if (w.lo >= cur.hi) {
+            cur = w;
+          } else {
+            cur.hi = w.hi;  // same block extends the open interval
+          }
+        }
+      }
+    }
+
+    // (b) No block may read an element another block wrote in this launch.
+    if (!m.writes.empty() && !m.reads.empty()) {
+      for (const Interval& r : m.reads) {
+        // First write interval that could overlap [r.lo, r.hi).
+        auto it = std::upper_bound(
+            m.writes.begin(), m.writes.end(), r,
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+        // Writes are sorted by lo but earlier intervals can still reach past
+        // r.lo; scan back while they might.  Interval lists are per-launch
+        // and short, so the backward scan is cheap.
+        while (it != m.writes.begin() && std::prev(it)->hi > r.lo) --it;
+        bool reported = false;
+        for (; it != m.writes.end() && it->lo < r.hi; ++it) {
+          if (it->hi > r.lo && it->block != r.block) {
+            std::ostringstream os;
+            os << "kernel '" << kernel_ << "': block " << r.block
+               << " reads elements [" << std::max(r.lo, it->lo) << ", "
+               << std::min(r.hi, it->hi) << ") of " << describe_buffer(base, m)
+               << " which block " << it->block << " writes in the same launch";
+            problems.push_back(os.str());
+            reported = true;
+            break;
+          }
+        }
+        if (reported) break;  // one read/write conflict per buffer
+      }
+    }
+  }
+  buffers_.clear();
+  const std::string kernel = std::move(kernel_);
+  kernel_.clear();
+  if (!problems.empty()) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      if (i > 0) os << "\n  ";
+      os << problems[i];
+    }
+    throw AuditViolation(os.str());
+  }
+  (void)kernel;
+}
+
+}  // namespace gbdt::analysis

@@ -1,0 +1,93 @@
+// Kernel access auditor: per-buffer shadow access maps for simulated kernels.
+//
+// The thread-pool contract ("kernel bodies must only write to disjoint
+// outputs per block") is what makes the host-parallel execution of simulated
+// kernels race-free — and, on a real GPU, what makes the corresponding
+// kernels correct without atomics.  This header turns that prose contract
+// into an enforced one: kernel bodies *declare* the element intervals each
+// block reads and writes (BlockCtx::reads / BlockCtx::writes), and when
+// auditing is armed (GBDT_AUDIT_ACCESS=1 or set_audit_enabled) every launch
+// verifies at kernel end that
+//   (a) no two blocks wrote overlapping elements,
+//   (b) no block read an element another block wrote in the same launch,
+//   (c) every declared access was in bounds (checked at record time, so the
+//       report carries the offending block).
+// Violations throw AuditViolation with a minimized report: kernel label,
+// buffer identity/geometry, the conflicting block ids, and the overlapping
+// element range.  When auditing is off, recording collapses to a null-pointer
+// check per declaration.
+//
+// Annotations may under-approximate *reads* of buffers no launch writes
+// (read-only tables); they must never under-approximate writes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gbdt::analysis {
+
+/// Thrown when a launch violates the block-disjoint access contract.
+class AuditViolation : public std::logic_error {
+ public:
+  explicit AuditViolation(const std::string& what)
+      : std::logic_error("kernel access violation: " + what) {}
+};
+
+/// Whether launches audit their declared accesses.  Initialised lazily from
+/// the GBDT_AUDIT_ACCESS environment variable ("1"/"on"/"true");
+/// set_audit_enabled overrides it (tests, the fuzz harness).
+[[nodiscard]] bool audit_enabled();
+void set_audit_enabled(bool enabled);
+
+/// DeviceAllocator hook: called when more bytes are released than are in
+/// use.  Accounting-only when auditing is off; when auditing is armed the
+/// over-release is reported to stderr and the process aborts (release runs
+/// in destructors, so throwing is not an option).
+void report_over_release(std::size_t bytes, std::size_t used);
+
+/// Per-Device shadow access map of one kernel launch.
+///
+/// begin() opens the shadow maps for a launch; record() appends one
+/// read/write interval of one block (thread-safe: blocks run across the host
+/// thread pool); finish() verifies the block-disjointness contract and
+/// clears; abandon() clears without verifying (used when the kernel body
+/// itself threw).  Bounds violations throw from record() so the error
+/// carries the offending block and unwinds through the (exception-safe)
+/// thread pool.
+class LaunchAuditor {
+ public:
+  void begin(std::string_view kernel);
+  void record(std::int64_t block, const void* base, std::size_t elem_size,
+              std::size_t n_elems, std::int64_t lo, std::int64_t count,
+              bool is_write);
+  void finish();
+  void abandon();
+
+ private:
+  struct Interval {
+    std::int64_t lo;
+    std::int64_t hi;  // exclusive
+    std::int64_t block;
+  };
+  struct ShadowMap {
+    std::size_t elem_size = 0;
+    std::size_t n_elems = 0;
+    std::vector<Interval> writes;
+    std::vector<Interval> reads;
+  };
+
+  [[nodiscard]] std::string describe_buffer(const void* base,
+                                            const ShadowMap& m) const;
+
+  std::mutex mu_;
+  std::string kernel_;
+  std::map<const void*, ShadowMap> buffers_;
+};
+
+}  // namespace gbdt::analysis

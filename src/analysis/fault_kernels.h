@@ -1,0 +1,70 @@
+// Deliberate block-disjointness violations for auditor self-tests.
+//
+// Test/tool-only header (depends on the device layer; the gbdt_analysis
+// library itself does not).  Each fault models a realistic way a kernel in
+// this codebase could go wrong; the overlapping scatter mirrors the IdxComp
+// counter matrix of the order-preserving partition, where an off-by-one in
+// the per-block counter slice makes adjacent blocks bump the same counter.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device_context.h"
+
+namespace gbdt::analysis {
+
+/// Adjacent blocks both write the counter cell on their shared boundary —
+/// the classic partition-counter overlap.  Fires check (a).
+inline void run_overlapping_scatter_fault(device::Device& dev,
+                                          std::int64_t grid_dim = 8) {
+  auto counters = dev.alloc<std::int64_t>(static_cast<std::size_t>(grid_dim) +
+                                          1);
+  dev.launch("fault_overlapping_scatter", grid_dim, 32,
+             [&](device::BlockCtx& b) {
+               const std::int64_t blk = b.block_idx();
+               auto c = counters.span();
+               // Intended slice is [blk, blk+1); the off-by-one also claims
+               // the next block's first cell.
+               c[blk] += 1;
+               c[blk + 1] += 1;
+               b.writes(c, blk, 2);
+               b.work(2);
+             });
+}
+
+/// Each block writes its own tile but reads its right neighbour's first
+/// element in the same launch.  Fires check (b).
+inline void run_cross_block_read_fault(device::Device& dev,
+                                       std::int64_t grid_dim = 8) {
+  const int block_dim = 32;
+  const std::int64_t n = grid_dim * block_dim;
+  auto data = dev.alloc<float>(static_cast<std::size_t>(n));
+  dev.launch("fault_cross_block_read", grid_dim, block_dim,
+             [&](device::BlockCtx& b) {
+               auto d = data.span();
+               b.for_each_thread([&](std::int64_t i) {
+                 if (i < n) d[i] = static_cast<float>(i);
+               });
+               b.writes_tile(d, n);
+               const std::int64_t neighbour =
+                   ((b.block_idx() + 1) % b.grid_dim()) * b.block_dim();
+               b.reads(d, neighbour, 1);
+             });
+}
+
+/// One block declares a write one element past the end of the buffer.
+/// Fires check (c) at record time, on whichever host worker runs the block.
+inline void run_out_of_bounds_fault(device::Device& dev,
+                                    std::int64_t grid_dim = 8) {
+  const int block_dim = 32;
+  const std::int64_t n = grid_dim * block_dim;
+  auto data = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
+  dev.launch("fault_out_of_bounds", grid_dim, block_dim,
+             [&](device::BlockCtx& b) {
+               auto d = data.span();
+               b.writes_tile(d, n);
+               if (b.block_idx() == b.grid_dim() - 1) b.writes(d, n, 1);
+             });
+}
+
+}  // namespace gbdt::analysis

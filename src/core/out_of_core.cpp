@@ -237,8 +237,12 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
                           for (std::int32_t j = 0; j < rl[ru]; ++j) {
                             out[static_cast<std::size_t>(rs[ru] + j)] = rv[ru];
                           }
+                          b.writes(out, rs[ru], rl[ru]);
                           written += static_cast<std::uint64_t>(rl[ru]);
                         });
+                        b.reads_tile(rv, n_runs);
+                        b.reads_tile(rl, n_runs);
+                        b.reads_tile(rs, n_runs);
                         b.work(written);
                         b.mem_coalesced(written * 4 +
                                         elems_in_block(b, n_runs) * 20);
@@ -360,6 +364,10 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
             out_best[static_cast<std::size_t>(col * n_slots + s)] =
                 cb[static_cast<std::size_t>(s)];
           }
+          b.reads(offs, col, 2);
+          b.reads(values, lo, hi - lo);
+          b.reads(inst, lo, hi - lo);
+          b.writes(out_best, col * n_slots, n_slots);
           // Two fused passes: stream the chunk twice, gather (g,h) twice.
           b.work(4 * touched);
           b.mem_coalesced(2 * touched * 8);
@@ -449,6 +457,10 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
                             def[static_cast<std::size_t>(node_of[u])];
                         if (child >= 0) node_of[u] = child;
                       });
+                      b.reads_tile(node_of, n_inst);
+                      b.writes_tile(node_of, n_inst);
+                      b.reads(def, 0,
+                              static_cast<std::int64_t>(def.size()));
                       b.mem_coalesced(elems_in_block(b, n_inst) * 8);
                     });
       }
@@ -485,13 +497,20 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
                         const auto u = static_cast<std::size_t>(e);
                         auto& slot_ref =
                             node_of[static_cast<std::size_t>(ii[u])];
+                        b.reads(node_of, ii[u]);
                         if (slot_ref != default_id &&
                             slot_ref != (d.default_left ? right_id : left_id)) {
                           return;  // instance not in this node
                         }
                         // Instances of other nodes share neither child id.
                         slot_ref = v[u] >= split_value ? left_id : right_id;
+                        // An instance appears once per streamed column, so
+                        // the scattered node_of updates are block-disjoint;
+                        // the auditor verifies it.
+                        b.writes(node_of, ii[u]);
                       });
+                      b.reads_tile(v, len);
+                      b.reads_tile(ii, len);
                       const auto m = elems_in_block(b, len);
                       b.mem_coalesced(m * 8);
                       b.mem_irregular(m);

@@ -72,6 +72,9 @@ void assign_default_children(TrainState& st, const LevelPlan& plan) {
                         def[static_cast<std::size_t>(node_of[u])];
                     if (child >= 0) node_of[u] = child;
                   });
+                  b.reads_tile(node_of, n);
+                  b.writes_tile(node_of, n);
+                  b.reads(def, 0, static_cast<std::int64_t>(def.size()));
                   const auto m = prim::elems_in_block(b, n);
                   b.mem_coalesced(m * 2 * sizeof(std::int32_t));
                   b.mem_irregular(m / 8 + 1);  // small table lookups, cached
@@ -94,6 +97,10 @@ void compute_gradients(TrainState& st, const DeviceBuffer<float>& labels) {
                     g[u] = gp.g;
                     h[u] = gp.h;
                   });
+                  b.reads_tile(y, n);
+                  b.reads_tile(p, n);
+                  b.writes_tile(g, n);
+                  b.writes_tile(h, n);
                   b.mem_coalesced(prim::elems_in_block(b, n) * 24);
                   b.flop(prim::elems_in_block(b, n) * 4);
                 });
@@ -119,6 +126,10 @@ void update_predictions_smart(TrainState& st, const Tree& tree) {
                     p[u] = static_cast<float>(
                         p[u] + w[static_cast<std::size_t>(node_of[u])]);
                   });
+                  b.reads_tile(p, n);
+                  b.reads_tile(node_of, n);
+                  b.reads(w, 0, static_cast<std::int64_t>(w.size()));
+                  b.writes_tile(p, n);
                   const auto m = prim::elems_in_block(b, n);
                   b.mem_coalesced(m * 12);
                   b.mem_irregular(m / 8 + 1);  // leaf-weight table, cached
@@ -137,6 +148,8 @@ void device_copy(Device& dev, const DeviceBuffer<T>& src, DeviceBuffer<T>& dst,
                    d[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)];
                  }
                });
+               b.reads_tile(s, n);
+               b.writes_tile(d, n);
                b.mem_coalesced(prim::elems_in_block(b, n) * 2 * sizeof(T));
              });
 }
@@ -270,6 +283,9 @@ void update_predictions_naive(TrainState& st, const Tree& tree) {
                     p[u] = static_cast<float>(
                         p[u] + W[static_cast<std::size_t>(id)]);
                   });
+                  b.reads_tile(p, n);
+                  b.writes_tile(p, n);
+                  b.reads_tile(ro, n + 1);
                   // Every instance of a warp follows its own root-to-leaf
                   // path: the lanes diverge at every node and the scattered
                   // loads serialise — the cost SmartGD removes entirely

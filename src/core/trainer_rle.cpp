@@ -43,6 +43,7 @@ void aggregate_run_gradients(TrainState& st, DeviceBuffer<GHPair>& rgh) {
                     if (r >= n_runs) return;
                     const auto u = static_cast<std::size_t>(r);
                     GHPair sum;
+                    b.reads(inst, starts[u], starts[u + 1] - starts[u]);
                     for (std::int64_t e = starts[u]; e < starts[u + 1]; ++e) {
                       const auto x = static_cast<std::size_t>(
                           inst[static_cast<std::size_t>(e)]);
@@ -51,6 +52,8 @@ void aggregate_run_gradients(TrainState& st, DeviceBuffer<GHPair>& rgh) {
                     }
                     out[u] = sum;
                   });
+                  b.reads_tile(starts, n_runs + 1);
+                  b.writes_tile(out, n_runs);
                   b.work(touched);
                   b.mem_coalesced(touched * 4 +
                                   elems_in_block(b, n_runs) * 32);
@@ -94,9 +97,12 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
                    const auto u = static_cast<std::size_t>(s);
                    const std::int64_t hi = roff[u + 1];
                    const bool empty = roff[u] == hi;
+                   if (!empty) b.reads(scan, hi - 1);
                    tot[u] = empty ? GHPair{}
                                   : scan[static_cast<std::size_t>(hi - 1)];
                  });
+                 b.reads_tile(roff, n_seg + 1);
+                 b.writes_tile(tot, n_seg);
                  const auto m = elems_in_block(b, n_seg);
                  b.mem_coalesced(m * 32);
                  b.mem_irregular(m);
@@ -167,6 +173,10 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
                      dr[u] = 0;
                    }
                  });
+                 b.reads_tile(k, n_runs);
+                 b.reads_tile(scan, n_runs);
+                 b.writes_tile(gn, n_runs);
+                 b.writes_tile(dr, n_runs);
                  const auto m = elems_in_block(b, n_runs);
                  b.mem_coalesced(m * 49);
                  b.mem_irregular(m);  // seg-table lookups
@@ -269,12 +279,20 @@ void assign_exact_side_rle(TrainState& st,
                    if (cs[slot] != seg) return;
                    const std::int32_t target =
                        r <= bp[slot] ? li[slot] : ri[slot];
+                   b.reads(inst, starts[u], starts[u + 1] - starts[u]);
                    for (std::int64_t e = starts[u]; e < starts[u + 1]; ++e) {
                      node_of[static_cast<std::size_t>(
                          inst[static_cast<std::size_t>(e)])] = target;
+                     // An instance appears in exactly one run of the chosen
+                     // segment and nodes own disjoint instance sets, so the
+                     // scattered stores are block-disjoint; the auditor
+                     // verifies it.
+                     b.writes(node_of, inst[static_cast<std::size_t>(e)]);
                      ++writes;
                    }
                  });
+                 b.reads_tile(k, n_runs);
+                 b.reads_tile(starts, n_runs + 1);
                  b.work(writes);
                  b.mem_coalesced(elems_in_block(b, n_runs) * 24 + writes * 4);
                  b.mem_irregular(writes);
@@ -360,6 +378,8 @@ DeviceBuffer<std::int64_t> partition_instances_rle(
                    const std::int32_t attr =
                        static_cast<std::int32_t>(k[u] % n_attr);
                    std::int64_t cl = 0, cr = 0;
+                   b.reads(inst, starts[u], starts[u + 1] - starts[u]);
+                   b.writes(p, starts[u], starts[u + 1] - starts[u]);
                    for (std::int64_t e = starts[u]; e < starts[u + 1]; ++e) {
                      const auto eu = static_cast<std::size_t>(e);
                      const std::int32_t ns =
@@ -376,8 +396,12 @@ DeviceBuffer<std::int64_t> partition_instances_rle(
                    if (count_children) {
                      ll[u] = cl;
                      lr[u] = cr;
+                     b.writes(ll, r);
+                     b.writes(lr, r);
                    }
                  });
+                 b.reads_tile(k, n_runs);
+                 b.reads_tile(starts, n_runs + 1);
                  b.work(touched);
                  b.mem_coalesced(touched * 8 + elems_in_block(b, n_runs) * 24);
                  b.mem_irregular(touched);
@@ -405,8 +429,13 @@ DeviceBuffer<std::int64_t> partition_instances_rle(
                    const auto u = static_cast<std::size_t>(e);
                    if (sc[u] >= 0) {
                      ni[static_cast<std::size_t>(sc[u])] = inst[u];
+                     // Scatter targets are unique by construction of the
+                     // order-preserving partition; the auditor verifies it.
+                     b.writes(ni, sc[u]);
                    }
                  });
+                 b.reads_tile(inst, n);
+                 b.reads_tile(sc, n);
                  const auto m = elems_in_block(b, n);
                  b.mem_coalesced(m * 12);
                  b.mem_irregular(m / 4 + 1);
@@ -451,8 +480,11 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
                    const auto pseg = static_cast<std::size_t>(
                        static_cast<std::int64_t>(parent) * n_attr +
                        nseg % n_attr);
+                   b.reads(ps, nseg / n_attr);
+                   b.reads(roff, static_cast<std::int64_t>(pseg), 2);
                    cc[u] = roff[pseg + 1] - roff[pseg];
                  });
+                 b.writes_tile(cc, n_new_seg);
                  const auto m = elems_in_block(b, n_new_seg);
                  b.mem_coalesced(m * 8);
                  b.mem_irregular(m);
@@ -504,7 +536,18 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
                    cv[lpos] = rv[u];
                    cl[rpos] = lr[u];
                    cv[rpos] = rv[u];
+                   // Each run owns candidate slot r_local of each child
+                   // segment, so the scattered candidate writes are
+                   // block-disjoint; the auditor verifies it.
+                   b.writes(cl, static_cast<std::int64_t>(lpos));
+                   b.writes(cv, static_cast<std::int64_t>(lpos));
+                   b.writes(cl, static_cast<std::int64_t>(rpos));
+                   b.writes(cv, static_cast<std::int64_t>(rpos));
                  });
+                 b.reads_tile(k, n_runs);
+                 b.reads_tile(rv, n_runs);
+                 b.reads_tile(ll, n_runs);
+                 b.reads_tile(lr, n_runs);
                  const auto m = elems_in_block(b, n_runs);
                  b.mem_coalesced(m * 36);
                  b.mem_irregular(m * 2);  // the two candidate writes
@@ -524,6 +567,8 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
                      f[u] = cl[u] > 0 ? 1 : 0;
                    }
                  });
+                 b.reads_tile(cl, total_cand);
+                 b.writes_tile(f, total_cand);
                  b.mem_coalesced(elems_in_block(b, total_cand) * 16);
                });
   }
@@ -553,8 +598,17 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
                      const auto dst = static_cast<std::size_t>(ni[u]);
                      nv[dst] = cv[u];
                      nl[dst] = cl[u];
+                     // Compaction indices are a strictly increasing scan of
+                     // the flags, so each destination has one writer; the
+                     // auditor verifies it.
+                     b.writes(nv, ni[u]);
+                     b.writes(nl, ni[u]);
                    }
                  });
+                 b.reads_tile(cl, total_cand);
+                 b.reads_tile(cv, total_cand);
+                 b.reads_tile(f, total_cand);
+                 b.reads_tile(ni, total_cand);
                  b.mem_coalesced(elems_in_block(b, total_cand) * 40);
                });
   }
@@ -577,6 +631,8 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
                          src[static_cast<std::size_t>(r)];
                    }
                  });
+                 b.reads_tile(src, n_new_runs);
+                 b.writes_tile(dst, n_new_runs);
                  b.mem_coalesced(elems_in_block(b, n_new_runs) * 16);
                });
     new_starts[static_cast<std::size_t>(n_new_runs)] =
@@ -602,10 +658,13 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
                      so[u] = n_new_runs;
                    } else {
                      const std::int64_t base = cb[u];
+                     b.reads(cb, s);
+                     if (base < total_cand) b.reads(ni, base);
                      so[u] = base >= total_cand
                                  ? n_new_runs
                                  : ni[static_cast<std::size_t>(base)];
                    }
+                   b.writes(so, s);
                  });
                  const auto m = elems_in_block(b, n_new_seg + 1);
                  b.mem_coalesced(m * 16);
@@ -645,8 +704,11 @@ void decompress_split_runs(TrainState& st,
                    for (std::int64_t e = rs[u]; e < rs[u + 1]; ++e) {
                      o[static_cast<std::size_t>(e)] = rv[u];
                    }
+                   b.writes(o, rs[u], rs[u + 1] - rs[u]);
                    written += static_cast<std::uint64_t>(rs[u + 1] - rs[u]);
                  });
+                 b.reads_tile(rv, n_runs);
+                 b.reads_tile(rs, n_runs + 1);
                  b.work(written);
                  b.mem_coalesced(written * 4 + elems_in_block(b, n_runs) * 20);
                });
@@ -668,8 +730,13 @@ void decompress_split_runs(TrainState& st,
                    const auto u = static_cast<std::size_t>(e);
                    if (sc[u] >= 0) {
                      nv[static_cast<std::size_t>(sc[u])] = v[u];
+                     // Scatter targets are unique by construction of the
+                     // order-preserving partition; the auditor verifies it.
+                     b.writes(nv, sc[u]);
                    }
                  });
+                 b.reads_tile(v, old_n_elems);
+                 b.reads_tile(sc, old_n_elems);
                  const auto m = elems_in_block(b, old_n_elems);
                  b.mem_coalesced(m * 12);
                  b.mem_irregular(m / 4 + 1);

@@ -41,7 +41,11 @@ void gather_gradients(TrainState& st, DeviceBuffer<GHPair>& ghe) {
                     const auto u = static_cast<std::size_t>(i);
                     const auto x = static_cast<std::size_t>(inst[u]);
                     out[u] = GHPair{g[x], h[x]};
+                    b.reads(g, inst[u]);
+                    b.reads(h, inst[u]);
                   });
+                  b.reads_tile(inst, n);
+                  b.writes_tile(out, n);
                   const auto m = elems_in_block(b, n);
                   b.mem_coalesced(m * 20);
                   b.mem_irregular(interleaved ? m / 4 : m * 2);
@@ -65,7 +69,10 @@ void segment_present_totals(TrainState& st, const DeviceBuffer<GHPair>& ghl,
                     const bool empty = off[u] == hi;
                     tot[u] = empty ? GHPair{}
                                    : scan[static_cast<std::size_t>(hi - 1)];
+                    if (!empty) b.reads(scan, hi - 1);
                   });
+                  b.reads_tile(off, n_seg + 1);
+                  b.writes_tile(tot, n_seg);
                   const auto m = elems_in_block(b, n_seg);
                   b.mem_coalesced(m * 32);
                   b.mem_irregular(m);
@@ -168,6 +175,11 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
                      dr[u] = 0;
                    }
                  });
+                 b.reads_tile(v, n);
+                 b.reads_tile(k, n);
+                 b.reads_tile(scan, n);
+                 b.writes_tile(gn, n);
+                 b.writes_tile(dr, n);
                  const auto m = elems_in_block(b, n);
                  b.mem_coalesced(m * 41);  // v, v+1, keys, gl, hl, gains, dir
                  b.mem_irregular(m / 2);   // seg/slot table lookups
@@ -285,8 +297,14 @@ void apply_mark_sides_sparse(TrainState& st, const LevelPlan& plan) {
                    if (cs[slot] != seg) return;
                    node_of[static_cast<std::size_t>(inst[u])] =
                        e <= bp[slot] ? li[slot] : ri[slot];
+                   // An instance appears once per attribute and only the
+                   // winning attribute's segment writes, so these scattered
+                   // stores are block-disjoint; the auditor verifies it.
+                   b.writes(node_of, inst[u]);
                    ++writes;
                  });
+                 b.reads_tile(k, n);
+                 b.reads_tile(inst, n);
                  const auto m = elems_in_block(b, n);
                  b.mem_coalesced(m * 8);
                  b.mem_irregular(writes + m / 8);
@@ -321,7 +339,11 @@ void apply_partition_sparse(TrainState& st, const LevelPlan& plan) {
                    p[u] = slot < 0 ? -1
                                    : static_cast<std::int32_t>(
                                          slot * n_attr + k[u] % n_attr);
+                   b.reads(node_of, inst[u]);
                  });
+                 b.reads_tile(k, n);
+                 b.reads_tile(inst, n);
+                 b.writes_tile(p, n);
                  const auto m = elems_in_block(b, n);
                  b.mem_coalesced(m * 12);
                  b.mem_irregular(m);  // node_of[inst[e]]
@@ -357,8 +379,15 @@ void apply_partition_sparse(TrainState& st, const LevelPlan& plan) {
                    if (dst >= 0) {
                      nv[static_cast<std::size_t>(dst)] = v[u];
                      ni[static_cast<std::size_t>(dst)] = inst[u];
+                     // Scatter targets are unique by construction of the
+                     // order-preserving partition; the auditor verifies it.
+                     b.writes(nv, dst);
+                     b.writes(ni, dst);
                    }
                  });
+                 b.reads_tile(v, n);
+                 b.reads_tile(inst, n);
+                 b.reads_tile(sc, n);
                  const auto m = elems_in_block(b, n);
                  b.mem_coalesced(m * 16);
                  b.mem_irregular(m / 4 + 1);  // scatter fronts

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/access_audit.h"
 #include "device/cost_model.h"
 #include "device/device_config.h"
 #include "device/device_memory.h"
@@ -43,8 +44,12 @@ namespace gbdt::device {
 /// Per-block execution context handed to kernel bodies.
 class BlockCtx {
  public:
-  BlockCtx(std::int64_t block_idx, int block_dim, std::int64_t grid_dim)
-      : block_idx_(block_idx), block_dim_(block_dim), grid_dim_(grid_dim) {
+  BlockCtx(std::int64_t block_idx, int block_dim, std::int64_t grid_dim,
+           analysis::LaunchAuditor* audit = nullptr)
+      : block_idx_(block_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        audit_(audit) {
     stats_.blocks = 1;
   }
 
@@ -76,6 +81,42 @@ class BlockCtx {
   /// Floating point operations.
   void flop(std::uint64_t n) { stats_.flops += n; }
 
+  // ---- Access declarations (see src/analysis/access_audit.h) -------------
+  //
+  // Kernel bodies declare the element intervals this block touches of each
+  // buffer/span; when the access auditor is armed the declarations feed the
+  // launch's shadow maps, otherwise they are a null-pointer check.  `s` is
+  // anything with data()/size() (DeviceBuffer, std::span, std::vector).
+
+  /// Declares that this block reads s[lo, lo+count).
+  template <typename S>
+  void reads(const S& s, std::int64_t lo, std::int64_t count = 1) {
+    if (audit_ != nullptr) {
+      audit_->record(block_idx_, s.data(), sizeof(*s.data()), s.size(), lo,
+                     count, /*is_write=*/false);
+    }
+  }
+
+  /// Declares that this block writes s[lo, lo+count).
+  template <typename S>
+  void writes(const S& s, std::int64_t lo, std::int64_t count = 1) {
+    if (audit_ != nullptr) {
+      audit_->record(block_idx_, s.data(), sizeof(*s.data()), s.size(), lo,
+                     count, /*is_write=*/true);
+    }
+  }
+
+  /// Declares this block's contiguous tile of a 1:1 n-element kernel:
+  /// elements [block_idx*block_dim, min((block_idx+1)*block_dim, n)).
+  template <typename S>
+  void reads_tile(const S& s, std::int64_t n) {
+    if (audit_ != nullptr) reads(s, tile_lo(n), tile_count(n));
+  }
+  template <typename S>
+  void writes_tile(const S& s, std::int64_t n) {
+    if (audit_ != nullptr) writes(s, tile_lo(n), tile_count(n));
+  }
+
   [[nodiscard]] const KernelStats& stats() const { return stats_; }
   [[nodiscard]] KernelStats take_stats() {
     stats_.max_block_work = stats_.thread_work;
@@ -83,9 +124,17 @@ class BlockCtx {
   }
 
  private:
+  [[nodiscard]] std::int64_t tile_lo(std::int64_t n) const {
+    return std::min(block_idx_ * block_dim_, n);
+  }
+  [[nodiscard]] std::int64_t tile_count(std::int64_t n) const {
+    return std::min<std::int64_t>(block_dim_, n - tile_lo(n));
+  }
+
   std::int64_t block_idx_;
   int block_dim_;
   std::int64_t grid_dim_;
+  analysis::LaunchAuditor* audit_;
   KernelStats stats_;
 };
 
@@ -137,36 +186,48 @@ class Device {
     return DeviceBuffer<T>(allocator_, n);
   }
 
-  /// Launches a kernel: body(BlockCtx&) is invoked once per block.
+  /// Launches a kernel: body(BlockCtx&) is invoked once per block.  When the
+  /// access auditor is armed the launch verifies the block-disjoint access
+  /// contract at kernel end (throws analysis::AuditViolation).
   template <typename Body>
   void launch(std::string_view name, std::int64_t grid_dim, int block_dim,
               Body&& body) {
     if (grid_dim <= 0) grid_dim = 1;
+    analysis::LaunchAuditor* audit =
+        analysis::audit_enabled() ? &auditor_ : nullptr;
+    if (audit != nullptr) audit->begin(name);
     KernelStats total;
-    if (pool_.worker_count() <= 1 || grid_dim == 1) {
-      for (std::int64_t blk = 0; blk < grid_dim; ++blk) {
-        BlockCtx ctx(blk, block_dim, grid_dim);
-        body(ctx);
-        total += ctx.take_stats();
-      }
-    } else {
-      std::mutex merge_mu;
-      // Chunk blocks so pool dispatch overhead stays small.
-      const std::uint64_t chunks =
-          std::min<std::uint64_t>(grid_dim, 4ull * pool_.worker_count());
-      const std::int64_t per_chunk = (grid_dim + chunks - 1) / chunks;
-      pool_.run_chunks(chunks, [&](std::uint64_t c) {
-        KernelStats local;
-        const std::int64_t lo = static_cast<std::int64_t>(c) * per_chunk;
-        const std::int64_t hi = std::min<std::int64_t>(lo + per_chunk, grid_dim);
-        for (std::int64_t blk = lo; blk < hi; ++blk) {
-          BlockCtx ctx(blk, block_dim, grid_dim);
+    try {
+      if (pool_.worker_count() <= 1 || grid_dim == 1) {
+        for (std::int64_t blk = 0; blk < grid_dim; ++blk) {
+          BlockCtx ctx(blk, block_dim, grid_dim, audit);
           body(ctx);
-          local += ctx.take_stats();
+          total += ctx.take_stats();
         }
-        std::lock_guard lk(merge_mu);
-        total += local;
-      });
+      } else {
+        std::mutex merge_mu;
+        // Chunk blocks so pool dispatch overhead stays small.
+        const std::uint64_t chunks =
+            std::min<std::uint64_t>(grid_dim, 4ull * pool_.worker_count());
+        const std::int64_t per_chunk = (grid_dim + chunks - 1) / chunks;
+        pool_.run_chunks(chunks, [&](std::uint64_t c) {
+          KernelStats local;
+          const std::int64_t lo = static_cast<std::int64_t>(c) * per_chunk;
+          const std::int64_t hi =
+              std::min<std::int64_t>(lo + per_chunk, grid_dim);
+          for (std::int64_t blk = lo; blk < hi; ++blk) {
+            BlockCtx ctx(blk, block_dim, grid_dim, audit);
+            body(ctx);
+            local += ctx.take_stats();
+          }
+          std::lock_guard lk(merge_mu);
+          total += local;
+        });
+      }
+      if (audit != nullptr) audit->finish();  // throws on contract violation
+    } catch (...) {
+      if (audit != nullptr) audit->abandon();
+      throw;
     }
     record_kernel(name, total);
   }
@@ -222,6 +283,8 @@ class Device {
   DeviceAllocator allocator_;
   ThreadPool pool_;
   Timeline timeline_;
+  // Per-device shadow maps: multi-GPU setups audit each shard independently.
+  analysis::LaunchAuditor auditor_;
 };
 
 }  // namespace gbdt::device

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/access_audit.h"
+
 namespace gbdt::device {
 
 class DeviceOutOfMemory : public std::runtime_error {
@@ -56,14 +58,32 @@ class DeviceAllocator {
     ++allocations_;
   }
 
+  /// Returns bytes to the pool.  Releasing more than is in use is an
+  /// accounting bug (double release / wrong size); it is counted, reported
+  /// to the access auditor when auditing is armed (which aborts — release
+  /// runs in destructors, so it cannot throw), and otherwise clamped so
+  /// unaudited runs keep their historical behaviour.
   void release(std::size_t bytes) noexcept {
-    used_ = bytes > used_ ? 0 : used_ - bytes;
+    ++releases_;
+    if (bytes > used_) {
+      ++over_releases_;
+      over_released_bytes_ += bytes - used_;
+      analysis::report_over_release(bytes, used_);
+      used_ = 0;
+    } else {
+      used_ -= bytes;
+    }
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t used() const { return used_; }
   [[nodiscard]] std::size_t peak() const { return peak_; }
   [[nodiscard]] std::size_t allocations() const { return allocations_; }
+  [[nodiscard]] std::size_t releases() const { return releases_; }
+  [[nodiscard]] std::size_t over_releases() const { return over_releases_; }
+  [[nodiscard]] std::size_t over_released_bytes() const {
+    return over_released_bytes_;
+  }
   [[nodiscard]] std::size_t available() const { return capacity_ - used_; }
 
   /// Resets the peak-usage watermark (not the current usage).
@@ -74,6 +94,9 @@ class DeviceAllocator {
   std::size_t used_ = 0;
   std::size_t peak_ = 0;
   std::size_t allocations_ = 0;
+  std::size_t releases_ = 0;
+  std::size_t over_releases_ = 0;
+  std::size_t over_released_bytes_ = 0;
 };
 
 /// RAII array in simulated device memory.

@@ -37,6 +37,8 @@ template <typename T>
                      fw[u] = f[u] != 0 ? 1 : 0;
                    }
                  });
+                 b.reads_tile(f, n);
+                 b.writes_tile(fw, n);
                  b.mem_coalesced(elems_in_block(b, n) * (1 + 8));
                });
     exclusive_scan(dev, flag_wide, positions, "compact_scan");
@@ -54,9 +56,13 @@ template <typename T>
                    const auto u = static_cast<std::size_t>(i);
                    if (f[u] != 0) {
                      dst[static_cast<std::size_t>(pos[u])] = src[u];
+                     b.writes(dst, pos[u]);
                    }
                  }
                });
+               b.reads_tile(src, n);
+               b.reads_tile(f, n);
+               b.reads_tile(pos, n);
                // Writes land densely in order, so they coalesce.
                b.mem_coalesced(elems_in_block(b, n) * (sizeof(T) + 9) +
                                elems_in_block(b, n) * sizeof(T));

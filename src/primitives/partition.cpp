@@ -136,6 +136,19 @@ void histogram_partition(device::Device& dev,
         }
         scanned += static_cast<std::uint64_t>(std::max<std::int64_t>(0, hi - lo));
       });
+      // Block footprint: threads [t_lo, t_hi) own elements [t_lo*work,
+      // t_hi*work) and, per partition, one contiguous counter slice.
+      const std::int64_t t_lo = b.block_idx() * b.block_dim();
+      const std::int64_t t_hi =
+          std::min<std::int64_t>(t_lo + b.block_dim(), threads);
+      if (t_hi > t_lo) {
+        const std::int64_t e_lo = std::min(t_lo * work, n);
+        const std::int64_t e_hi = std::min(t_hi * work, n);
+        b.reads(ids, e_lo, e_hi - e_lo);
+        for (std::int64_t p = 0; p < pass_parts; ++p) {
+          b.writes(cnt, p * threads + t_lo, t_hi - t_lo);
+        }
+      }
       b.work(scanned);
       b.mem_coalesced(scanned * sizeof(std::int32_t));
       // Counter updates are strided (partition-major matrix).
@@ -153,6 +166,8 @@ void histogram_partition(device::Device& dev,
                      offs[static_cast<std::size_t>(p_lo + p)] =
                          placed_before +
                          base[static_cast<std::size_t>(p * threads)];
+                     b.reads(base, p * threads);
+                     b.writes(offs, p_lo + p);
                    }
                  });
                  b.mem_coalesced(elems_in_block(b, pass_parts) * 16);
@@ -180,6 +195,19 @@ void histogram_partition(device::Device& dev,
         }
         scanned += static_cast<std::uint64_t>(std::max<std::int64_t>(0, hi - lo));
       });
+      const std::int64_t t_lo = b.block_idx() * b.block_dim();
+      const std::int64_t t_hi =
+          std::min<std::int64_t>(t_lo + b.block_dim(), threads);
+      if (t_hi > t_lo) {
+        const std::int64_t e_lo = std::min(t_lo * work, n);
+        const std::int64_t e_hi = std::min(t_hi * work, n);
+        b.reads(ids, e_lo, e_hi - e_lo);
+        b.writes(scat, e_lo, e_hi - e_lo);
+        for (std::int64_t p = 0; p < pass_parts; ++p) {
+          b.reads(base, p * threads + t_lo, t_hi - t_lo);
+          b.writes(base, p * threads + t_lo, t_hi - t_lo);
+        }
+      }
       b.work(scanned);
       b.mem_coalesced(scanned * (sizeof(std::int32_t) + sizeof(std::int64_t)));
       b.mem_irregular(placed / 2 + 1);  // base cell read-modify-write

@@ -29,13 +29,18 @@ template <typename T, typename Acc = T>
       if (i < n) acc += static_cast<Acc>(src[static_cast<std::size_t>(i)]);
     });
     part[static_cast<std::size_t>(b.block_idx())] = acc;
+    b.reads_tile(src, n);
+    b.writes(part, b.block_idx());
     b.mem_coalesced(elems_in_block(b, n) * sizeof(T) + sizeof(Acc));
   });
   Acc total{};
+  // block-disjoint: single-block final pass, so the captured accumulator is
+  // written by exactly one block.
   dev.launch("reduce_final", 1, kBlockDim, [&](device::BlockCtx& b) {
     for (std::int64_t i = 0; i < grid; ++i) {
       total += part[static_cast<std::size_t>(i)];
     }
+    b.reads(part, 0, grid);
     b.work(static_cast<std::uint64_t>(grid));
     b.mem_coalesced(static_cast<std::uint64_t>(grid) * sizeof(Acc));
   });
@@ -78,8 +83,13 @@ template <typename T>
     });
     pv[static_cast<std::size_t>(b.block_idx())] = best;
     pi[static_cast<std::size_t>(b.block_idx())] = best_i;
+    b.reads_tile(src, n);
+    b.writes(pv, b.block_idx());
+    b.writes(pi, b.block_idx());
     b.mem_coalesced(elems_in_block(b, n) * sizeof(T) + sizeof(T) + 8);
   });
+  // block-disjoint: single-block final pass, so the captured result struct is
+  // written by exactly one block.
   dev.launch("arg_max_final", 1, kBlockDim, [&](device::BlockCtx& b) {
     for (std::int64_t g = 0; g < grid; ++g) {
       const auto u = static_cast<std::size_t>(g);
@@ -88,6 +98,8 @@ template <typename T>
         result.index = pi[u];
       }
     }
+    b.reads(pv, 0, grid);
+    b.reads(pi, 0, grid);
     b.work(static_cast<std::uint64_t>(grid));
     b.mem_coalesced(static_cast<std::uint64_t>(grid) * (sizeof(T) + 8));
   });

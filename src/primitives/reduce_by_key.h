@@ -39,6 +39,8 @@ template <typename K, typename V>
                    const auto u = static_cast<std::size_t>(i);
                    h[u] = (i == 0 || k[u] != k[u - 1]) ? 1 : 0;
                  });
+                 b.reads_tile(k, n);
+                 b.writes_tile(h, n);
                  b.mem_coalesced(elems_in_block(b, n) * (2 * sizeof(K) + 8));
                });
   }
@@ -75,7 +77,13 @@ template <typename K, typename V>
                    const auto dst = static_cast<std::size_t>(r[u]);
                    ok[dst] = k[u];
                    os[dst] = acc;
+                   b.reads(v, i, j - i);
+                   b.writes(ok, r[u]);
+                   b.writes(os, r[u]);
                  });
+                 b.reads_tile(k, n);
+                 b.reads_tile(h, n);
+                 b.reads_tile(r, n);
                  b.work(touched);
                  b.mem_coalesced(touched * sizeof(V) +
                                  elems_in_block(b, n) * (sizeof(K) + 16));
@@ -101,6 +109,8 @@ template <typename K>
                    const auto u = static_cast<std::size_t>(i);
                    h[u] = (i == 0 || k[u] != k[u - 1]) ? 1 : 0;
                  });
+                 b.reads_tile(k, n);
+                 b.writes_tile(h, n);
                  b.mem_coalesced(elems_in_block(b, n) * (2 * sizeof(K) + 8));
                });
   }
@@ -125,6 +135,8 @@ void adjacent_difference(device::Device& dev,
                  const auto u = static_cast<std::size_t>(i);
                  dst[u] = i == 0 ? src[u] : src[u] - src[u - 1];
                });
+               b.reads_tile(src, n);
+               b.writes_tile(dst, n);
                b.mem_coalesced(elems_in_block(b, n) * 3 * sizeof(T));
              });
 }

@@ -46,6 +46,9 @@ void scan_impl(device::Device& dev, const device::DeviceBuffer<T>& in,
       }
     }
     sums[static_cast<std::size_t>(b.block_idx())] = acc;
+    b.reads(src, lo, hi - lo);
+    b.writes(dst, lo, hi - lo);
+    b.writes(sums, b.block_idx());
     const std::uint64_t m = elems_in_block(b, n);
     b.work(m);
     b.mem_coalesced(m * 2 * sizeof(T) + sizeof(T));
@@ -59,6 +62,8 @@ void scan_impl(device::Device& dev, const device::DeviceBuffer<T>& in,
       sums[u] = acc;  // exclusive scan of the block sums
       acc += v;
     }
+    b.reads(sums, 0, grid);
+    b.writes(sums, 0, grid);
     b.work(static_cast<std::uint64_t>(grid));
     b.mem_coalesced(static_cast<std::uint64_t>(grid) * 2 * sizeof(T));
   });
@@ -68,6 +73,9 @@ void scan_impl(device::Device& dev, const device::DeviceBuffer<T>& in,
     b.for_each_thread([&](std::int64_t i) {
       if (i < n) dst[static_cast<std::size_t>(i)] += offset;
     });
+    b.reads(sums, b.block_idx());
+    b.reads_tile(dst, n);
+    b.writes_tile(dst, n);
     b.mem_coalesced(elems_in_block(b, n) * 2 * sizeof(T) + sizeof(T));
   });
 }

@@ -52,6 +52,13 @@ inline void set_keys(device::Device& dev,
       }
       written += static_cast<std::uint64_t>(hi - lo);
     }
+    if (s_hi > s_lo) {
+      // Consecutive segments give each block one contiguous element range.
+      b.reads(off, s_lo, s_hi - s_lo + 1);
+      b.writes(k, off[static_cast<std::size_t>(s_lo)],
+               off[static_cast<std::size_t>(s_hi)] -
+                   off[static_cast<std::size_t>(s_lo)]);
+    }
     b.work(written);
     b.mem_coalesced(written * sizeof(std::int32_t) +
                     static_cast<std::uint64_t>(s_hi - s_lo) * sizeof(std::int64_t));
@@ -92,6 +99,10 @@ void segmented_inclusive_scan_by_key(device::Device& dev,
       o[u] = acc;
     }
     rs[static_cast<std::size_t>(b.block_idx())] = acc;
+    b.reads(v, lo, hi - lo);
+    b.reads(k, lo, hi - lo);
+    b.writes(o, lo, hi - lo);
+    b.writes(rs, b.block_idx());
     const std::uint64_t m = elems_in_block(b, n);
     b.work(m);
     b.mem_coalesced(m * (2 * sizeof(T) + sizeof(std::int32_t)) + sizeof(T));
@@ -114,6 +125,9 @@ void segmented_inclusive_scan_by_key(device::Device& dev,
                               k[static_cast<std::size_t>(hi - 1)];
       carry = rs[static_cast<std::size_t>(g)] + (single_key ? incoming : T{});
     }
+    b.reads(k, 0, n);
+    b.reads(rs, 0, grid);
+    b.writes(cr, 0, grid);
     b.work(static_cast<std::uint64_t>(grid));
     b.mem_coalesced(static_cast<std::uint64_t>(grid) *
                     (2 * sizeof(T) + 2 * sizeof(std::int32_t)));
@@ -131,6 +145,10 @@ void segmented_inclusive_scan_by_key(device::Device& dev,
       o[static_cast<std::size_t>(i)] += incoming;
       ++touched;
     }
+    b.reads(cr, b.block_idx());
+    b.reads(k, lo, hi - lo);
+    b.reads(o, lo, static_cast<std::int64_t>(touched));
+    b.writes(o, lo, static_cast<std::int64_t>(touched));
     b.work(touched);
     b.mem_coalesced(touched * 2 * sizeof(T));
   });
@@ -174,6 +192,14 @@ void segmented_arg_max(device::Device& dev,
       bv[static_cast<std::size_t>(s)] = best;
       bi[static_cast<std::size_t>(s)] = best_i;
       scanned += static_cast<std::uint64_t>(hi - lo);
+    }
+    if (s_hi > s_lo) {
+      b.reads(off, s_lo, s_hi - s_lo + 1);
+      b.reads(v, off[static_cast<std::size_t>(s_lo)],
+              off[static_cast<std::size_t>(s_hi)] -
+                  off[static_cast<std::size_t>(s_lo)]);
+      b.writes(bv, s_lo, s_hi - s_lo);
+      b.writes(bi, s_lo, s_hi - s_lo);
     }
     b.work(scanned);
     b.mem_coalesced(scanned * sizeof(T) +

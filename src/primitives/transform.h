@@ -34,6 +34,7 @@ void fill(device::Device& dev, device::DeviceBuffer<T>& out, T value) {
                b.for_each_thread([&](std::int64_t i) {
                  if (i < n) o[static_cast<std::size_t>(i)] = value;
                });
+               b.writes_tile(o, n);
                b.mem_coalesced(elems_in_block(b, n) * sizeof(T));
              });
 }
@@ -48,6 +49,7 @@ void iota(device::Device& dev, device::DeviceBuffer<T>& out, T start = T{}) {
                b.for_each_thread([&](std::int64_t i) {
                  if (i < n) o[static_cast<std::size_t>(i)] = start + static_cast<T>(i);
                });
+               b.writes_tile(o, n);
                b.mem_coalesced(elems_in_block(b, n) * sizeof(T));
              });
 }
@@ -68,6 +70,8 @@ void transform(device::Device& dev, const device::DeviceBuffer<In>& in,
                    dst[u] = f(src[u]);
                  }
                });
+               b.reads_tile(src, n);
+               b.writes_tile(dst, n);
                b.mem_coalesced(elems_in_block(b, n) * (sizeof(In) + sizeof(Out)));
              });
 }
@@ -104,8 +108,11 @@ void gather(device::Device& dev, const device::DeviceBuffer<T>& src,
                  if (i < n) {
                    const auto u = static_cast<std::size_t>(i);
                    o[u] = s[static_cast<std::size_t>(m[u])];
+                   b.reads(s, static_cast<std::int64_t>(m[u]));
                  }
                });
+               b.reads_tile(m, n);
+               b.writes_tile(o, n);
                const std::uint64_t cnt = elems_in_block(b, n);
                b.mem_coalesced(cnt * (sizeof(I) + sizeof(T)));
                b.mem_irregular(cnt);  // src[map[i]]
@@ -127,8 +134,11 @@ void scatter(device::Device& dev, const device::DeviceBuffer<T>& src,
                  if (i < n) {
                    const auto u = static_cast<std::size_t>(i);
                    o[static_cast<std::size_t>(m[u])] = s[u];
+                   b.writes(o, static_cast<std::int64_t>(m[u]));
                  }
                });
+               b.reads_tile(s, n);
+               b.reads_tile(m, n);
                const std::uint64_t cnt = elems_in_block(b, n);
                b.mem_coalesced(cnt * (sizeof(I) + sizeof(T)));
                b.mem_irregular(cnt);  // out[map[i]]

@@ -45,6 +45,9 @@ DeviceRle compress(device::Device& dev,
                    const auto u = static_cast<std::size_t>(i);
                    h[u] = (i == 0 || v[u] != v[u - 1] || k[u] != k[u - 1]) ? 1 : 0;
                  });
+                 b.reads_tile(v, n);
+                 b.reads_tile(k, n);
+                 b.writes_tile(h, n);
                  b.mem_coalesced(prim::elems_in_block(b, n) * 16);
                });
   }
@@ -71,8 +74,13 @@ DeviceRle compress(device::Device& dev,
                      const auto dst = static_cast<std::size_t>(r[u]);
                      rv[dst] = v[u];
                      rs[dst] = i;
+                     b.writes(rv, r[u]);
+                     b.writes(rs, r[u]);
                    }
                  });
+                 b.reads_tile(v, n);
+                 b.reads_tile(h, n);
+                 b.reads_tile(r, n);
                  const auto m = prim::elems_in_block(b, n);
                  b.mem_coalesced(m * 20);
                  b.mem_irregular(m / 4 + 1);  // head-density-dependent writes
@@ -96,7 +104,10 @@ DeviceRle compress(device::Device& dev,
                    const auto e = eoff[static_cast<std::size_t>(s)];
                    soff[static_cast<std::size_t>(s)] =
                        e >= n ? runs : r[static_cast<std::size_t>(e)];
+                   if (e < n) b.reads(r, e);
+                   b.writes(soff, s);
                  });
+                 b.reads_tile(eoff, n_seg + 1);
                  const auto m = prim::elems_in_block(b, n_seg + 1);
                  b.mem_coalesced(m * 16);
                  b.mem_irregular(m);  // offset-directed lookups
@@ -122,8 +133,11 @@ void decompress(device::Device& dev, const DeviceRle& rle,
                  for (std::int64_t e = rs[u]; e < rs[u + 1]; ++e) {
                    o[static_cast<std::size_t>(e)] = v;
                  }
+                 b.writes(o, rs[u], rs[u + 1] - rs[u]);
                  written += static_cast<std::uint64_t>(rs[u + 1] - rs[u]);
                });
+               b.reads_tile(rv, n_runs);
+               b.reads_tile(rs, n_runs + 1);
                b.work(written);
                b.mem_coalesced(written * sizeof(float) +
                                prim::elems_in_block(b, n_runs) * 20);

@@ -146,6 +146,81 @@ TEST(Device, BufferAllocationRespectsDeviceCapacity) {
   EXPECT_THROW((void)dev.alloc<std::uint8_t>(200), DeviceOutOfMemory);
 }
 
+TEST(DeviceAllocator, PeakResetsToCurrentUsage) {
+  DeviceAllocator a(1000);
+  a.acquire(700);
+  a.release(500);
+  EXPECT_EQ(a.peak(), 700u);
+  a.reset_peak();
+  EXPECT_EQ(a.peak(), 200u);
+  a.acquire(100);
+  EXPECT_EQ(a.peak(), 300u);
+  EXPECT_EQ(a.allocations(), 2u);
+  EXPECT_EQ(a.releases(), 1u);
+  EXPECT_EQ(a.over_releases(), 0u);
+}
+
+TEST(Device, KernelThrowSurfacesOnCallerAndPoolStaysUsable) {
+  // A device-memory failure raised inside a kernel block must reach the
+  // calling thread as the original exception type, on a multi-worker pool,
+  // and the pool must keep running launches afterwards.
+  const std::int64_t n = 100'000;
+  Device dev(small_config(/*mem=*/1 << 22), /*workers=*/4);
+  auto buf = dev.alloc<int>(n);
+  auto s = buf.span();
+
+  try {
+    dev.launch("throwing_kernel", grid_for(n, 256), 256, [&](BlockCtx& b) {
+      if (b.block_idx() == 17) {
+        throw DeviceOutOfMemory(64, 32, 48);
+      }
+      b.for_each_thread([&](std::int64_t i) {
+        if (i < n) s[static_cast<std::size_t>(i)] = 1;
+      });
+      b.writes_tile(s, n);
+    });
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 64u);
+    EXPECT_EQ(e.used(), 32u);
+    EXPECT_EQ(e.capacity(), 48u);
+  }
+
+  // Subsequent launches on the same pool complete normally.
+  for (int round = 0; round < 3; ++round) {
+    dev.launch("after_throw", grid_for(n, 256), 256, [&](BlockCtx& b) {
+      b.for_each_thread([&](std::int64_t i) {
+        if (i < n) s[static_cast<std::size_t>(i)] = round;
+      });
+      b.writes_tile(s, n);
+    });
+  }
+  for (std::int64_t i = 0; i < n; i += 997) {
+    ASSERT_EQ(buf[static_cast<std::size_t>(i)], 2);
+  }
+}
+
+TEST(Device, FirstOfConcurrentKernelExceptionsWins) {
+  // Several blocks throw; exactly one exception (the first captured) must
+  // surface and the launch must still drain cleanly.
+  const std::int64_t grid = 64;
+  Device dev(small_config(), /*workers=*/4);
+  int runs = 0;
+  for (int round = 0; round < 10; ++round) {
+    try {
+      dev.launch("multi_throw", grid, 32, [&](BlockCtx& b) {
+        if (b.block_idx() % 3 == 0) {
+          throw std::runtime_error("block " + std::to_string(b.block_idx()));
+        }
+      });
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("block ", 0), 0u) << e.what();
+      ++runs;
+    }
+  }
+  EXPECT_EQ(runs, 10);
+}
+
 TEST(CostModel, MoreIrregularTrafficCostsMore) {
   CostModel m(DeviceConfig::titan_x_pascal());
   KernelStats streaming;

@@ -1,24 +1,45 @@
 #!/usr/bin/env bash
-# Builds the repository with AddressSanitizer + UndefinedBehaviorSanitizer
-# (the GBDT_SANITIZE CMake option) and runs the test suite under it.
+# Builds the repository under a sanitizer (the GBDT_SANITIZE CMake option)
+# and runs the test suite with it.
 #
-#   tools/check_sanitizers.sh             # unit + property tests
-#   tools/check_sanitizers.sh -L unit     # any extra args go to ctest
+#   tools/check_sanitizers.sh                      # ASan+UBSan, all tests
+#   tools/check_sanitizers.sh -L unit              # extra args go to ctest
+#   GBDT_SANITIZE=thread tools/check_sanitizers.sh # ThreadSanitizer
 #
-# The sanitized tree lives in build-asan/ next to the regular build/.
+# The ASan+UBSan tree lives in build-asan/, the TSan tree in build-tsan/,
+# both next to the regular build/.  The TSan lane runs the unit and
+# property labels (the concurrency-relevant suites: every kernel launch
+# exercises the thread pool); audit-mode fault-injection tests run their
+# racy kernels on single-worker devices precisely so this lane stays clean.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${repo_root}/build-asan"
+mode="${GBDT_SANITIZE:-address}"
 
-cmake -B "${build_dir}" -S "${repo_root}" -DGBDT_SANITIZE=ON
-cmake --build "${build_dir}" -j
+if [[ "${mode}" == "thread" ]]; then
+  build_dir="${repo_root}/build-tsan"
+  cmake -B "${build_dir}" -S "${repo_root}" -DGBDT_SANITIZE=thread
+  cmake --build "${build_dir}" -j
 
-# halt_on_error keeps a sanitizer report from being drowned out by later
-# tests; detect_leaks stays on (the default) to catch allocator misuse in
-# the simulated-device buffers.
-export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
-cd "${build_dir}"
-ctest --output-on-failure "$@"
+  cd "${build_dir}"
+  if [[ $# -gt 0 ]]; then
+    ctest --output-on-failure "$@"
+  else
+    ctest --output-on-failure -L 'unit|property'
+  fi
+else
+  build_dir="${repo_root}/build-asan"
+  cmake -B "${build_dir}" -S "${repo_root}" -DGBDT_SANITIZE=ON
+  cmake --build "${build_dir}" -j
+
+  # halt_on_error keeps a sanitizer report from being drowned out by later
+  # tests; detect_leaks stays on (the default) to catch allocator misuse in
+  # the simulated-device buffers.
+  export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+  cd "${build_dir}"
+  ctest --output-on-failure "$@"
+fi

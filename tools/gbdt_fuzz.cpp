@@ -11,6 +11,11 @@
 //   gbdt_fuzz --seed 0xdeadbeef                     # replay one case
 //   gbdt_fuzz --seed 0xdeadbeef --rows 25 --cols 4  # replay a shrunk case
 //   gbdt_fuzz --self-test                           # fault-injection check
+//   gbdt_fuzz --cases 50 --audit                    # sweep with the kernel
+//                                                   # access auditor armed
+//   gbdt_fuzz --audit-fault                         # seeded overlapping-write
+//                                                   # fault; exits nonzero
+//                                                   # when the auditor fires
 //
 // Exit code 0: all cases pass.  1: at least one real discrepancy.  2: bad
 // usage.
@@ -21,6 +26,8 @@
 #include <optional>
 #include <string>
 
+#include "analysis/access_audit.h"
+#include "analysis/fault_kernels.h"
 #include "testing/invariants.h"
 #include "testing/oracle.h"
 
@@ -40,6 +47,8 @@ struct Options {
   bool check_invariants = true;
   bool minimize = true;
   bool self_test = false;
+  bool audit = false;
+  bool audit_fault = false;
 };
 
 void usage() {
@@ -55,7 +64,13 @@ void usage() {
          "  --no-invariants    do not arm in-trainer invariant checks\n"
          "  --no-minimize      report failures without shrinking them\n"
          "  --self-test        verify the invariant checker catches injected\n"
-         "                     faults, then exit\n";
+         "                     faults, then exit\n"
+         "  --audit            arm the kernel access auditor (as if\n"
+         "                     GBDT_AUDIT_ACCESS=1) for the run\n"
+         "  --audit-fault      run the seeded overlapping-write fault kernel\n"
+         "                     under the auditor; exits 1 (with the report)\n"
+         "                     when the auditor fires, 0 if it failed to\n"
+         "                     fire\n";
 }
 
 std::uint64_t parse_u64(const char* s) {
@@ -106,6 +121,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.minimize = false;
     } else if (a == "--self-test") {
       opt.self_test = true;
+    } else if (a == "--audit") {
+      opt.audit = true;
+    } else if (a == "--audit-fault") {
+      opt.audit_fault = true;
     } else if (a == "--help" || a == "-h") {
       usage();
       std::exit(0);
@@ -214,6 +233,27 @@ int self_test() {
   return failures == 0 ? 0 : 1;
 }
 
+/// Seeded-fault check for the access auditor: the overlapping-scatter kernel
+/// must be detected (exit 1 with the kernel/buffer/block report — registered
+/// in CTest with WILL_FAIL so a silent pass fails the suite).  Runs on a
+/// single-worker device: the fault performs real overlapping writes, which
+/// serial block execution keeps benign on the host while the declarations
+/// still violate the contract.
+int audit_fault() {
+  gbdt::analysis::set_audit_enabled(true);
+  gbdt::device::Device dev(gbdt::device::DeviceConfig::titan_x_pascal(),
+                           /*host_workers=*/1);
+  try {
+    gbdt::analysis::run_overlapping_scatter_fault(dev);
+  } catch (const gbdt::analysis::AuditViolation& e) {
+    std::cerr << "audit-fault detected as intended:\n  " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "audit-fault: auditor did NOT fire on the seeded "
+               "overlapping-write fault\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +262,8 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (opt.audit) gbdt::analysis::set_audit_enabled(true);
+  if (opt.audit_fault) return audit_fault();
   if (opt.self_test) return self_test();
 
   if (opt.seed) {

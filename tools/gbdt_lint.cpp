@@ -1,0 +1,340 @@
+// In-tree convention linter for the simulated-GPU codebase.
+//
+// Scans every .h/.cpp under the given directories (default: src/) and
+// enforces the kernel and memory conventions the access auditor relies on:
+//
+//   1. Headers use `#pragma once`.
+//   2. No raw `new` / `delete` / `malloc` / `free` in src/ — device memory
+//      goes through DeviceAllocator, host memory through containers.
+//      (`= delete`d functions and the DeviceBuffer::free() member are fine.)
+//   3. `run_chunks` is called only by the Device launch wrapper — kernels
+//      must go through the labeled `dev.launch(...)` path so the auditor
+//      and the timeline see them.
+//   4. Every `.launch(` site passes a label as its first argument: a string
+//      literal, or the `name` parameter of a labeled primitive wrapper.
+//   5. Inside a launch region, assignment or increment of an identifier
+//      that is not declared inside the region (i.e. mutation of captured
+//      shared state that the per-element auditor cannot see) requires a
+//      `// block-disjoint:` justification near the launch.
+//
+// Comments and string literals are blanked (length-preserving) before any
+// rule other than the justification search runs, so prose never trips the
+// scanner.  The mutation rule is a heuristic: subscripted stores (`x[i] =`)
+// are exempt because the dynamic auditor checks them element-wise.
+//
+// Exit status: 0 when clean, 1 with one finding per line on stderr.
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void report(const std::string& file, std::size_t line, std::string msg) {
+  g_findings.push_back({file, line, std::move(msg)});
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+/// Blank comments, string literals and char literals with spaces, keeping
+/// offsets and line numbers identical to the raw text.
+std::string strip(const std::string& in) {
+  std::string out = in;
+  enum class St { Code, Line, Block, Str, Chr };
+  St st = St::Code;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && next == '/') {
+          st = St::Line;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::Block;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::Str;
+        } else if (c == '\'') {
+          st = St::Chr;
+        }
+        break;
+      case St::Line:
+        if (c == '\n') {
+          st = St::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::Block:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::Str:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < in.size() && next != '\n') out[++i] = ' ';
+        } else if (c == '"') {
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::Chr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < in.size() && next != '\n') out[++i] = ' ';
+        } else if (c == '\'') {
+          st = St::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Best-effort "is `name` declared inside this region": matches
+/// `auto name`, builtin-type name, or `UpperCamel name` (custom types),
+/// each optionally via reference/pointer.  Lambda parameters match too.
+bool declared_in(const std::string& region, const std::string& name) {
+  const std::string decl =
+      "(?:\\bauto\\b|\\b(?:u?int(?:8|16|32|64)?_t|size_t|ptrdiff_t|int|long|"
+      "short|bool|float|double|char|unsigned)\\b|\\b[A-Z]\\w*\\b)"
+      "\\s*(?:<[^<>;]*>)?\\s*[&*]?\\s*\\b" +
+      name + "\\b";
+  if (std::regex_search(region, std::regex(decl))) return true;
+  // Later declarator in a comma list: `std::int64_t lo = a, name = b;`.
+  const std::string comma_decl = ",\\s*\\b" + name + "\\b\\s*(?:=|;|\\{)";
+  return std::regex_search(region, std::regex(comma_decl));
+}
+
+/// Rule 5: captured-state mutation inside launch regions.
+void check_region_mutations(const std::string& file, const std::string& raw,
+                            const std::string& code, std::size_t region_lo,
+                            std::size_t region_hi) {
+  const std::string region = code.substr(region_lo, region_hi - region_lo);
+
+  // Justification window: a few lines above the launch through its end.
+  std::size_t window_lo = region_lo;
+  for (int back = 0; back < 6 && window_lo > 0; ++back) {
+    std::size_t prev = raw.rfind('\n', window_lo - 1);
+    if (prev == std::string::npos) {
+      window_lo = 0;
+      break;
+    }
+    window_lo = prev;
+  }
+  const bool justified =
+      raw.substr(window_lo, region_hi - window_lo).find("block-disjoint:") !=
+      std::string::npos;
+  if (justified) return;
+
+  static const std::regex assign(
+      R"(([A-Za-z_]\w*)((?:\.[A-Za-z_]\w*)*)\s*(\+\+|--|\+=|-=|\*=|/=|\|=|&=|\^=|=(?!=)))");
+  for (auto it = std::sregex_iterator(region.begin(), region.end(), assign);
+       it != std::sregex_iterator(); ++it) {
+    const auto& m = *it;
+    const std::size_t at = static_cast<std::size_t>(m.position(0));
+    // Root of the LHS must start the expression: not a member, subscript
+    // result, or part of a longer identifier.
+    if (at > 0) {
+      const char prev = region[at - 1];
+      if (is_ident(prev) || prev == '.' || prev == ']' || prev == '>') {
+        continue;
+      }
+    }
+    const std::string root = m[1].str();
+    if (root == "b") continue;  // BlockCtx accounting calls never match anyway
+    if (declared_in(region, root)) continue;
+    report(file, line_of(code, region_lo + at),
+           "mutation of captured '" + root +
+               "' inside a kernel without a `// block-disjoint:` "
+               "justification near the launch");
+  }
+  // Prefix increment/decrement of a bare identifier.
+  static const std::regex prefix(R"((\+\+|--)\s*([A-Za-z_]\w*)\b\s*([^\[\w]|$))");
+  for (auto it = std::sregex_iterator(region.begin(), region.end(), prefix);
+       it != std::sregex_iterator(); ++it) {
+    const auto& m = *it;
+    const std::string root = m[2].str();
+    if (declared_in(region, root)) continue;
+    report(file, line_of(code, region_lo + static_cast<std::size_t>(m.position(0))),
+           "increment of captured '" + root +
+               "' inside a kernel without a `// block-disjoint:` "
+               "justification near the launch");
+  }
+}
+
+void check_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string raw = ss.str();
+  const std::string code = strip(raw);
+  const std::string file = path.generic_string();
+  const std::string fname = path.filename().generic_string();
+
+  // Rule 1: headers use #pragma once.
+  if (path.extension() == ".h" &&
+      raw.find("#pragma once") == std::string::npos) {
+    report(file, 1, "header without `#pragma once`");
+  }
+
+  // Rule 2: raw allocation primitives.  `= delete`d members are blanked
+  // first; `.free()` / `->free()` member calls never match the \bfree\b
+  // word-boundary check below because we require call position and no
+  // member access before it.
+  {
+    std::string mem = code;
+    static const std::regex deleted(R"(=\s*delete\b)");
+    mem = std::regex_replace(mem, deleted, "         ");
+    static const std::regex raw_alloc(
+        R"(\b(new|delete|malloc|calloc|realloc|free)\b)");
+    for (auto it = std::sregex_iterator(mem.begin(), mem.end(), raw_alloc);
+         it != std::sregex_iterator(); ++it) {
+      const auto& m = *it;
+      const auto at = static_cast<std::size_t>(m.position(0));
+      const std::string word = m[1].str();
+      if (word == "malloc" || word == "calloc" || word == "realloc" ||
+          word == "free") {
+        // Member calls (buffer.free()) and declarations are fine; only a
+        // free-function call position counts.
+        std::size_t before = at;
+        while (before > 0 &&
+               std::isspace(static_cast<unsigned char>(mem[before - 1]))) {
+          --before;
+        }
+        if (before > 0 &&
+            (mem[before - 1] == '.' ||
+             (before > 1 && mem[before - 2] == '-' && mem[before - 1] == '>') ||
+             (before > 1 && mem[before - 2] == ':' && mem[before - 1] == ':'))) {
+          continue;
+        }
+        std::size_t after = at + word.size();
+        while (after < mem.size() &&
+               std::isspace(static_cast<unsigned char>(mem[after]))) {
+          ++after;
+        }
+        if (after >= mem.size() || mem[after] != '(') continue;
+        // libc free/malloc always take arguments: an empty argument list is
+        // a member declaration or an unqualified member call.
+        std::size_t arg = after + 1;
+        while (arg < mem.size() &&
+               std::isspace(static_cast<unsigned char>(mem[arg]))) {
+          ++arg;
+        }
+        if (arg < mem.size() && mem[arg] == ')') continue;
+      }
+      report(file, line_of(code, at),
+             "raw `" + word + "` — use DeviceAllocator / standard containers");
+    }
+  }
+
+  // Rule 3: run_chunks stays inside the device launch machinery.
+  {
+    const bool allowed = file.find("src/device/thread_pool.") !=
+                             std::string::npos ||
+                         fname == "device_context.h";
+    if (!allowed) {
+      const std::size_t at = code.find("run_chunks");
+      if (at != std::string::npos) {
+        report(file, line_of(code, at),
+               "direct `run_chunks` use — launch kernels through "
+               "`dev.launch(\"label\", ...)`");
+      }
+    }
+  }
+
+  // Rules 4 + 5: launch sites.
+  static const std::regex launch_re(R"(\.\s*launch\s*\()");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), launch_re);
+       it != std::sregex_iterator(); ++it) {
+    const auto open = static_cast<std::size_t>(it->position(0)) +
+                      static_cast<std::size_t>(it->length(0)) - 1;
+    // First argument: a string literal (blanked to `"..."` shells by
+    // strip(), so the quote survives) or the `name` identifier of a
+    // labeled wrapper.
+    std::size_t a = open + 1;
+    while (a < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[a]))) {
+      ++a;
+    }
+    const bool labeled =
+        a < code.size() &&
+        (code[a] == '"' ||
+         (code.compare(a, 4, "name") == 0 && !is_ident(code[a + 4])));
+    if (!labeled) {
+      report(file, line_of(code, open),
+             "`.launch(` without a label as first argument");
+    }
+    // Region end: matching close paren.
+    int depth = 1;
+    std::size_t end = open + 1;
+    while (end < code.size() && depth > 0) {
+      if (code[end] == '(') ++depth;
+      if (code[end] == ')') --depth;
+      ++end;
+    }
+    check_region_mutations(file, raw, code, open, end);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) roots.emplace_back("src");
+
+  for (const auto& root : roots) {
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "gbdt_lint: no such path: %s\n",
+                   root.generic_string().c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cpp") check_file(entry.path());
+    }
+  }
+
+  for (const auto& f : g_findings) {
+    std::fprintf(stderr, "%s:%zu: %s\n", f.file.c_str(), f.line, f.message.c_str());
+  }
+  if (!g_findings.empty()) {
+    std::fprintf(stderr, "gbdt_lint: %zu finding(s)\n", g_findings.size());
+    return 1;
+  }
+  return 0;
+}
