@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
       Options::parse(argc, argv, /*default_scale=*/0.3, /*trees=*/10);
   print_header("Section IV footnote — device scaling (K20 / Titan X / P100)",
                opt);
+  BenchJson sink("devices", opt);
 
   const std::vector<device::DeviceConfig> devices{
       device::DeviceConfig::tesla_k20(),
@@ -27,10 +28,12 @@ int main(int argc, char** argv) {
                 "time(s)", "rel-speed");
     double k20_time = 0.0;
     for (const auto& cfg : devices) {
+      BenchCase c(sink, std::string(name) + "_" + cfg.name);
       device::Device dev(cfg);
       GpuGbdtTrainer trainer(dev, param);
       const auto r = trainer.train(ds);
       if (k20_time == 0.0) k20_time = r.modeled.total();
+      c.metric("modeled_seconds", r.modeled.total());
       std::printf("  %-14s %7d %8.0f %10.4f %10.2f\n", cfg.name.c_str(),
                   cfg.num_sms * cfg.cores_per_sm, cfg.mem_bandwidth_gbps,
                   r.modeled.total(), k20_time / r.modeled.total());

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const auto opt =
       Options::parse(argc, argv, /*default_scale=*/0.3, /*trees=*/20);
   print_header("Exact vs histogram (approximate) split finding", opt);
+  BenchJson sink("exact_vs_hist", opt);
 
   std::printf("%-10s | %10s %10s | %7s", "dataset", "exact(s)", "rmse", "");
   for (int bins : {16, 64, 256}) std::printf("  hist%-4d(s)  rmse  ", bins);
@@ -23,13 +24,18 @@ int main(int argc, char** argv) {
     const auto info = data::paper_dataset(name, opt.scale);
     const auto ds = data::generate(info.spec);
     const auto param = paper_param(opt);
+    BenchCase c(sink, name);
     const auto exact = run_gpu(ds, param);
+    c.metric("modeled_seconds", exact.modeled.total());
+    c.metric("rmse", rmse(exact.train_scores, ds.labels()));
     std::printf("%-10s | %10.3f %10.4f | %7s", name, exact.modeled.total(),
                 rmse(exact.train_scores, ds.labels()), "");
     for (int bins : {16, 64, 256}) {
       device::Device dev(device::DeviceConfig::titan_x_pascal());
       baseline::HistGbdtTrainer hist(dev, param, bins);
       const auto r = hist.train(ds);
+      c.metric(("hist" + std::to_string(bins) + "_seconds").c_str(),
+               r.modeled_seconds);
       std::printf("  %10.3f %6.4f", r.modeled_seconds,
                   rmse(r.train_scores, ds.labels()));
     }

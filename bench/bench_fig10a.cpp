@@ -15,17 +15,21 @@ int main(int argc, char** argv) {
   constexpr double kGpuPriceUsd = 1200.0;  // NVIDIA Titan X [16]
   constexpr double kCpuPriceUsd = 1878.0;  // 2x Xeon E5-2640v4 [17]
 
+  BenchJson sink("fig10a", opt);
   std::printf("%-10s %10s %10s %12s\n", "dataset", "ours(s)", "xgb-40(s)",
               "perf/price");
   for (const auto& info : data::paper_datasets(opt.scale)) {
     const auto ds = data::generate(info.spec);
     const auto param = paper_param(opt);
+    BenchCase c(sink, info.paper_name);
     const auto gpu = run_gpu(ds, param);
     const auto cpu = run_cpu(ds, param);
     const double gpu_s = gpu.modeled.total();
     const double cpu_s = cpu.modeled_seconds(cpu_config(), 40);
     // (1 / (t_gpu * price_gpu)) / (1 / (t_cpu * price_cpu))
     const double ratio = (cpu_s * kCpuPriceUsd) / (gpu_s * kGpuPriceUsd);
+    c.metric("modeled_seconds", gpu_s);
+    c.metric("perf_price_ratio", ratio);
     std::printf("%-10s %10.3f %10.3f %12.2f\n", info.paper_name.c_str(),
                 gpu_s, cpu_s, ratio);
   }

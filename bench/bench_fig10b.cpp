@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   const auto full = data::generate(info.spec);
   const auto [train, test] = full.split_at(full.n_instances() * 4 / 5);
 
+  BenchJson sink("fig10b", opt);
+  BenchCase c(sink, "susy_budget");
   GBDTParam param = paper_param(opt);
   param.loss = LossKind::kLogistic;
   const auto gpu = run_gpu(train, param);
@@ -28,6 +30,9 @@ int main(int argc, char** argv) {
   const double gpu_total = gpu.modeled.total();
   const double cpu40_total = cpu.modeled_seconds(cpu_config(), 40);
   const int n_trees = static_cast<int>(gpu.trees.size());
+  c.metric("modeled_seconds", gpu_total);
+  c.metric("cpu40_seconds", cpu40_total);
+  c.close();
 
   // Incremental test scores after each tree (forests are identical; compute
   // the error curve once from the GPU forest).

@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace gbdt::bench;
   const auto opt = Options::parse(argc, argv, /*default_scale=*/0.2);
   print_header("Figure 8b — speedup over xgbst-40 vs number of trees", opt);
+  BenchJson sink("fig8b", opt);
 
   const std::vector<std::string> names{"covtype", "higgs", "news20", "susy"};
   std::printf("%-6s", "trees");
@@ -21,10 +22,14 @@ int main(int argc, char** argv) {
       const auto ds = data::generate(info.spec);
       GBDTParam p = paper_param(opt);
       p.n_trees = trees;
+      BenchCase c(sink, name + "_trees" + std::to_string(trees));
       const auto gpu = run_gpu(ds, p);
       const auto cpu = run_cpu(ds, p);
-      std::printf(" %9.2f",
-                  cpu.modeled_seconds(cpu_config(), 40) / gpu.modeled.total());
+      const double speedup =
+          cpu.modeled_seconds(cpu_config(), 40) / gpu.modeled.total();
+      c.metric("modeled_seconds", gpu.modeled.total());
+      c.metric("speedup_over_xgb40", speedup);
+      std::printf(" %9.2f", speedup);
     }
     std::printf("\n");
   }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto opt =
       Options::parse(argc, argv, /*default_scale=*/0.25, /*trees=*/10);
   print_header("Figure 9 — impact of disabling individual optimizations", opt);
+  BenchJson sink("fig9", opt);
 
   struct Toggle {
     const char* name;
@@ -47,7 +48,9 @@ int main(int argc, char** argv) {
 
     GBDTParam base = paper_param(opt);
     base.force_rle = compressible;
+    BenchCase c(sink, info.paper_name);
     const auto full = run_gpu(ds, base);
+    c.metric("modeled_seconds", full.modeled.total());
     std::printf("%-10s %10.3f", info.paper_name.c_str(),
                 full.modeled.total());
 

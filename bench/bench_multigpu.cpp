@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   const auto opt =
       Options::parse(argc, argv, /*default_scale=*/0.3, /*trees=*/10);
   print_header("Multi-GPU scaling (future work of paper Section VI)", opt);
+  BenchJson sink("multigpu", opt);
 
   for (const char* name : {"news20", "higgs"}) {
     const auto info = data::paper_dataset(name, opt.scale);
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
                 "comm-share", "speedup", "nvlink(s)", "speedup");
     double base = 0.0;
     for (int k : {1, 2, 4, 8}) {
+      BenchCase c(sink, std::string(name) + "_gpus" + std::to_string(k));
       multigpu::MultiGpuTrainer pcie(device::DeviceConfig::titan_x_pascal(),
                                      k, p, multigpu::Interconnect::pcie3());
       const auto rp = pcie.train(ds);
@@ -32,6 +34,9 @@ int main(int argc, char** argv) {
                                    p, multigpu::Interconnect::nvlink());
       const auto rn = nv.train(ds);
       if (k == 1) base = rp.modeled_seconds;
+      c.metric("modeled_seconds", rp.modeled_seconds);
+      c.metric("comm_seconds", rp.comm_seconds);
+      c.metric("nvlink_seconds", rn.modeled_seconds);
       std::printf("  %4d %12.4f %11.1f%% %10.2f | %12.4f %10.2f\n", k,
                   rp.modeled_seconds,
                   100.0 * rp.comm_seconds / rp.modeled_seconds,

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   const auto opt =
       Options::parse(argc, argv, /*default_scale=*/0.3, /*trees=*/10);
   print_header("Out-of-core streaming vs in-core (PCI-e traffic)", opt);
+  BenchJson sink("out_of_core", opt);
 
   std::printf("%-10s | %9s %9s | %9s %11s | %9s %11s %7s\n", "dataset",
               "incore(s)", "lists", "raw(s)", "streamedMB", "rle(s)",
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
     GBDTParam p = paper_param(opt);
     p.use_rle = false;
 
+    BenchCase c(sink, name);
     const auto in_core = run_gpu(ds, p);
 
     device::Device dev1(device::DeviceConfig::titan_x_pascal());
@@ -31,6 +33,13 @@ int main(int argc, char** argv) {
     device::Device dev2(device::DeviceConfig::titan_x_pascal());
     OutOfCoreTrainer rle(dev2, p, std::size_t{2} << 20, true);
     const auto r_rle = rle.train(ds);
+    c.metric("modeled_seconds", r_raw.modeled_seconds);
+    c.metric("incore_seconds", in_core.modeled.total());
+    c.metric("rle_stream_seconds", r_rle.modeled_seconds);
+    c.metric("streamed_bytes_raw",
+             static_cast<double>(r_raw.streamed_bytes));
+    c.metric("streamed_bytes_rle",
+             static_cast<double>(r_rle.streamed_bytes));
 
     std::printf("%-10s | %9.3f %8.1fM | %9.3f %11.1f | %9.3f %11.1f %7d\n",
                 name, in_core.modeled.total(),

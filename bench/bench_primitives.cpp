@@ -5,7 +5,10 @@
 // analytic results in bench_table2 and bench_fig9 are built from.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "device/device_context.h"
 #include "primitives/partition.h"
@@ -164,4 +167,28 @@ BENCHMARK(BM_RleCompress)->Args({1 << 18, 8})->Args({1 << 18, 1 << 16});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translates the suite-wide
+// --json=<path> flag into google-benchmark's --benchmark_out so every bench
+// binary accepts the same reporting flag (the emitted file uses
+// google-benchmark's own schema, not gbdt-bench-v1; tools/gbdt_bench skips
+// it when comparing).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (std::strncmp(args[i], "--json=", 7) == 0) {
+      out_flag = std::string("--benchmark_out=") + (args[i] + 7);
+      fmt_flag = "--benchmark_out_format=json";
+      args[i] = out_flag.data();
+      args.insert(args.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  fmt_flag.data());
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

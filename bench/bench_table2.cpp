@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace gbdt::bench;
   const auto opt = Options::parse(argc, argv, /*default_scale=*/0.4);
   print_header("Table II — overall comparison vs XGBoost", opt);
+  BenchJson sink("table2", opt);
 
   std::printf("%-10s %9s %8s | %8s %8s %8s %-14s | %6s %6s | %7s %7s %9s | %5s\n",
               "dataset", "card", "dim", "ours(s)", "xgb-1(s)", "xgb-40(s)",
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
     const auto ds = data::generate(info.spec);
     const auto param = paper_param(opt);
 
+    BenchCase c(sink, info.paper_name);
     const auto gpu = run_gpu(ds, param);
     const auto cpu = run_cpu(ds, param);
     const double ours_s = gpu.modeled.total();
@@ -81,6 +83,11 @@ int main(int argc, char** argv) {
     find_frac_ours += gpu.modeled.find_split / gpu.modeled.total();
     find_frac_cpu += cpu.find_split_fraction(cpu_config());
     ++counted;
+
+    c.metric("modeled_seconds", ours_s);
+    c.metric("cpu1_seconds", cpu1_s);
+    c.metric("cpu40_seconds", cpu40_s);
+    c.metric("rmse", rmse_ours);
   }
 
   std::printf("----------------------------------------------------------------\n");

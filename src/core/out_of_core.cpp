@@ -7,6 +7,8 @@
 
 #include "core/trainer_detail.h"
 #include "data/csc_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "primitives/reduce.h"
 #include "primitives/transform.h"
 #include "testing/invariants.h"
@@ -73,6 +75,9 @@ OutOfCoreTrainer::OutOfCoreTrainer(device::Device& dev, GBDTParam param,
 }
 
 OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
+  obs::ScopedSpan train_span("ooc_train");
+  static obs::Counter& chunks_streamed =
+      obs::Registry::global().counter("gbdt_ooc_chunks_streamed_total");
   const auto wall_start = std::chrono::steady_clock::now();
   const double modeled_start = dev_.elapsed_seconds();
   dev_.allocator().reset_peak();
@@ -162,17 +167,19 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
   report.trees.reserve(static_cast<std::size_t>(param_.n_trees));
 
   for (int t = 0; t < param_.n_trees; ++t) {
-    if (t > 0) detail::update_predictions_smart(st, report.trees.back());
-    detail::compute_gradients(st, d_labels);
-    prim::fill(dev_, st.node_of, std::int32_t{0});
-
+    ActiveNode root;
+    {
+      obs::ScopedSpan span("gradient_compute");
+      if (t > 0) detail::update_predictions_smart(st, report.trees.back());
+      detail::compute_gradients(st, d_labels);
+      prim::fill(dev_, st.node_of, std::int32_t{0});
+      root.tree_node = 0;
+      root.sum_g = prim::reduce_sum<double>(dev_, st.grad, "ooc_root_sum_g");
+      root.sum_h = prim::reduce_sum<double>(dev_, st.hess, "ooc_root_sum_h");
+      root.count = n_inst;
+    }
     report.trees.emplace_back();
     Tree& tree = report.trees.back();
-    ActiveNode root;
-    root.tree_node = 0;
-    root.sum_g = prim::reduce_sum<double>(dev_, st.grad, "ooc_root_sum_g");
-    root.sum_h = prim::reduce_sum<double>(dev_, st.hess, "ooc_root_sum_h");
-    root.count = n_inst;
     std::vector<ActiveNode> active{root};
 
     for (int level = 0; level < param_.depth && !active.empty(); ++level) {
@@ -205,54 +212,62 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
       std::vector<GlobalBest> best(active.size());
 
       // ---- stream every chunk through the device once per level ----------
+      {
+      obs::ScopedSpan find_span("find_split");
       for (const Chunk& c : chunks) {
         const std::int64_t n = c.n_entries();
         if (n == 0) continue;
         const std::int64_t n_cols = c.attr_hi - c.attr_lo;
+        chunks_streamed.inc();
 
         // Ship the chunk (RLE-compressed values where profitable).
-        auto d_inst = dev_.to_device<std::int32_t>(
-            std::span<const std::int32_t>(csc.inst_ids)
-                .subspan(static_cast<std::size_t>(c.entry_lo),
-                         static_cast<std::size_t>(n)));
+        DeviceBuffer<std::int32_t> d_inst;
         DeviceBuffer<float> d_values;
-        if (c.compressed) {
-          auto d_rv = dev_.to_device<float>(c.run_values);
-          auto d_rl = dev_.to_device<std::int32_t>(c.run_lens);
-          auto d_rs = dev_.to_device<std::int64_t>(c.run_starts);
-          report.streamed_bytes += c.run_values.size() * 16 +
-                                   static_cast<std::uint64_t>(n) * 4;
-          d_values = dev_.alloc<float>(static_cast<std::size_t>(n));
-          const auto n_runs = static_cast<std::int64_t>(c.run_values.size());
-          auto rv = d_rv.span();
-          auto rl = d_rl.span();
-          auto rs = d_rs.span();
-          auto out = d_values.span();
-          dev_.launch("ooc_decompress", device::grid_for(n_runs, kBlockDim),
-                      kBlockDim, [&](BlockCtx& b) {
-                        std::uint64_t written = 0;
-                        b.for_each_thread([&](std::int64_t r) {
-                          if (r >= n_runs) return;
-                          const auto ru = static_cast<std::size_t>(r);
-                          for (std::int32_t j = 0; j < rl[ru]; ++j) {
-                            out[static_cast<std::size_t>(rs[ru] + j)] = rv[ru];
-                          }
-                          b.writes(out, rs[ru], rl[ru]);
-                          written += static_cast<std::uint64_t>(rl[ru]);
-                        });
-                        b.reads_tile(rv, n_runs);
-                        b.reads_tile(rl, n_runs);
-                        b.reads_tile(rs, n_runs);
-                        b.work(written);
-                        b.mem_coalesced(written * 4 +
-                                        elems_in_block(b, n_runs) * 20);
-                      });
-        } else {
-          d_values = dev_.to_device<float>(
-              std::span<const float>(csc.values)
+        {
+          obs::ScopedSpan io_span("chunk_io");
+          d_inst = dev_.to_device<std::int32_t>(
+              std::span<const std::int32_t>(csc.inst_ids)
                   .subspan(static_cast<std::size_t>(c.entry_lo),
                            static_cast<std::size_t>(n)));
-          report.streamed_bytes += static_cast<std::uint64_t>(n) * 8;
+          if (c.compressed) {
+            auto d_rv = dev_.to_device<float>(c.run_values);
+            auto d_rl = dev_.to_device<std::int32_t>(c.run_lens);
+            auto d_rs = dev_.to_device<std::int64_t>(c.run_starts);
+            report.streamed_bytes += c.run_values.size() * 16 +
+                                     static_cast<std::uint64_t>(n) * 4;
+            d_values = dev_.alloc<float>(static_cast<std::size_t>(n));
+            const auto n_runs = static_cast<std::int64_t>(c.run_values.size());
+            auto rv = d_rv.span();
+            auto rl = d_rl.span();
+            auto rs = d_rs.span();
+            auto out = d_values.span();
+            dev_.launch("ooc_decompress", device::grid_for(n_runs, kBlockDim),
+                        kBlockDim, [&](BlockCtx& b) {
+                          std::uint64_t written = 0;
+                          b.for_each_thread([&](std::int64_t r) {
+                            if (r >= n_runs) return;
+                            const auto ru = static_cast<std::size_t>(r);
+                            for (std::int32_t j = 0; j < rl[ru]; ++j) {
+                              out[static_cast<std::size_t>(rs[ru] + j)] =
+                                  rv[ru];
+                            }
+                            b.writes(out, rs[ru], rl[ru]);
+                            written += static_cast<std::uint64_t>(rl[ru]);
+                          });
+                          b.reads_tile(rv, n_runs);
+                          b.reads_tile(rl, n_runs);
+                          b.reads_tile(rs, n_runs);
+                          b.work(written);
+                          b.mem_coalesced(written * 4 +
+                                          elems_in_block(b, n_runs) * 20);
+                        });
+          } else {
+            d_values = dev_.to_device<float>(
+                std::span<const float>(csc.values)
+                    .subspan(static_cast<std::size_t>(c.entry_lo),
+                             static_cast<std::size_t>(n)));
+            report.streamed_bytes += static_cast<std::uint64_t>(n) * 8;
+          }
         }
 
         // Column offsets local to the chunk.
@@ -396,6 +411,7 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
           }
         }
       }
+      }
 
       // ---- split decisions + instance->node updates ----------------------
       std::vector<NodeDecision> decisions(active.size());
@@ -436,6 +452,7 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
 
       // Defaults for every instance of a splitting node, then the exact side
       // from the winning column, re-streamed from the host.
+      obs::ScopedSpan split_span("split_node");
       {
         std::vector<std::int32_t> default_child(
             static_cast<std::size_t>(tree.n_nodes()), -1);
@@ -543,6 +560,7 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
     }
   }
 
+  obs::ScopedSpan final_span("gradient_compute");
   detail::update_predictions_smart(st, report.trees.back());
   const auto final_pred = dev_.to_host(st.y_pred);
   report.train_scores.assign(final_pred.begin(), final_pred.end());

@@ -6,6 +6,8 @@
 
 #include "core/trainer_detail.h"
 #include "data/csc_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "primitives/reduce.h"
 #include "primitives/segmented.h"
 #include "primitives/transform.h"
@@ -340,6 +342,11 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds) {
 TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
                                   const TreeCallback& on_tree) {
   const auto wall_start = std::chrono::steady_clock::now();
+  obs::ScopedSpan train_span("train");
+  static obs::Counter& trees_trained =
+      obs::Registry::global().counter("gbdt_trees_trained_total");
+  static obs::Counter& levels_grown =
+      obs::Registry::global().counter("gbdt_levels_grown_total");
   TrainReport report;
   report.base_score = param_.base_score;
 
@@ -353,6 +360,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
   // ---- build the original root-level layout (counted as transfer) --------
   {
     PhaseScope phase(dev_, report.modeled.transfer);
+    obs::ScopedSpan span("csc_build");
     auto csc = data::build_csc_device(dev_, ds);
     st.orig_values = std::move(csc.values);
     st.orig_inst = std::move(csc.inst_ids);
@@ -362,6 +370,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
         param_.force_rle ||
         rle::paper_gate(st.n_attr, st.n_inst, param_.rle_threshold_r);
     if (param_.use_rle && gate) {
+      obs::ScopedSpan rle_span("rle_compress");
       auto compressed = rle::compress(dev_, st.orig_values, st.orig_seg_offsets);
       if (testing::invariants_enabled()) {
         testing::check_rle_roundtrip(dev_, compressed, st.orig_values,
@@ -406,6 +415,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
   for (int t = 0; t < param_.n_trees; ++t) {
     {
       PhaseScope phase(dev_, report.modeled.gradients);
+      obs::ScopedSpan span("gradient_compute");
       if (t > 0) {
         if (param_.use_smart_gd) {
           update_predictions_smart(st, report.trees.back());
@@ -418,6 +428,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
 
     {
       PhaseScope phase(dev_, report.modeled.split_node);
+      obs::ScopedSpan span("reset_layout");
       reset_working_layout(st);
     }
 
@@ -429,6 +440,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
     root.tree_node = 0;
     {
       PhaseScope phase(dev_, report.modeled.gradients);
+      obs::ScopedSpan span("gradient_compute");
       root.sum_g = prim::reduce_sum<double>(dev_, st.grad, "root_sum_g");
       root.sum_h = prim::reduce_sum<double>(dev_, st.hess, "root_sum_h");
     }
@@ -439,9 +451,11 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
       std::vector<DeviceBuffer<double>> interleaved;
       if (param_.dense_layout) interleaved = dense_node_interleaving(st);
 
+      levels_grown.inc();
       std::vector<BestSplit> best;
       {
         PhaseScope phase(dev_, report.modeled.find_split);
+        obs::ScopedSpan span("find_split");
         best = st.rle ? detail::find_splits_rle(st)
                       : detail::find_splits_sparse(st);
       }
@@ -490,6 +504,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
 
       {
         PhaseScope phase(dev_, report.modeled.split_node);
+        obs::ScopedSpan span("split_node");
         if (st.rle) {
           detail::apply_splits_rle(st, plan);
         } else {
@@ -509,12 +524,14 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
       testing::check_leaf_map(st.node_of.span(), tree, ds, "smartgd_leaf_map");
     }
 
+    trees_trained.inc();
     if (on_tree && !on_tree(t, report.trees)) break;
   }
 
   // Fold the last tree into the scores and return them.
   {
     PhaseScope phase(dev_, report.modeled.gradients);
+    obs::ScopedSpan span("gradient_compute");
     if (param_.use_smart_gd) {
       update_predictions_smart(st, report.trees.back());
     } else {

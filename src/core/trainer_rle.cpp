@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/trainer_detail.h"
+#include "obs/trace.h"
 #include "primitives/partition.h"
 #include "primitives/scan.h"
 #include "primitives/segmented.h"
@@ -73,20 +74,25 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
   if (n_runs == 0) return out;
 
   st.run_keys = dev.alloc<std::int32_t>(static_cast<std::size_t>(n_runs));
-  prim::set_keys(dev, st.run_seg_offsets, st.run_keys,
-                 st.segs_per_block(n_seg));
-
-  auto rgh = dev.alloc<GHPair>(static_cast<std::size_t>(n_runs));
-  aggregate_run_gradients(st, rgh);
+  {
+    obs::ScopedSpan span("set_key");
+    prim::set_keys(dev, st.run_seg_offsets, st.run_keys,
+                   st.segs_per_block(n_seg));
+  }
 
   auto ghl = dev.alloc<GHPair>(static_cast<std::size_t>(n_runs));
-  prim::segmented_inclusive_scan_by_key(dev, rgh, st.run_keys, ghl,
-                                        "rle_seg_scan_gh");
-  rgh.free();
-
-  // Present totals per segment (value of the scan at the last run).
   auto seg_tot = dev.alloc<GHPair>(static_cast<std::size_t>(n_seg));
   {
+    obs::ScopedSpan prefix_span("gain_prefix_sum");
+    auto rgh = dev.alloc<GHPair>(static_cast<std::size_t>(n_runs));
+    aggregate_run_gradients(st, rgh);
+    prim::segmented_inclusive_scan_by_key(dev, rgh, st.run_keys, ghl,
+                                          "rle_seg_scan_gh");
+  }
+
+  // Present totals per segment (value of the scan at the last run).
+  {
+    obs::ScopedSpan totals_span("gain_prefix_sum");
     auto roff = st.run_seg_offsets.span();
     auto scan = ghl.span();
     auto tot = seg_tot.span();
@@ -116,6 +122,7 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
   auto gains = dev.alloc<double>(static_cast<std::size_t>(n_runs));
   auto dirs = dev.alloc<std::uint8_t>(static_cast<std::size_t>(n_runs));
   {
+    obs::ScopedSpan span("compute_gains");
     auto k = st.run_keys.span();
     auto roff = st.run_seg_offsets.span();
     auto starts = st.run_starts.span();
@@ -186,10 +193,6 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
 
   auto best_seg_val = dev.alloc<double>(static_cast<std::size_t>(n_seg));
   auto best_seg_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
-  prim::segmented_arg_max(dev, gains, st.run_seg_offsets, best_seg_val,
-                          best_seg_idx, st.segs_per_block(n_seg),
-                          "rle_seg_best_gain");
-
   std::vector<std::int64_t> node_offs(st.active.size() + 1);
   for (std::size_t s = 0; s <= st.active.size(); ++s) {
     node_offs[s] = static_cast<std::int64_t>(s) * n_attr;
@@ -197,8 +200,14 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
   auto d_node_offs = upload(dev, node_offs);
   auto best_node_val = dev.alloc<double>(st.active.size());
   auto best_node_idx = dev.alloc<std::int64_t>(st.active.size());
-  prim::segmented_arg_max(dev, best_seg_val, d_node_offs, best_node_val,
-                          best_node_idx, 1, "rle_node_best_gain");
+  {
+    obs::ScopedSpan span("setkey_argmax");
+    prim::segmented_arg_max(dev, gains, st.run_seg_offsets, best_seg_val,
+                            best_seg_idx, st.segs_per_block(n_seg),
+                            "rle_seg_best_gain");
+    prim::segmented_arg_max(dev, best_seg_val, d_node_offs, best_node_val,
+                            best_node_idx, 1, "rle_node_best_gain");
+  }
 
   for (std::size_t s = 0; s < st.active.size(); ++s) {
     BestSplit& b = out[s];
@@ -778,7 +787,10 @@ void apply_splits_rle(TrainState& st, const LevelPlan& plan) {
   auto d_left = upload(dev, left_id);
   auto d_right = upload(dev, right_id);
 
-  assign_exact_side_rle(st, d_chosen, d_pos, d_left, d_right);
+  {
+    obs::ScopedSpan span("mark_sides");
+    assign_exact_side_rle(st, d_chosen, d_pos, d_left, d_right);
+  }
 
   // Directly-Split-RLE needs the child lengths per run, counted on the old
   // element domain; the partition pass below counts them on the fly.
@@ -792,15 +804,21 @@ void apply_splits_rle(TrainState& st, const LevelPlan& plan) {
   }
 
   auto scatter = dev.alloc<std::int64_t>(static_cast<std::size_t>(old_n_elems));
-  auto new_elem_offsets = partition_instances_rle(
-      st, plan, scatter, direct ? &slots : nullptr,
-      direct ? &len_l : nullptr, direct ? &len_r : nullptr);
+  DeviceBuffer<std::int64_t> new_elem_offsets;
+  {
+    obs::ScopedSpan span("partition");
+    new_elem_offsets = partition_instances_rle(
+        st, plan, scatter, direct ? &slots : nullptr,
+        direct ? &len_l : nullptr, direct ? &len_r : nullptr);
+  }
 
   if (st.param.use_direct_rle_split) {
+    obs::ScopedSpan span("rle_direct_split");
     direct_split_runs(st, slots, len_l, len_r,
                       static_cast<std::int64_t>(plan.next_active.size()),
                       new_elem_offsets);
   } else {
+    obs::ScopedSpan span("rle_decompress_split");
     decompress_split_runs(st, scatter, new_elem_offsets, old_n_elems);
   }
   st.run_keys.free();

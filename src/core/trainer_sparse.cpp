@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/trainer_detail.h"
+#include "obs/trace.h"
 #include "primitives/partition.h"
 #include "primitives/segmented.h"
 #include "primitives/transform.h"
@@ -92,17 +93,23 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
 
   // Segment key per element (Customized SetKey / naive one-block-per-seg).
   st.keys = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
-  prim::set_keys(dev, st.seg_offsets, st.keys, st.segs_per_block(n_seg));
+  {
+    obs::ScopedSpan span("set_key");
+    prim::set_keys(dev, st.seg_offsets, st.keys, st.segs_per_block(n_seg));
+  }
 
   // g/h in attribute order, then one fused segmented prefix sum (Figure 1).
   auto ghe = dev.alloc<GHPair>(static_cast<std::size_t>(n));
-  gather_gradients(st, ghe);
   auto ghl = dev.alloc<GHPair>(static_cast<std::size_t>(n));
-  prim::segmented_inclusive_scan_by_key(dev, ghe, st.keys, ghl, "seg_scan_gh");
-  ghe.free();
-
   auto seg_tot = dev.alloc<GHPair>(static_cast<std::size_t>(n_seg));
-  segment_present_totals(st, ghl, seg_tot);
+  {
+    obs::ScopedSpan span("gain_prefix_sum");
+    gather_gradients(st, ghe);
+    prim::segmented_inclusive_scan_by_key(dev, ghe, st.keys, ghl,
+                                          "seg_scan_gh");
+    ghe.free();
+    segment_present_totals(st, ghl, seg_tot);
+  }
 
   auto tables = upload_slot_tables(st);
 
@@ -114,6 +121,7 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
   auto gains = dev.alloc<double>(static_cast<std::size_t>(n));
   auto dirs = dev.alloc<std::uint8_t>(static_cast<std::size_t>(n));
   {
+    obs::ScopedSpan span("compute_gains");
     auto v = st.values.span();
     auto k = st.keys.span();
     auto off = st.seg_offsets.span();
@@ -191,10 +199,6 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
   // segmented reduction + reduction).
   auto best_seg_val = dev.alloc<double>(static_cast<std::size_t>(n_seg));
   auto best_seg_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
-  prim::segmented_arg_max(dev, gains, st.seg_offsets, best_seg_val,
-                          best_seg_idx, st.segs_per_block(n_seg),
-                          "seg_best_gain");
-
   std::vector<std::int64_t> node_offs(st.active.size() + 1);
   for (std::size_t s = 0; s <= st.active.size(); ++s) {
     node_offs[s] = static_cast<std::int64_t>(s) * n_attr;
@@ -202,8 +206,14 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
   auto d_node_offs = upload(dev, node_offs);
   auto best_node_val = dev.alloc<double>(st.active.size());
   auto best_node_idx = dev.alloc<std::int64_t>(st.active.size());
-  prim::segmented_arg_max(dev, best_seg_val, d_node_offs, best_node_val,
-                          best_node_idx, 1, "node_best_gain");
+  {
+    obs::ScopedSpan span("setkey_argmax");
+    prim::segmented_arg_max(dev, gains, st.seg_offsets, best_seg_val,
+                            best_seg_idx, st.segs_per_block(n_seg),
+                            "seg_best_gain");
+    prim::segmented_arg_max(dev, best_seg_val, d_node_offs, best_node_val,
+                            best_node_idx, 1, "node_best_gain");
+  }
 
   // Assemble per-node results on the host (tiny: one entry per active node;
   // the scalar buffer reads below are host glue over the simulated device).
@@ -251,6 +261,7 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
 }
 
 void apply_mark_sides_sparse(TrainState& st, const LevelPlan& plan) {
+  obs::ScopedSpan span("mark_sides");
   auto& dev = st.dev;
   const std::int64_t n = st.n_elems;
   const std::int64_t n_attr = st.n_attr;
@@ -313,6 +324,7 @@ void apply_mark_sides_sparse(TrainState& st, const LevelPlan& plan) {
 }
 
 void apply_partition_sparse(TrainState& st, const LevelPlan& plan) {
+  obs::ScopedSpan span("partition");
   auto& dev = st.dev;
   const std::int64_t n = st.n_elems;
   const std::int64_t n_attr = st.n_attr;

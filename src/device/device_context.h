@@ -33,6 +33,7 @@
 #include "device/device_memory.h"
 #include "device/kernel_stats.h"
 #include "device/thread_pool.h"
+#include "obs/trace.h"
 
 namespace gbdt::device {
 
@@ -271,12 +272,17 @@ class Device {
     ++it->second.launches;
     it->second.seconds += secs;
     it->second.stats += s;
+    // Per-kernel-label stats roll up into the enclosing trace span (a single
+    // relaxed load when no ObsSession is active).
+    obs::on_kernel(name, s, secs);
   }
 
   void record_transfer(std::uint64_t bytes, bool to_device) {
-    timeline_.transfer_seconds += cost_.transfer_seconds(bytes);
+    const double secs = cost_.transfer_seconds(bytes);
+    timeline_.transfer_seconds += secs;
     ++timeline_.transfers;
     (to_device ? timeline_.bytes_to_device : timeline_.bytes_to_host) += bytes;
+    obs::on_transfer(bytes, secs);
   }
 
   CostModel cost_;

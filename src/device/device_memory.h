@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/access_audit.h"
+#include "obs/trace.h"
 
 namespace gbdt::device {
 
@@ -56,6 +57,8 @@ class DeviceAllocator {
     used_ += bytes;
     if (used_ > peak_) peak_ = used_;
     ++allocations_;
+    // Feeds per-span high-water marks; one relaxed load when tracing is off.
+    obs::note_device_usage(used_);
   }
 
   /// Returns bytes to the pool.  Releasing more than is in use is an

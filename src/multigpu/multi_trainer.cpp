@@ -6,6 +6,8 @@
 
 #include "core/trainer_detail.h"
 #include "data/csc_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "primitives/reduce.h"
 
 namespace gbdt::multigpu {
@@ -76,7 +78,10 @@ struct MultiGpuTrainer::Impl {
 
   void account_comm(MultiTrainReport& r, std::uint64_t bytes,
                     int messages) const {
+    static obs::Counter& comm_bytes_total =
+        obs::Registry::global().counter("gbdt_mgpu_comm_bytes_total");
     r.comm_bytes += bytes;
+    comm_bytes_total.inc(bytes);
     const double secs = messages * link.latency_us * 1e-6 +
                         static_cast<double>(bytes) / (link.bandwidth_gbps * 1e9);
     r.comm_seconds += secs;
@@ -94,6 +99,7 @@ MultiGpuTrainer::~MultiGpuTrainer() = default;
 int MultiGpuTrainer::n_devices() const { return impl_->n_devices; }
 
 MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
+  obs::ScopedSpan train_span("mgpu_train");
   const auto wall_start = std::chrono::steady_clock::now();
   auto& impl = *impl_;
   const GBDTParam& param = impl.param;
@@ -111,6 +117,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
   // ---- build shards: attribute a lives on device a % K as local a / K ----
   std::vector<Shard> shards(static_cast<std::size_t>(K));
   {
+    obs::ScopedSpan span("shard_build");
     for (int k = 0; k < K; ++k) {
       auto& sh = shards[static_cast<std::size_t>(k)];
       sh.dev = std::make_unique<Device>(impl.cfg);
@@ -144,6 +151,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
   // Replicated per-instance state + labels on every shard.
   std::vector<device::DeviceBuffer<float>> labels(static_cast<std::size_t>(K));
   {
+    obs::ScopedSpan span("shard_build");
     ParallelStep step(shards, report.modeled_seconds);
     for (int k = 0; k < K; ++k) {
       auto& sh = shards[static_cast<std::size_t>(k)];
@@ -164,6 +172,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
 
   for (int t = 0; t < param.n_trees; ++t) {
     {
+      obs::ScopedSpan span("gradient_compute");
       ParallelStep step(shards, report.modeled_seconds,
                         &report.device_seconds);
       for (int k = 0; k < K; ++k) {
@@ -206,6 +215,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
       // 1. Local best splits per shard.
       std::vector<std::vector<BestSplit>> local(static_cast<std::size_t>(K));
       {
+        obs::ScopedSpan span("find_split");
         ParallelStep step(shards, report.modeled_seconds,
                           &report.device_seconds);
         for (int k = 0; k < K; ++k) {
@@ -217,25 +227,28 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
       // 2. Allreduce the candidates: the global winner per node is the
       //    maximum gain, ties resolved to the lowest *global* attribute —
       //    the same order a single device enumerates.
-      if (K > 1) {
-        impl.account_comm(
-            report,
-            static_cast<std::uint64_t>(K) * active.size() * sizeof(BestSplit),
-            K);
-      }
       std::vector<BestSplit> best(active.size());
       std::vector<std::int32_t> owner(active.size(), -1);
-      for (std::size_t s = 0; s < active.size(); ++s) {
-        for (int k = 0; k < K; ++k) {
-          BestSplit cand = local[static_cast<std::size_t>(k)][s];
-          if (!cand.valid) continue;
-          cand.attr = static_cast<std::int32_t>(cand.attr) * K + k;  // global
-          const bool better =
-              !best[s].valid || cand.gain > best[s].gain ||
-              (cand.gain == best[s].gain && cand.attr < best[s].attr);
-          if (better) {
-            best[s] = cand;
-            owner[s] = k;
+      {
+        obs::ScopedSpan span("allreduce_merge");
+        if (K > 1) {
+          impl.account_comm(
+              report,
+              static_cast<std::uint64_t>(K) * active.size() * sizeof(BestSplit),
+              K);
+        }
+        for (std::size_t s = 0; s < active.size(); ++s) {
+          for (int k = 0; k < K; ++k) {
+            BestSplit cand = local[static_cast<std::size_t>(k)][s];
+            if (!cand.valid) continue;
+            cand.attr = static_cast<std::int32_t>(cand.attr) * K + k;  // global
+            const bool better =
+                !best[s].valid || cand.gain > best[s].gain ||
+                (cand.gain == best[s].gain && cand.attr < best[s].attr);
+            if (better) {
+              best[s] = cand;
+              owner[s] = k;
+            }
           }
         }
       }
@@ -305,6 +318,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
         }
       }
       {
+        obs::ScopedSpan span("mark_sides");
         ParallelStep step(shards, report.modeled_seconds,
                           &report.device_seconds);
         for (int k = 0; k < K; ++k) {
@@ -318,6 +332,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
       //    the shard owning its (old) node's winning attribute.  Modeled as
       //    an allgather of the map (4 B x n_inst to and from each peer).
       if (K > 1) {
+        obs::ScopedSpan span("node_sync");
         impl.account_comm(report,
                           static_cast<std::uint64_t>(K - 1) * 2 *
                               static_cast<std::uint64_t>(n_inst) * 4,
@@ -339,6 +354,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
 
       // 6. Local order-preserving partition of every shard's lists.
       {
+        obs::ScopedSpan span("partition");
         ParallelStep step(shards, report.modeled_seconds,
                           &report.device_seconds);
         for (int k = 0; k < K; ++k) {
@@ -366,6 +382,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
 
   // Fold the last tree into the replicated predictions; report shard 0's.
   {
+    obs::ScopedSpan span("gradient_compute");
     ParallelStep step(shards, report.modeled_seconds, &report.device_seconds);
     for (int k = 0; k < K; ++k) {
       detail::update_predictions_smart(*shards[static_cast<std::size_t>(k)].state,

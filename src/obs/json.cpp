@@ -1,0 +1,336 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gbdt::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    out += "null";
+    return;
+  }
+  // Integers up to 2^53 print exactly, without a trailing ".0"; everything
+  // else round-trips through %.17g.
+  if (n == std::floor(n) && std::abs(n) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", n);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", n);
+  out += buf;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : text_(text), err_(err) {}
+
+  Json run() {
+    Json v = value();
+    skip_ws();
+    if (!failed_ && pos_ != text_.size()) fail("trailing characters");
+    return failed_ ? Json() : v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (!failed_ && err_ != nullptr) {
+      *err_ = what + " at offset " + std::to_string(pos_);
+    }
+    failed_ = true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  std::string string_body() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return out;
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else { fail("bad \\u escape"); return out; }
+            }
+            // Reports only ever contain ASCII; encode BMP code points as
+            // UTF-8 and let anything fancier degrade to that.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape"); return out;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (!consume('"')) fail("unterminated string");
+    return out;
+  }
+
+  Json value() {
+    skip_ws();
+    if (failed_ || depth_ > 200) {
+      fail("nesting too deep");
+      return {};
+    }
+    switch (peek()) {
+      case '{': {
+        ++depth_;
+        ++pos_;
+        Json obj = Json::object();
+        skip_ws();
+        if (consume('}')) { --depth_; return obj; }
+        while (!failed_) {
+          skip_ws();
+          if (peek() != '"') { fail("expected object key"); break; }
+          std::string key = string_body();
+          skip_ws();
+          if (!consume(':')) { fail("expected ':'"); break; }
+          obj[key] = value();
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume('}')) break;
+          fail("expected ',' or '}'");
+        }
+        --depth_;
+        return obj;
+      }
+      case '[': {
+        ++depth_;
+        ++pos_;
+        Json arr = Json::array();
+        skip_ws();
+        if (consume(']')) { --depth_; return arr; }
+        while (!failed_) {
+          arr.push_back(value());
+          skip_ws();
+          if (consume(',')) continue;
+          if (consume(']')) break;
+          fail("expected ',' or ']'");
+        }
+        --depth_;
+        return arr;
+      }
+      case '"':
+        return Json(string_body());
+      case 't':
+        return literal("true") ? Json(true) : Json();
+      case 'f':
+        return literal("false") ? Json(false) : Json();
+      case 'n':
+        return literal("null") ? Json() : Json();
+      default: {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+          ++pos_;
+        }
+        if (pos_ == start) {
+          fail("unexpected character");
+          return {};
+        }
+        const std::string num(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double v = std::strtod(num.c_str(), &end);
+        if (end != num.c_str() + num.size()) {
+          fail("bad number");
+          return {};
+        }
+        return Json(v);
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Json& Json::operator[](std::string_view key) {
+  if (kind_ != Kind::kObject) {
+    *this = object();
+  }
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(std::string(key), Json());
+  return members_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ != Kind::kArray) *this = array();
+  items_.push_back(std::move(v));
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: append_number(out, num_); break;
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        append_escaped(out, members_[i].first);
+        out += pretty ? ": " : ":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+Json Json::parse(std::string_view text, std::string* err) {
+  return Parser(text, err).run();
+}
+
+bool write_json_file(const std::string& path, const Json& doc) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << doc.dump();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+Json read_json_file(const std::string& path, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Json::parse(ss.str(), err);
+}
+
+}  // namespace gbdt::obs

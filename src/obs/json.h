@@ -1,0 +1,113 @@
+// Minimal JSON document type for the observability subsystem.
+//
+// One value class covers both directions: report emitters build documents
+// with object()/array()/operator[] and serialize with dump(), and
+// `gbdt_bench --compare` reads historical BENCH_*.json files back with
+// parse().  Object keys keep insertion order so emitted reports are stable
+// and diffable across runs; numbers round-trip through %.17g.
+//
+// This is deliberately not a general-purpose JSON library: no comments, no
+// NaN/Inf (serialized as null, like browsers do), UTF-8 passed through
+// verbatim with only the mandatory escapes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gbdt::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double n) : kind_(Kind::kNumber), num_(n) {}
+  Json(int n) : Json(static_cast<double>(n)) {}
+  Json(std::int64_t n) : Json(static_cast<double>(n)) {}
+  Json(std::uint64_t n) : Json(static_cast<double>(n)) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : Json(std::string(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Object access; creates the key (as null) on a mutable object.
+  Json& operator[](std::string_view key);
+  /// Read-only lookup: nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  void push_back(Json v);
+
+  [[nodiscard]] double number_or(double def) const {
+    return kind_ == Kind::kNumber ? num_ : def;
+  }
+  [[nodiscard]] bool bool_or(bool def) const {
+    return kind_ == Kind::kBool ? bool_ : def;
+  }
+  [[nodiscard]] const std::string& str() const { return str_; }
+  [[nodiscard]] std::string str_or(std::string_view def) const {
+    return kind_ == Kind::kString ? str_ : std::string(def);
+  }
+
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    return kind_ == Kind::kArray ? items_.size() : members_.size();
+  }
+
+  /// Serializes with 2-space indentation (indent < 0: single line).
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document.  On failure returns null and, when
+  /// `err` is given, describes the first error with a byte offset.
+  [[nodiscard]] static Json parse(std::string_view text,
+                                  std::string* err = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Writes `doc.dump()` atomically-ish (tmp file + rename) to `path`.
+/// Returns false (and keeps any existing file) on I/O failure.
+bool write_json_file(const std::string& path, const Json& doc);
+
+/// Reads and parses a JSON file; returns null on I/O or parse failure and
+/// describes the problem in `err` when given.
+[[nodiscard]] Json read_json_file(const std::string& path,
+                                  std::string* err = nullptr);
+
+}  // namespace gbdt::obs

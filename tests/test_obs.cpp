@@ -1,0 +1,283 @@
+// Tests for the observability subsystem (src/obs/): trace-span aggregation
+// over real simulated-device work, the lock-free metrics registry under
+// concurrent kernel-body writers, the JSON document layer, the schema of
+// emitted run reports, and the gbdt_bench --compare regression gate.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "device/device_context.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace gbdt;
+using obs::Json;
+
+void burn_kernel(device::Device& dev, const char* label, std::int64_t n) {
+  dev.launch(label, device::grid_for(n, 128), 128, [&](device::BlockCtx& b) {
+    b.for_each_thread([&](std::int64_t) {});
+    b.mem_coalesced(static_cast<std::uint64_t>(n));
+  });
+}
+
+// ---- trace spans ----------------------------------------------------------
+
+TEST(ObsTrace, AttributesKernelsToInnermostSpanAndAggregates) {
+  device::Device dev(device::DeviceConfig::titan_x_pascal());
+  obs::ObsSession session;
+  session.activate();
+  const double before = dev.elapsed_seconds();
+  {
+    obs::ScopedSpan outer("outer");
+    burn_kernel(dev, "outer_work", 1 << 14);
+    {
+      obs::ScopedSpan inner("inner");
+      burn_kernel(dev, "inner_work", 1 << 15);
+    }
+    {
+      obs::ScopedSpan inner("inner");  // same name: merges with the sibling
+      burn_kernel(dev, "inner_work", 1 << 15);
+    }
+  }
+  const double modeled = dev.elapsed_seconds() - before;
+  session.deactivate();
+
+  const obs::Span* outer = session.root().child("outer");
+  ASSERT_NE(outer, nullptr);
+  const obs::Span* inner = outer->child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->children().size(), 1u);  // the two "inner" opens merged
+  EXPECT_EQ(outer->stats().invocations, 1u);
+  EXPECT_EQ(inner->stats().invocations, 2u);
+  EXPECT_EQ(outer->stats().launches, 1u);
+  EXPECT_EQ(inner->stats().launches, 2u);
+
+  // Self seconds exclude children; totals include them; everything modeled
+  // inside the spans accounts for the device's elapsed-time delta.
+  EXPECT_GT(outer->stats().modeled_self_seconds(), 0.0);
+  EXPECT_GT(inner->stats().modeled_self_seconds(), 0.0);
+  EXPECT_NEAR(outer->modeled_total_seconds(),
+              outer->stats().modeled_self_seconds() +
+                  inner->stats().modeled_self_seconds(),
+              1e-12);
+  EXPECT_NEAR(outer->modeled_total_seconds(), modeled, 1e-12);
+
+  // Per-kernel-label aggregation inside the span.
+  ASSERT_EQ(inner->stats().kernels.size(), 1u);
+  EXPECT_EQ(inner->stats().kernels[0].first, "inner_work");
+  EXPECT_EQ(inner->stats().kernels[0].second.launches, 2u);
+  EXPECT_GT(inner->stats().kernels[0].second.stats.thread_work, 0u);
+}
+
+TEST(ObsTrace, RecordsTransfersAndPeakDeviceMemory) {
+  device::Device dev(device::DeviceConfig::titan_x_pascal());
+  obs::ObsSession session;
+  session.activate();
+  std::size_t bytes = 0;
+  {
+    obs::ScopedSpan span("ship");
+    const std::vector<float> host(1 << 16, 1.0f);
+    auto buf = dev.to_device<float>(host);
+    bytes = buf.bytes();
+  }
+  session.deactivate();
+  const obs::Span* ship = session.root().child("ship");
+  ASSERT_NE(ship, nullptr);
+  EXPECT_GE(ship->stats().transfer_bytes, bytes);
+  EXPECT_GT(ship->stats().transfer_seconds, 0.0);
+  EXPECT_GE(session.root().peak_device_bytes_total(), bytes);
+}
+
+TEST(ObsTrace, InactiveSessionRecordsNothing) {
+  device::Device dev(device::DeviceConfig::titan_x_pascal());
+  obs::ObsSession session;  // never activated
+  {
+    obs::ScopedSpan span("ghost");
+    burn_kernel(dev, "ghost_work", 1 << 12);
+  }
+  EXPECT_TRUE(session.root().children().empty());
+  EXPECT_FALSE(obs::tracing_active());
+}
+
+TEST(ObsTrace, SecondActivationThrows) {
+  obs::ObsSession a;
+  obs::ObsSession b;
+  a.activate();
+  EXPECT_THROW(b.activate(), std::logic_error);
+  a.deactivate();
+  b.activate();  // fine once the first released the slot
+  b.deactivate();
+}
+
+// ---- metrics registry -----------------------------------------------------
+
+TEST(ObsMetrics, CountersSurviveConcurrentKernelWriters) {
+  // Kernel bodies run on ThreadPool::run_chunks workers; every block
+  // increments the same counter.  The sharded relaxed-atomic write path must
+  // not lose updates.
+  auto& reg = obs::Registry::global();
+  obs::Counter& hits = reg.counter("test_obs_block_hits_total");
+  obs::Gauge& weight = reg.gauge("test_obs_block_weight");
+  obs::Histogram& sizes = reg.histogram("test_obs_block_sizes");
+  const std::uint64_t before_hits = hits.value();
+  const double before_weight = weight.value();
+  const std::uint64_t before_count = sizes.count();
+
+  device::Device dev(device::DeviceConfig::titan_x_pascal());
+  constexpr std::int64_t kGrid = 512;
+  for (int round = 0; round < 4; ++round) {
+    dev.launch("test_metric_writers", kGrid, 64, [&](device::BlockCtx& b) {
+      hits.inc();
+      weight.add(0.5);
+      sizes.observe(static_cast<double>(b.block_idx()));
+      b.work(1);
+    });
+  }
+  EXPECT_EQ(hits.value() - before_hits, 4u * kGrid);
+  EXPECT_NEAR(weight.value() - before_weight, 4.0 * kGrid * 0.5, 1e-9);
+  EXPECT_EQ(sizes.count() - before_count, 4u * kGrid);
+
+  // Same name returns the same instance; labels distinguish.
+  EXPECT_EQ(&reg.counter("test_obs_block_hits_total"), &hits);
+  EXPECT_NE(&reg.counter("test_obs_block_hits_total", {{"k", "v"}}), &hits);
+}
+
+TEST(ObsMetrics, RegistryReportsJson) {
+  auto& reg = obs::Registry::global();
+  reg.counter("test_obs_report_total").inc(7);
+  const Json doc = reg.to_json();
+  const Json* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* c = counters->find("test_obs_report_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->number_or(0.0), 7.0);
+}
+
+// ---- JSON layer -----------------------------------------------------------
+
+TEST(ObsJson, DumpParseRoundtrip) {
+  Json doc = Json::object();
+  doc["string"] = "line\nbreak \"quoted\" \\slash";
+  doc["int"] = 42;
+  doc["neg"] = -3.5;
+  doc["flag"] = true;
+  doc["nil"] = Json();
+  auto arr = Json::array();
+  arr.push_back(1.0);
+  arr.push_back("two");
+  auto nested = Json::object();
+  nested["deep"] = 1e-9;
+  arr.push_back(std::move(nested));
+  doc["arr"] = std::move(arr);
+
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.find("string")->str(), "line\nbreak \"quoted\" \\slash");
+  EXPECT_EQ(back.find("int")->number_or(0), 42.0);
+  EXPECT_EQ(back.find("neg")->number_or(0), -3.5);
+  EXPECT_TRUE(back.find("flag")->bool_or(false));
+  EXPECT_TRUE(back.find("nil")->is_null());
+  EXPECT_EQ(back.find("arr")->size(), 3u);
+  EXPECT_EQ(back.find("arr")->items()[1].str(), "two");
+  EXPECT_NEAR(back.find("arr")->items()[2].find("deep")->number_or(0), 1e-9,
+              1e-18);
+  // Insertion order survives the roundtrip (greppable, diffable reports).
+  EXPECT_EQ(back.members().front().first, "string");
+}
+
+// ---- run report schema ----------------------------------------------------
+
+TEST(ObsReport, WritesSchemaVersionedRunReport) {
+  device::Device dev(device::DeviceConfig::titan_x_pascal());
+  obs::ObsSession session;
+  session.activate();
+  {
+    obs::ScopedSpan span("phase_a");
+    burn_kernel(dev, "work_a", 1 << 13);
+  }
+  session.deactivate();
+
+  const std::string path = "/tmp/test_obs_run_report.json";
+  ASSERT_TRUE(session.write_report(path));
+  std::string err;
+  const Json doc = obs::read_json_file(path, &err);
+  ASSERT_FALSE(doc.is_null()) << err;
+  EXPECT_EQ(doc.find("schema")->str(), "gbdt-obs-run-v1");
+  const Json* trace = doc.find("trace");
+  ASSERT_NE(trace, nullptr);
+  const Json* children = trace->find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->size(), 1u);
+  const Json& phase = children->items()[0];
+  EXPECT_EQ(phase.find("name")->str(), "phase_a");
+  EXPECT_GT(phase.find("kernel_seconds")->number_or(0.0), 0.0);
+  EXPECT_GE(phase.find("invocations")->number_or(0.0), 1.0);
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  std::remove(path.c_str());
+}
+
+// ---- gbdt_bench --compare gate --------------------------------------------
+
+#ifdef GBDT_BENCH_PATH
+
+int run_tool(const std::string& args) {
+  const std::string cmd =
+      std::string(GBDT_BENCH_PATH) + " " + args + " > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return rc == -1 ? -1 : (WIFEXITED(rc) ? WEXITSTATUS(rc) : -1);
+}
+
+void write_suite(const std::string& path, double modeled) {
+  Json c = Json::object();
+  c["name"] = "ds1";
+  auto metrics = Json::object();
+  metrics["modeled_seconds"] = modeled;
+  c["metrics"] = std::move(metrics);
+  auto cases = Json::array();
+  cases.push_back(std::move(c));
+  auto bench = Json::object();
+  bench["schema"] = "gbdt-bench-v1";
+  bench["cases"] = std::move(cases);
+  Json doc = Json::object();
+  doc["schema"] = "gbdt-bench-suite-v1";
+  doc["benches"] = Json::object();
+  doc["benches"]["t2"] = std::move(bench);
+  ASSERT_TRUE(obs::write_json_file(path, doc));
+}
+
+TEST(ObsBenchCompare, ExitsNonzeroOnInjectedRegression) {
+  const std::string now = "/tmp/test_obs_suite_now.json";
+  const std::string old_same = "/tmp/test_obs_suite_old_same.json";
+  const std::string old_fast = "/tmp/test_obs_suite_old_fast.json";
+  write_suite(now, 1.0);
+  write_suite(old_same, 1.0);
+  write_suite(old_fast, 0.5);  // the "new" run is 2x slower: a regression
+
+  EXPECT_EQ(run_tool("--compare-only --json=" + now + " --compare=" + now), 0);
+  EXPECT_EQ(
+      run_tool("--compare-only --json=" + now + " --compare=" + old_same), 0);
+  EXPECT_EQ(
+      run_tool("--compare-only --json=" + now + " --compare=" + old_fast), 1);
+  // A generous threshold lets the same pair pass.
+  EXPECT_EQ(run_tool("--compare-only --threshold=150 --json=" + now +
+                     " --compare=" + old_fast),
+            0);
+  // Unreadable inputs are usage errors, not regressions.
+  EXPECT_EQ(run_tool("--compare-only --json=/nonexistent.json --compare=" +
+                     old_fast),
+            2);
+  std::remove(now.c_str());
+  std::remove(old_same.c_str());
+  std::remove(old_fast.c_str());
+}
+
+#endif  // GBDT_BENCH_PATH
+
+}  // namespace

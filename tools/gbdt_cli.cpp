@@ -24,6 +24,7 @@
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
 #include "device/device_context.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -123,6 +124,24 @@ GBDTParam params_from(const Flags& f) {
   return p;
 }
 
+void print_profile_row(const obs::Span& s, int indent) {
+  std::fprintf(stderr, "  %*s%-*s %12.6f %10.3f %8llu\n", indent, "",
+               30 - indent, s.name().c_str(), s.modeled_total_seconds(),
+               s.stats().wall_seconds,
+               static_cast<unsigned long long>(s.stats().invocations));
+  for (const auto& c : s.children()) print_profile_row(*c, indent + 2);
+}
+
+void print_profile(const obs::ObsSession& session) {
+  std::fprintf(stderr, "\nprofile (per training phase):\n");
+  std::fprintf(stderr, "  %-30s %12s %10s %8s\n", "phase", "modeled(s)",
+               "wall(s)", "calls");
+  for (const auto& c : session.root().children()) print_profile_row(*c, 0);
+  std::fprintf(stderr, "  peak device memory: %.1f MiB\n",
+               static_cast<double>(session.root().peak_device_bytes_total()) /
+                   (1 << 20));
+}
+
 int cmd_train(const Flags& f) {
   const auto data_path = f.require("data");
   const auto model_path = f.require("model");
@@ -135,8 +154,11 @@ int cmd_train(const Flags& f) {
   const auto param = params_from(f);
   const auto valid_path = f.str("valid");
   const int early = static_cast<int>(f.integer("early-stopping", 0));
+  const bool profile = f.flag("profile");
   f.warn_unused();
 
+  obs::ObsSession session;
+  if (profile) session.activate();
   GBDTModel model;
   TrainReport report;
   if (!valid_path.empty()) {
@@ -155,6 +177,10 @@ int cmd_train(const Flags& f) {
     auto [m, r] = GBDTModel::train(dev, ds, param);
     model = std::move(m);
     report = std::move(r);
+  }
+  if (profile) {
+    session.deactivate();
+    print_profile(session);
   }
   model.save(model_path);
   std::fprintf(stderr,
@@ -291,7 +317,7 @@ void usage() {
       "          [--trees=40 --depth=6 --eta=0.3 --lambda=1 --gamma=0\n"
       "           --loss=l2|logistic --device=titanx|p100|k20\n"
       "           --no-rle --force-rle --no-smartgd --no-setkey\n"
-      "           --no-idxcomp --no-direct-rle]\n"
+      "           --no-idxcomp --no-direct-rle --profile]\n"
       "  predict --data=F --model=F [--output=F --transform]\n"
       "  eval    --data=F --model=F\n"
       "  cv      --data=F [--folds=5 --seed=42 + train hyper-params]\n"

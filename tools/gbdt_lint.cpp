@@ -16,6 +16,10 @@
 //      that is not declared inside the region (i.e. mutation of captured
 //      shared state that the per-element auditor cannot see) requires a
 //      `// block-disjoint:` justification near the launch.
+//   6. Every `obs::ScopedSpan` is constructed with a string-literal name, so
+//      trace reports stay greppable and span names form a closed vocabulary.
+//      A dynamic name needs a `// span-name-ok:` justification near the
+//      construction.  (The obs/trace.h declarations themselves are exempt.)
 //
 // Comments and string literals are blanked (length-preserving) before any
 // rule other than the justification search runs, so prose never trips the
@@ -306,6 +310,62 @@ void check_file(const fs::path& path) {
       ++end;
     }
     check_region_mutations(file, raw, code, open, end);
+  }
+
+  // Rule 6: ScopedSpan names are string literals (declaration site exempt).
+  if (fname != "trace.h" && fname != "trace.cpp") {
+    static const std::regex span_re(R"(\bScopedSpan\b)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), span_re);
+         it != std::sregex_iterator(); ++it) {
+      std::size_t j = static_cast<std::size_t>(it->position(0)) +
+                      static_cast<std::size_t>(it->length(0));
+      while (j < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[j]))) {
+        ++j;
+      }
+      // Optional variable name of a declaration.
+      if (j < code.size() && is_ident(code[j]) ) {
+        while (j < code.size() && is_ident(code[j])) ++j;
+        while (j < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[j]))) {
+          ++j;
+        }
+      }
+      if (j >= code.size() || (code[j] != '(' && code[j] != '{')) continue;
+      const std::size_t open_at = j;
+      ++j;
+      while (j < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[j]))) {
+        ++j;
+      }
+      if (j < code.size() && code[j] == '"') continue;
+      // Justification window: a few lines above through the closing paren.
+      std::size_t end = open_at + 1;
+      int depth = 1;
+      const char close = code[open_at] == '(' ? ')' : '}';
+      const char open_ch = code[open_at];
+      while (end < code.size() && depth > 0) {
+        if (code[end] == open_ch) ++depth;
+        if (code[end] == close) --depth;
+        ++end;
+      }
+      std::size_t window_lo = open_at;
+      for (int back = 0; back < 6 && window_lo > 0; ++back) {
+        const std::size_t prev = raw.rfind('\n', window_lo - 1);
+        if (prev == std::string::npos) {
+          window_lo = 0;
+          break;
+        }
+        window_lo = prev;
+      }
+      if (raw.substr(window_lo, end - window_lo).find("span-name-ok:") !=
+          std::string::npos) {
+        continue;
+      }
+      report(file, line_of(code, open_at),
+             "ScopedSpan name must be a string literal (or add a "
+             "`// span-name-ok:` justification)");
+    }
   }
 }
 
