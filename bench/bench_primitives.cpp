@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "device/device_context.h"
+#include "device/workspace_arena.h"
+#include "primitives/fused_split.h"
 #include "primitives/partition.h"
 #include "primitives/scan.h"
 #include "primitives/segmented.h"
@@ -131,7 +133,8 @@ void BM_HistogramPartition(benchmark::State& state) {
   double modeled = 0.0;
   for (auto _ : state) {
     const double before = dev.elapsed_seconds();
-    prim::histogram_partition(dev, d_ids, parts, scatter, offs, plan);
+    prim::histogram_partition(dev, d_ids.span(), parts, scatter.span(),
+                              offs.span(), plan);
     modeled += dev.elapsed_seconds() - before;
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -143,6 +146,181 @@ BENCHMARK(BM_HistogramPartition)
     ->Args({1 << 18, 64, 0})
     ->Args({1 << 18, 4096, 1})
     ->Args({1 << 18, 4096, 0});
+
+/// Shared fixture for the fused-find-split ablations: n elements in
+/// seg_len-sized segments, an instance indirection for the gather, and a
+/// gradient array.
+struct FusedFixture {
+  Device dev{DeviceConfig::titan_x_pascal()};
+  device::WorkspaceArena arena{dev.allocator()};
+  std::int64_t n, n_seg;
+  device::DeviceBuffer<std::int64_t> d_offs;
+  device::DeviceBuffer<std::int32_t> keys;
+  device::DeviceBuffer<std::int32_t> inst;
+  device::DeviceBuffer<double> grad;
+
+  FusedFixture(std::int64_t n_, std::int64_t seg_len) : n(n_) {
+    std::vector<std::int64_t> offs{0};
+    while (offs.back() < n) {
+      offs.push_back(std::min<std::int64_t>(n, offs.back() + seg_len));
+    }
+    n_seg = static_cast<std::int64_t>(offs.size()) - 1;
+    d_offs = dev.to_device<std::int64_t>(offs);
+    keys = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
+    prim::set_keys(dev, d_offs, keys, prim::auto_segs_per_block(n_seg, 28));
+    inst = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
+    grad = dev.alloc<double>(static_cast<std::size_t>(n));
+    std::mt19937 rng(3);
+    for (std::int64_t i = 0; i < n; ++i) {
+      inst[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>(rng() % static_cast<unsigned>(n));
+      grad[static_cast<std::size_t>(i)] = static_cast<double>(rng() % 17);
+    }
+  }
+};
+
+/// Fused gather+scan+totals vs the unfused gather -> segmented scan ->
+/// present-totals sequence it replaces (range(1): 1 = fused).
+void BM_GatherScanTotals(benchmark::State& state) {
+  FusedFixture f(state.range(0), 1000);
+  const bool fused = state.range(1) != 0;
+  auto out = f.dev.alloc<double>(static_cast<std::size_t>(f.n));
+  auto tot = f.dev.alloc<double>(static_cast<std::size_t>(f.n_seg));
+  auto idx = f.inst.span();
+  auto g = f.grad.span();
+  const std::int64_t n = f.n;
+  const std::int64_t n_seg = f.n_seg;
+  double modeled = 0.0;
+  for (auto _ : state) {
+    const double before = f.dev.elapsed_seconds();
+    if (fused) {
+      prim::fused_gather_scan_totals(
+          f.dev, f.arena, f.keys, out, tot,
+          [idx, g](device::BlockCtx& b, std::int64_t i) {
+            b.reads(idx, i);
+            b.reads(g, idx[static_cast<std::size_t>(i)]);
+            b.mem_coalesced(sizeof(std::int32_t));
+            b.mem_irregular(1);
+            return g[static_cast<std::size_t>(
+                idx[static_cast<std::size_t>(i)])];
+          },
+          "bench_fused_gather_scan");
+    } else {
+      auto ghe = f.arena.alloc<double>(static_cast<std::size_t>(n));
+      auto ge = ghe.span();
+      f.dev.launch("bench_gather", device::grid_for(n, prim::kBlockDim),
+                   prim::kBlockDim, [&](device::BlockCtx& b) {
+                     b.for_each_thread([&](std::int64_t i) {
+                       if (i >= n) return;
+                       const auto u = static_cast<std::size_t>(i);
+                       ge[u] = g[static_cast<std::size_t>(idx[u])];
+                     });
+                     b.reads_tile(idx, n);
+                     b.writes_tile(ge, n);
+                     const auto m = prim::elems_in_block(b, n);
+                     b.mem_coalesced(m * 12);
+                     b.mem_irregular(m);
+                   });
+      prim::segmented_inclusive_scan_by_key(f.dev, ghe, f.keys, out,
+                                            "bench_seg_scan");
+      auto o = out.span();
+      auto t = tot.span();
+      auto offs = f.d_offs.span();
+      f.dev.launch("bench_seg_totals",
+                   device::grid_for(n_seg, prim::kBlockDim), prim::kBlockDim,
+                   [&](device::BlockCtx& b) {
+                     b.for_each_thread([&](std::int64_t s) {
+                       if (s >= n_seg) return;
+                       const auto u = static_cast<std::size_t>(s);
+                       if (offs[u] == offs[u + 1]) return;
+                       t[u] = o[static_cast<std::size_t>(offs[u + 1] - 1)];
+                       b.reads(o, offs[u + 1] - 1);
+                     });
+                     b.reads_tile(offs, n_seg + 1);
+                     b.writes_tile(t, n_seg);
+                     const auto m = prim::elems_in_block(b, n_seg);
+                     b.mem_coalesced(m * 24);
+                     b.mem_irregular(m);
+                   });
+      ghe.free();
+    }
+    modeled += f.dev.elapsed_seconds() - before;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.n);
+  state.counters["modeled_us"] =
+      benchmark::Counter(modeled * 1e6 / state.iterations());
+}
+BENCHMARK(BM_GatherScanTotals)
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+/// Fused gain+argmax vs the unfused compute-gains -> segmented argmax pair
+/// it replaces (range(1): 1 = fused).
+void BM_GainArgmax(benchmark::State& state) {
+  FusedFixture f(state.range(0), 1000);
+  const bool fused = state.range(1) != 0;
+  auto scan = f.dev.alloc<double>(static_cast<std::size_t>(f.n));
+  prim::fill(f.dev, scan, 1.5);
+  auto best_val = f.dev.alloc<double>(static_cast<std::size_t>(f.n_seg));
+  auto best_idx = f.dev.alloc<std::int64_t>(static_cast<std::size_t>(f.n_seg));
+  auto best_dir = f.dev.alloc<std::uint8_t>(static_cast<std::size_t>(f.n_seg));
+  const std::int64_t n = f.n;
+  const std::int64_t spb = prim::auto_segs_per_block(f.n_seg, 28);
+  auto sc = scan.span();
+  double modeled = 0.0;
+  for (auto _ : state) {
+    const double before = f.dev.elapsed_seconds();
+    if (fused) {
+      prim::fused_gain_argmax(
+          f.dev, f.d_offs, best_val, best_idx, best_dir, spb,
+          [sc](device::BlockCtx& b, std::int64_t s, std::int64_t e,
+               std::int64_t lo, std::int64_t hi) {
+            (void)s;
+            (void)hi;
+            b.reads(sc, e);
+            b.mem_coalesced(sizeof(double));
+            if (e == lo) b.mem_irregular(1);  // segment-invariant tables
+            b.flop(16);
+            const double x = sc[static_cast<std::size_t>(e)];
+            return prim::GainDir{x * x - x, 0};
+          },
+          "bench_fused_gain_argmax");
+    } else {
+      auto gains = f.arena.alloc<double>(static_cast<std::size_t>(n));
+      auto gn = gains.span();
+      f.dev.launch("bench_compute_gains", device::grid_for(n, prim::kBlockDim),
+                   prim::kBlockDim, [&](device::BlockCtx& b) {
+                     b.for_each_thread([&](std::int64_t e) {
+                       if (e >= n) return;
+                       const auto u = static_cast<std::size_t>(e);
+                       gn[u] = sc[u] * sc[u] - sc[u];
+                     });
+                     b.reads_tile(sc, n);
+                     b.writes_tile(gn, n);
+                     const auto m = prim::elems_in_block(b, n);
+                     b.mem_coalesced(m * 16);
+                     b.mem_irregular(m / 2);
+                     b.flop(m * 16);
+                   });
+      prim::segmented_arg_max(f.dev, gains, f.d_offs, best_val, best_idx, spb,
+                              "bench_seg_argmax");
+      gains.free();
+    }
+    modeled += f.dev.elapsed_seconds() - before;
+    benchmark::DoNotOptimize(best_val.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.n);
+  state.counters["modeled_us"] =
+      benchmark::Counter(modeled * 1e6 / state.iterations());
+}
+BENCHMARK(BM_GainArgmax)
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
 
 void BM_RleCompress(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -158,7 +336,7 @@ void BM_RleCompress(benchmark::State& state) {
   auto d_v = dev.to_device<float>(v);
   auto d_o = dev.to_device<std::int64_t>(offs);
   for (auto _ : state) {
-    auto compressed = rle::compress(dev, d_v, d_o);
+    auto compressed = rle::compress(dev, d_v.span(), d_o.span());
     benchmark::DoNotOptimize(compressed.n_runs);
   }
   state.SetItemsProcessed(state.iterations() * n);

@@ -186,20 +186,18 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
       const auto n_slots = static_cast<std::int64_t>(active.size());
       std::vector<std::int32_t> slot_of(
           static_cast<std::size_t>(tree.n_nodes()), -1);
-      std::vector<double> node_g(static_cast<std::size_t>(n_slots));
-      std::vector<double> node_h(static_cast<std::size_t>(n_slots));
-      std::vector<std::int64_t> node_cnt(static_cast<std::size_t>(n_slots));
+      std::vector<detail::SlotStat> node_stats(
+          static_cast<std::size_t>(n_slots));
       for (std::size_t s = 0; s < active.size(); ++s) {
         slot_of[static_cast<std::size_t>(active[s].tree_node)] =
             static_cast<std::int32_t>(s);
-        node_g[s] = active[s].sum_g;
-        node_h[s] = active[s].sum_h;
-        node_cnt[s] = active[s].count;
+        node_stats[s] = detail::SlotStat{active[s].sum_g, active[s].sum_h,
+                                         active[s].count};
       }
-      auto d_slot_of = detail::upload(dev_, slot_of);
-      auto d_ng = detail::upload(dev_, node_g);
-      auto d_nh = detail::upload(dev_, node_h);
-      auto d_nc = detail::upload(dev_, node_cnt);
+      auto d_slot_of = detail::upload_pooled(dev_, st.arena, slot_of);
+      // Packed into one record so the per-level table costs a single PCI-e
+      // transfer instead of three latency-bound ones.
+      auto d_stats = detail::upload_pooled(dev_, st.arena, node_stats);
 
       struct GlobalBest {
         double gain = 0.0;
@@ -278,10 +276,11 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
               csc.col_offsets[static_cast<std::size_t>(c.attr_lo + a2)] -
               c.entry_lo;
         }
-        auto d_offs = detail::upload(dev_, local_offs);
+        auto d_offs = detail::upload_pooled(dev_, st.arena, local_offs);
 
-        // Per-(column, slot) winners.
-        auto d_best = dev_.alloc<ColumnBest>(
+        // Per-(column, slot) winners, checked out per chunk (every entry is
+        // written by ooc_enumerate, so the unzeroed checkout is safe).
+        auto d_best = st.arena.alloc<ColumnBest>(
             static_cast<std::size_t>(n_cols) * static_cast<std::size_t>(n_slots));
 
         auto values = d_values.span();
@@ -289,9 +288,7 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
         auto offs = d_offs.span();
         auto node_of = st.node_of.span();
         auto so = d_slot_of.span();
-        auto ng = d_ng.span();
-        auto nh = d_nh.span();
-        auto nc = d_nc.span();
+        auto stats = d_stats.span();
         auto out_best = d_best.span();
         auto g = st.grad.span();
         auto h = st.hess.span();
@@ -329,21 +326,23 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
             const double glp = acc[su].g;
             const double hlp = acc[su].h;
             const std::int64_t pos = acc_cnt[su];
-            const std::int64_t cnt = nc[su];
+            const double node_g = stats[su].g;
+            const double node_h = stats[su].h;
+            const std::int64_t cnt = stats[su].cnt;
             const std::int64_t seg_len = present_cnt[su];
             const std::int64_t miss = cnt - seg_len;
-            const double miss_g = ng[su] - present[su].g;
-            const double miss_h = nh[su] - present[su].h;
+            const double miss_g = node_g - present[su].g;
+            const double miss_h = node_h - present[su].h;
             double gain_r = 0.0;
             if (pos > 0 && cnt - pos > 0) {
-              gain_r = split_gain(glp, hlp, ng[su] - glp, nh[su] - hlp,
+              gain_r = split_gain(glp, hlp, node_g - glp, node_h - hlp,
                                   lambda);
             }
             double gain_l = 0.0;
             if (miss > 0 && seg_len - pos > 0) {
               gain_l = split_gain(glp + miss_g, hlp + miss_h,
-                                  ng[su] - glp - miss_g,
-                                  nh[su] - hlp - miss_h, lambda);
+                                  node_g - glp - miss_g,
+                                  node_h - hlp - miss_h, lambda);
             }
             const bool dl = gain_l > gain_r;
             const double gain = dl ? gain_l : gain_r;
@@ -462,7 +461,7 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
               decisions[s].default_left ? decisions[s].left_id
                                         : decisions[s].right_id;
         }
-        auto d_default = detail::upload(dev_, default_child);
+        auto d_default = detail::upload_pooled(dev_, st.arena, default_child);
         auto node_of = st.node_of.span();
         auto def = d_default.span();
         dev_.launch("ooc_assign_default", device::grid_for(n_inst, kBlockDim),

@@ -34,19 +34,46 @@ std::int64_t TrainState::segs_per_block(std::int64_t n_segments) const {
 }
 
 SlotTables upload_slot_tables(TrainState& st) {
-  std::vector<double> g(st.active.size());
-  std::vector<double> h(st.active.size());
-  std::vector<std::int64_t> cnt(st.active.size());
+  std::vector<SlotStat> stats(st.active.size());
   for (std::size_t s = 0; s < st.active.size(); ++s) {
-    g[s] = st.active[s].sum_g;
-    h[s] = st.active[s].sum_h;
-    cnt[s] = st.active[s].count;
+    stats[s] = SlotStat{st.active[s].sum_g, st.active[s].sum_h,
+                        st.active[s].count};
   }
   SlotTables t;
-  t.node_g = upload(st.dev, g);
-  t.node_h = upload(st.dev, h);
-  t.node_cnt = upload(st.dev, cnt);
+  t.stats = upload_pooled(st.dev, st.arena, stats);
   return t;
+}
+
+device::ArenaBuffer<SplitCmd> upload_split_cmds(TrainState& st,
+                                                const LevelPlan& plan) {
+  std::vector<SplitCmd> cmds(st.active.size());
+  for (std::size_t s = 0; s < cmds.size(); ++s) {
+    const auto& e = plan.per_slot[s];
+    if (!e.split) continue;
+    cmds[s] = SplitCmd{e.chosen_seg, e.best_pos, e.left_id, e.right_id};
+  }
+  return upload_pooled(st.dev, st.arena, cmds);
+}
+
+device::ArenaBuffer<std::int64_t> device_node_offsets(TrainState& st,
+                                                      std::int64_t n_slots,
+                                                      std::int64_t stride) {
+  auto offs =
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_slots) + 1);
+  auto o = offs.span();
+  const std::int64_t n = n_slots + 1;
+  st.dev.launch("node_seg_offsets", device::grid_for(n, kBlockDim), kBlockDim,
+                [&](device::BlockCtx& b) {
+                  b.for_each_thread([&](std::int64_t s) {
+                    if (s >= n) return;
+                    o[static_cast<std::size_t>(s)] = s * stride;
+                  });
+                  b.writes_tile(o, n);
+                  const auto m = prim::elems_in_block(b, n);
+                  b.mem_coalesced(m * sizeof(std::int64_t));
+                  b.work(m);
+                });
+  return offs;
 }
 
 void assign_default_children(TrainState& st, const LevelPlan& plan) {
@@ -60,7 +87,7 @@ void assign_default_children(TrainState& st, const LevelPlan& plan) {
     const auto tn = static_cast<std::size_t>(st.active[s].tree_node);
     default_child[tn] = e.default_left ? e.left_id : e.right_id;
   }
-  auto d_default = upload(st.dev, default_child);
+  auto d_default = upload_pooled(st.dev, st.arena, default_child);
 
   const std::int64_t n = st.n_inst;
   auto node_of = st.node_of.span();
@@ -115,7 +142,7 @@ void update_predictions_smart(TrainState& st, const Tree& tree) {
   for (std::int32_t i = 0; i < tree.n_nodes(); ++i) {
     weights[static_cast<std::size_t>(i)] = tree.node(i).weight;
   }
-  auto d_w = upload(st.dev, weights);
+  auto d_w = upload_pooled(st.dev, st.arena, weights);
   const std::int64_t n = st.n_inst;
   auto p = st.y_pred.span();
   auto node_of = st.node_of.span();
@@ -138,11 +165,11 @@ void update_predictions_smart(TrainState& st, const Tree& tree) {
                 });
 }
 
-template <typename T>
-void device_copy(Device& dev, const DeviceBuffer<T>& src, DeviceBuffer<T>& dst,
-                 std::int64_t n) {
-  auto s = src.span();
-  auto d = dst.span();
+template <typename SrcBuf, typename DstBuf>
+void device_copy(Device& dev, const SrcBuf& src, DstBuf& dst, std::int64_t n) {
+  using T = prim::buffer_element_t<DstBuf>;
+  auto s = prim::as_span(src);
+  auto d = prim::as_span(dst);
   dev.launch("tree_reset_copy", device::grid_for(n, kBlockDim), kBlockDim,
              [&](device::BlockCtx& b) {
                b.for_each_thread([&](std::int64_t i) {
@@ -158,28 +185,30 @@ void device_copy(Device& dev, const DeviceBuffer<T>& src, DeviceBuffer<T>& dst,
 
 /// Re-initialises the working layout from the root-level originals.  The
 /// working buffers shrink level by level (leaves drop out), so every tree
-/// starts with fresh allocations of the original size.
+/// checks its fresh original-sized copies out of the arena — after the first
+/// tree the pool already holds blocks of the right size classes and the
+/// device allocator is never touched again.
 void reset_working_layout(TrainState& st) {
   auto& dev = st.dev;
   if (st.rle) {
     st.n_runs = st.orig_n_runs;
-    st.run_values = dev.alloc<float>(static_cast<std::size_t>(st.n_runs));
+    st.run_values = st.arena.alloc<float>(static_cast<std::size_t>(st.n_runs));
     st.run_starts =
-        dev.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs) + 1);
+        st.arena.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs) + 1);
     st.run_seg_offsets =
-        dev.alloc<std::int64_t>(st.orig_run_seg_offsets.size());
+        st.arena.alloc<std::int64_t>(st.orig_run_seg_offsets.size());
     device_copy(dev, st.orig_run_values, st.run_values, st.n_runs);
     device_copy(dev, st.orig_run_starts, st.run_starts, st.n_runs + 1);
     device_copy(dev, st.orig_run_seg_offsets, st.run_seg_offsets,
                 static_cast<std::int64_t>(st.orig_run_seg_offsets.size()));
   } else {
-    st.values = dev.alloc<float>(st.orig_values.size());
+    st.values = st.arena.alloc<float>(st.orig_values.size());
     device_copy(dev, st.orig_values, st.values,
                 static_cast<std::int64_t>(st.orig_values.size()));
   }
   st.n_elems = static_cast<std::int64_t>(st.orig_inst.size());
-  st.inst = dev.alloc<std::int32_t>(st.orig_inst.size());
-  st.seg_offsets = dev.alloc<std::int64_t>(st.orig_seg_offsets.size());
+  st.inst = st.arena.alloc<std::int32_t>(st.orig_inst.size());
+  st.seg_offsets = st.arena.alloc<std::int64_t>(st.orig_seg_offsets.size());
   device_copy(dev, st.orig_inst, st.inst, st.n_elems);
   device_copy(dev, st.orig_seg_offsets, st.seg_offsets,
               static_cast<std::int64_t>(st.orig_seg_offsets.size()));
@@ -231,12 +260,12 @@ void update_predictions_naive(TrainState& st, const Tree& tree) {
     soa.def_left[i] = nd.default_left ? 1 : 0;
     soa.weight[i] = nd.weight;
   }
-  auto d_left = detail::upload(st.dev, soa.left);
-  auto d_right = detail::upload(st.dev, soa.right);
-  auto d_attr = detail::upload(st.dev, soa.attr);
-  auto d_split = detail::upload(st.dev, soa.split);
-  auto d_def = detail::upload(st.dev, soa.def_left);
-  auto d_weight = detail::upload(st.dev, soa.weight);
+  auto d_left = detail::upload_pooled(st.dev, st.arena, soa.left);
+  auto d_right = detail::upload_pooled(st.dev, st.arena, soa.right);
+  auto d_attr = detail::upload_pooled(st.dev, st.arena, soa.attr);
+  auto d_split = detail::upload_pooled(st.dev, st.arena, soa.split);
+  auto d_def = detail::upload_pooled(st.dev, st.arena, soa.def_left);
+  auto d_weight = detail::upload_pooled(st.dev, st.arena, soa.weight);
 
   const std::int64_t n = st.n_inst;
   auto p = st.y_pred.span();
@@ -312,13 +341,15 @@ void finalize_leaf(TrainState& st, const ActiveNode& node) {
 /// returned buffers alive for the whole level, so the copies inflate peak
 /// device memory alongside the level's working set (and a
 /// DeviceOutOfMemory fires here on oversized data).
-[[nodiscard]] std::vector<DeviceBuffer<double>> dense_node_interleaving(
+[[nodiscard]] std::vector<device::ArenaBuffer<double>> dense_node_interleaving(
     TrainState& st) {
-  std::vector<DeviceBuffer<double>> copies;
+  std::vector<device::ArenaBuffer<double>> copies;
   copies.reserve(st.active.size() * 2);
   for (std::size_t k = 0; k < st.active.size(); ++k) {
-    copies.push_back(st.dev.alloc<double>(static_cast<std::size_t>(st.n_inst)));
-    copies.push_back(st.dev.alloc<double>(static_cast<std::size_t>(st.n_inst)));
+    copies.push_back(
+        st.arena.alloc<double>(static_cast<std::size_t>(st.n_inst)));
+    copies.push_back(
+        st.arena.alloc<double>(static_cast<std::size_t>(st.n_inst)));
     detail::device_copy(st.dev, st.grad, copies[2 * k], st.n_inst);
     detail::device_copy(st.dev, st.hess, copies[2 * k + 1], st.n_inst);
   }
@@ -371,7 +402,8 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
         rle::paper_gate(st.n_attr, st.n_inst, param_.rle_threshold_r);
     if (param_.use_rle && gate) {
       obs::ScopedSpan rle_span("rle_compress");
-      auto compressed = rle::compress(dev_, st.orig_values, st.orig_seg_offsets);
+      auto compressed = rle::compress(dev_, st.orig_values.span(),
+                                      st.orig_seg_offsets.span(), &st.arena);
       if (testing::invariants_enabled()) {
         testing::check_rle_roundtrip(dev_, compressed, st.orig_values,
                                      "root_rle_build");
@@ -448,7 +480,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
     st.active.assign(1, root);
 
     for (int level = 0; level < param_.depth && !st.active.empty(); ++level) {
-      std::vector<DeviceBuffer<double>> interleaved;
+      std::vector<device::ArenaBuffer<double>> interleaved;
       if (param_.dense_layout) interleaved = dense_node_interleaving(st);
 
       levels_grown.inc();

@@ -25,6 +25,7 @@
 #include "core/param.h"
 #include "core/tree.h"
 #include "device/device_context.h"
+#include "device/workspace_arena.h"
 
 namespace gbdt::detail {
 
@@ -84,11 +85,16 @@ struct LevelPlan {
 
 struct TrainState {
   TrainState(device::Device& d, const GBDTParam& p, const Loss& l)
-      : dev(d), param(p), loss(l) {}
+      : dev(d), param(p), loss(l), arena(d.allocator()) {}
 
   device::Device& dev;
   const GBDTParam& param;
   const Loss& loss;
+
+  /// Per-training-run scratch pool: every per-level/per-tree temporary is
+  /// checked out of here, so steady-state levels perform ~zero real device
+  /// allocations (the pool grows to the high-water mark and stays).
+  device::WorkspaceArena arena;
 
   std::int64_t n_inst = 0;
   std::int64_t n_attr = 0;
@@ -104,20 +110,20 @@ struct TrainState {
   std::int64_t orig_n_runs = 0;
   double rle_ratio = 1.0;
 
-  // ---- working copy, re-initialised per tree ----------------------------
-  device::DeviceBuffer<float> values;
-  device::DeviceBuffer<std::int32_t> inst;
-  device::DeviceBuffer<std::int64_t> seg_offsets;    // [n_seg + 1]
+  // ---- working copy, re-initialised per tree (arena-pooled) -------------
+  device::ArenaBuffer<float> values;
+  device::ArenaBuffer<std::int32_t> inst;
+  device::ArenaBuffer<std::int64_t> seg_offsets;    // [n_seg + 1]
   std::int64_t n_elems = 0;
-  device::DeviceBuffer<float> run_values;
-  device::DeviceBuffer<std::int64_t> run_starts;     // [n_runs + 1]
-  device::DeviceBuffer<std::int64_t> run_seg_offsets;
+  device::ArenaBuffer<float> run_values;
+  device::ArenaBuffer<std::int64_t> run_starts;     // [n_runs + 1]
+  device::ArenaBuffer<std::int64_t> run_seg_offsets;
   std::int64_t n_runs = 0;
 
   // Element->segment (or run->segment) keys, written by the find phase and
   // reused by the apply phase of the same level.
-  device::DeviceBuffer<std::int32_t> keys;
-  device::DeviceBuffer<std::int32_t> run_keys;
+  device::ArenaBuffer<std::int32_t> keys;
+  device::ArenaBuffer<std::int32_t> run_keys;
 
   // ---- per-instance state ------------------------------------------------
   device::DeviceBuffer<double> grad;
@@ -144,14 +150,41 @@ struct TrainState {
   }
 };
 
-/// Per-slot lookup tables uploaded to the device once per level.
+/// Per-slot statistics packed into one record so the per-level upload is a
+/// single PCI-e transfer (latency-dominated at this size: one 10us transfer
+/// instead of three).
+struct SlotStat {
+  double g = 0.0;
+  double h = 0.0;
+  std::int64_t cnt = 0;
+};
+
+/// Per-slot lookup table uploaded to the device once per level
+/// (arena-pooled: re-uploading each level reuses the same block).
 struct SlotTables {
-  device::DeviceBuffer<double> node_g;
-  device::DeviceBuffer<double> node_h;
-  device::DeviceBuffer<std::int64_t> node_cnt;
+  device::ArenaBuffer<SlotStat> stats;
 };
 
 [[nodiscard]] SlotTables upload_slot_tables(TrainState& st);
+
+/// Fills off[s] = s * stride for s in [0, n_slots] on the device.  The table
+/// is tiny and latency-bound, so one kernel launch (~1us) beats the PCI-e
+/// upload (~10us latency) the trainers used to pay every level.
+[[nodiscard]] device::ArenaBuffer<std::int64_t> device_node_offsets(
+    TrainState& st, std::int64_t n_slots, std::int64_t stride);
+
+/// Per-slot split command for the exact-side kernels, packed into one record
+/// so mark_sides pays a single latency-bound per-level upload instead of
+/// four.  Non-splitting slots keep chosen_seg = -1 (matches no segment).
+struct SplitCmd {
+  std::int64_t chosen_seg = -1;
+  std::int64_t best_pos = -1;
+  std::int32_t left_id = -1;
+  std::int32_t right_id = -1;
+};
+
+[[nodiscard]] device::ArenaBuffer<SplitCmd> upload_split_cmds(
+    TrainState& st, const LevelPlan& plan);
 
 /// Sparse (uncompressed) path.  apply_splits_sparse = mark_sides +
 /// partition; the halves are exposed separately because the multi-GPU
@@ -186,6 +219,18 @@ template <typename T>
 [[nodiscard]] device::DeviceBuffer<T> upload(device::Device& dev,
                                              const std::vector<T>& host) {
   return dev.to_device<T>(host);
+}
+
+/// Arena-pooled upload: checks a block out of the arena and copies the host
+/// vector into it (PCI-e accounted), so per-level lookup tables stop hitting
+/// the device allocator after the first level.
+template <typename T>
+[[nodiscard]] device::ArenaBuffer<T> upload_pooled(
+    device::Device& dev, device::WorkspaceArena& arena,
+    const std::vector<T>& host) {
+  auto buf = arena.alloc<T>(host.size());
+  dev.copy_to_device<T>(host, buf.backing());
+  return buf;
 }
 
 }  // namespace gbdt::detail

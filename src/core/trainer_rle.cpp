@@ -7,10 +7,12 @@
 // Directly-Split-RLE technique (Figure 7: pre-allocate two children per run,
 // compact zero-length runs by prefix sum) or by the decompress - partition -
 // recompress fallback (Figure 6).
+#include <span>
 #include <vector>
 
 #include "core/trainer_detail.h"
 #include "obs/trace.h"
+#include "primitives/fused_split.h"
 #include "primitives/partition.h"
 #include "primitives/scan.h"
 #include "primitives/segmented.h"
@@ -30,13 +32,12 @@ namespace {
 
 /// Per-run aggregated first/second derivatives (paper Figure 5): the
 /// gradients of all instances sharing the run's attribute value are added.
-void aggregate_run_gradients(TrainState& st, DeviceBuffer<GHPair>& rgh) {
+void aggregate_run_gradients(TrainState& st, std::span<GHPair> out) {
   const std::int64_t n_runs = st.n_runs;
   auto starts = st.run_starts.span();
   auto inst = st.inst.span();
   auto g = st.grad.span();
   auto h = st.hess.span();
-  auto out = rgh.span();
   st.dev.launch("rle_aggregate_grad", device::grid_for(n_runs, kBlockDim),
                 kBlockDim, [&](BlockCtx& b) {
                   std::uint64_t touched = 0;
@@ -73,26 +74,55 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
   std::vector<BestSplit> out(st.active.size());
   if (n_runs == 0) return out;
 
-  st.run_keys = dev.alloc<std::int32_t>(static_cast<std::size_t>(n_runs));
+  const bool fused = prim::fused_split_enabled();
+
+  st.run_keys = st.arena.alloc<std::int32_t>(static_cast<std::size_t>(n_runs));
   {
     obs::ScopedSpan span("set_key");
     prim::set_keys(dev, st.run_seg_offsets, st.run_keys,
                    st.segs_per_block(n_seg));
   }
 
-  auto ghl = dev.alloc<GHPair>(static_cast<std::size_t>(n_runs));
-  auto seg_tot = dev.alloc<GHPair>(static_cast<std::size_t>(n_seg));
-  {
+  // Per-run aggregated derivatives + segmented prefix sum + present totals.
+  // Fused mode folds the Figure-5 aggregation into the scan's first phase
+  // (no `rgh` array) and emits the totals as a scan side product.
+  auto ghl = st.arena.alloc<GHPair>(static_cast<std::size_t>(n_runs));
+  auto seg_tot = st.arena.alloc<GHPair>(static_cast<std::size_t>(n_seg));
+  if (fused) {
     obs::ScopedSpan prefix_span("gain_prefix_sum");
-    auto rgh = dev.alloc<GHPair>(static_cast<std::size_t>(n_runs));
-    aggregate_run_gradients(st, rgh);
+    auto starts = st.run_starts.span();
+    auto inst = st.inst.span();
+    auto g = st.grad.span();
+    auto h = st.hess.span();
+    prim::fused_gather_scan_totals(
+        dev, st.arena, st.run_keys, ghl, seg_tot,
+        [starts, inst, g, h](BlockCtx& b, std::int64_t r) {
+          const auto u = static_cast<std::size_t>(r);
+          GHPair sum;
+          b.reads(starts, r, 2);
+          b.reads(inst, starts[u], starts[u + 1] - starts[u]);
+          std::uint64_t len = 0;
+          for (std::int64_t e = starts[u]; e < starts[u + 1]; ++e) {
+            const auto x =
+                static_cast<std::size_t>(inst[static_cast<std::size_t>(e)]);
+            sum += GHPair{g[x], h[x]};
+            ++len;
+          }
+          b.work(len);
+          b.mem_coalesced(len * 4 + 16);  // inst stream + run starts
+          b.mem_irregular(len * 2);       // grad/hess gathers
+          return sum;
+        },
+        "fused_rle_aggregate_seg_scan");
+  } else {
+    obs::ScopedSpan prefix_span("gain_prefix_sum");
+    auto rgh = st.arena.alloc<GHPair>(static_cast<std::size_t>(n_runs));
+    aggregate_run_gradients(st, rgh.span());
     prim::segmented_inclusive_scan_by_key(dev, rgh, st.run_keys, ghl,
                                           "rle_seg_scan_gh");
-  }
+    rgh.free();
 
-  // Present totals per segment (value of the scan at the last run).
-  {
-    obs::ScopedSpan totals_span("gain_prefix_sum");
+    // Present totals per segment (value of the scan at the last run).
     auto roff = st.run_seg_offsets.span();
     auto scan = ghl.span();
     auto tot = seg_tot.span();
@@ -118,19 +148,87 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
   auto tables = upload_slot_tables(st);
 
   // Gain per run: no duplicate suppression needed — adjacent runs inside a
-  // segment always carry distinct values.
-  auto gains = dev.alloc<double>(static_cast<std::size_t>(n_runs));
-  auto dirs = dev.alloc<std::uint8_t>(static_cast<std::size_t>(n_runs));
-  {
+  // segment always carry distinct values.  Fused mode evaluates gains inside
+  // the per-segment argmax walk and keeps only the winners.
+  auto best_seg_val = st.arena.alloc<double>(static_cast<std::size_t>(n_seg));
+  auto best_seg_idx =
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
+  device::ArenaBuffer<std::uint8_t> best_seg_dir;
+  device::ArenaBuffer<double> gains;
+  device::ArenaBuffer<std::uint8_t> dirs;
+  if (fused) {
+    best_seg_dir = st.arena.alloc<std::uint8_t>(static_cast<std::size_t>(n_seg));
+    obs::ScopedSpan span("compute_gains");
+    auto starts = st.run_starts.span();
+    auto scan = ghl.span();
+    auto tot = seg_tot.span();
+    auto stats = tables.stats.span();
+    prim::fused_gain_argmax(
+        dev, st.run_seg_offsets, best_seg_val, best_seg_idx, best_seg_dir,
+        st.segs_per_block(n_seg),
+        [starts, scan, tot, stats, n_attr, lambda](
+            BlockCtx& b, std::int64_t s, std::int64_t r, std::int64_t run_lo,
+            std::int64_t run_hi) {
+          const auto u = static_cast<std::size_t>(r);
+          const auto seg = static_cast<std::size_t>(s);
+          b.reads(scan, r);
+          b.reads(starts, r + 1);
+          b.mem_coalesced(24);  // (g, h) prefix + next-run start, streamed
+          b.flop(16);
+          if (r == run_lo) {
+            // Segment-invariant loads: totals, packed slot stats, and the
+            // segment's element bounds are fetched once per segment and held
+            // in registers across the walk.
+            b.reads(tot, s);
+            b.reads(stats, s / n_attr);
+            b.reads(starts, run_lo);
+            b.reads(starts, run_hi);
+            b.mem_coalesced(16);
+            b.mem_irregular(1);
+          }
+          const std::int64_t elem_lo =
+              starts[static_cast<std::size_t>(run_lo)];
+          const std::int64_t elem_hi =
+              starts[static_cast<std::size_t>(run_hi)];
+          const auto slot = static_cast<std::size_t>(
+              static_cast<std::int64_t>(seg) / n_attr);
+          const double node_g = stats[slot].g;
+          const double node_h = stats[slot].h;
+          const std::int64_t cnt = stats[slot].cnt;
+          const std::int64_t seg_len = elem_hi - elem_lo;
+          const std::int64_t miss = cnt - seg_len;
+          const double miss_g = node_g - tot[seg].g;
+          const double miss_h = node_h - tot[seg].h;
+          const std::int64_t pos = starts[u + 1] - elem_lo;
+          const double glp = scan[u].g;
+          const double hlp = scan[u].h;
+
+          double gain_r = 0.0;
+          if (pos > 0 && cnt - pos > 0) {
+            gain_r = split_gain(glp, hlp, node_g - glp, node_h - hlp, lambda);
+          }
+          // With no missing instances the default direction is irrelevant;
+          // evaluating only one keeps it deterministic across paths.
+          double gain_l = 0.0;
+          if (miss > 0 && seg_len - pos > 0) {
+            gain_l = split_gain(glp + miss_g, hlp + miss_h,
+                                node_g - glp - miss_g, node_h - hlp - miss_h,
+                                lambda);
+          }
+          if (gain_l > gain_r) return prim::GainDir{gain_l, 1};
+          return prim::GainDir{gain_r, 0};
+        },
+        "fused_rle_gain_argmax");
+  } else {
+    gains = st.arena.alloc<double>(static_cast<std::size_t>(n_runs));
+    dirs = st.arena.alloc<std::uint8_t>(static_cast<std::size_t>(n_runs));
     obs::ScopedSpan span("compute_gains");
     auto k = st.run_keys.span();
     auto roff = st.run_seg_offsets.span();
     auto starts = st.run_starts.span();
     auto scan = ghl.span();
     auto tot = seg_tot.span();
-    auto ng = tables.node_g.span();
-    auto nh = tables.node_h.span();
-    auto nc = tables.node_cnt.span();
+    auto stats = tables.stats.span();
     auto gn = gains.span();
     auto dr = dirs.span();
     dev.launch("rle_compute_gains", device::grid_for(n_runs, kBlockDim),
@@ -147,9 +245,9 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
                        starts[static_cast<std::size_t>(run_hi)];
                    const auto slot = static_cast<std::size_t>(
                        static_cast<std::int64_t>(seg) / n_attr);
-                   const double node_g = ng[slot];
-                   const double node_h = nh[slot];
-                   const std::int64_t cnt = nc[slot];
+                   const double node_g = stats[slot].g;
+                   const double node_h = stats[slot].h;
+                   const std::int64_t cnt = stats[slot].cnt;
                    const std::int64_t seg_len = elem_hi - elem_lo;
                    const std::int64_t miss = cnt - seg_len;
                    const double miss_g = node_g - tot[seg].g;
@@ -191,20 +289,16 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
                });
   }
 
-  auto best_seg_val = dev.alloc<double>(static_cast<std::size_t>(n_seg));
-  auto best_seg_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
-  std::vector<std::int64_t> node_offs(st.active.size() + 1);
-  for (std::size_t s = 0; s <= st.active.size(); ++s) {
-    node_offs[s] = static_cast<std::int64_t>(s) * n_attr;
-  }
-  auto d_node_offs = upload(dev, node_offs);
-  auto best_node_val = dev.alloc<double>(st.active.size());
-  auto best_node_idx = dev.alloc<std::int64_t>(st.active.size());
+  auto d_node_offs = device_node_offsets(st, st.n_active(), n_attr);
+  auto best_node_val = st.arena.alloc<double>(st.active.size());
+  auto best_node_idx = st.arena.alloc<std::int64_t>(st.active.size());
   {
     obs::ScopedSpan span("setkey_argmax");
-    prim::segmented_arg_max(dev, gains, st.run_seg_offsets, best_seg_val,
-                            best_seg_idx, st.segs_per_block(n_seg),
-                            "rle_seg_best_gain");
+    if (!fused) {
+      prim::segmented_arg_max(dev, gains, st.run_seg_offsets, best_seg_val,
+                              best_seg_idx, st.segs_per_block(n_seg),
+                              "rle_seg_best_gain");
+    }
     prim::segmented_arg_max(dev, best_seg_val, d_node_offs, best_node_val,
                             best_node_idx, 1, "rle_node_best_gain");
   }
@@ -227,7 +321,7 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
     b.pos = pos;
     b.attr = static_cast<std::int32_t>(seg % n_attr);
     b.split_value = st.run_values[upos];
-    b.default_left = dirs[upos] != 0;
+    b.default_left = fused ? best_seg_dir[useg] != 0 : dirs[upos] != 0;
 
     const std::int64_t run_lo = st.run_seg_offsets[useg];
     const std::int64_t run_hi = st.run_seg_offsets[useg + 1];
@@ -260,11 +354,7 @@ namespace {
 
 /// Exact side assignment through the runs of the winning segments: the
 /// sorted prefix of runs up to the split position goes left.
-void assign_exact_side_rle(TrainState& st,
-                           const DeviceBuffer<std::int64_t>& d_chosen,
-                           const DeviceBuffer<std::int64_t>& d_pos,
-                           const DeviceBuffer<std::int32_t>& d_left,
-                           const DeviceBuffer<std::int32_t>& d_right) {
+void assign_exact_side_rle(TrainState& st, std::span<const SplitCmd> cmd) {
   auto& dev = st.dev;
   const std::int64_t n_runs = st.n_runs;
   const std::int64_t n_attr = st.n_attr;
@@ -273,10 +363,6 @@ void assign_exact_side_rle(TrainState& st,
     auto starts = st.run_starts.span();
     auto inst = st.inst.span();
     auto node_of = st.node_of.span();
-    auto cs = d_chosen.span();
-    auto bp = d_pos.span();
-    auto li = d_left.span();
-    auto ri = d_right.span();
     dev.launch("rle_assign_exact_side", device::grid_for(n_runs, kBlockDim),
                kBlockDim, [&](BlockCtx& b) {
                  std::uint64_t writes = 0;
@@ -285,9 +371,10 @@ void assign_exact_side_rle(TrainState& st,
                    const auto u = static_cast<std::size_t>(r);
                    const std::int64_t seg = k[u];
                    const auto slot = static_cast<std::size_t>(seg / n_attr);
-                   if (cs[slot] != seg) return;
-                   const std::int32_t target =
-                       r <= bp[slot] ? li[slot] : ri[slot];
+                   if (cmd[slot].chosen_seg != seg) return;
+                   const std::int32_t target = r <= cmd[slot].best_pos
+                                                   ? cmd[slot].left_id
+                                                   : cmd[slot].right_id;
                    b.reads(inst, starts[u], starts[u + 1] - starts[u]);
                    for (std::int64_t e = starts[u]; e < starts[u + 1]; ++e) {
                      node_of[static_cast<std::size_t>(
@@ -309,11 +396,11 @@ void assign_exact_side_rle(TrainState& st,
   }
 }
 
-/// Child-slot tables of one level, device-resident.
+/// Child-slot tables of one level, checked out of the workspace arena.
 struct ChildSlotTables {
-  DeviceBuffer<std::int32_t> left_slot;    // per active slot, -1 for leaves
-  DeviceBuffer<std::int32_t> right_slot;
-  DeviceBuffer<std::int32_t> parent_slot;  // per next-level slot
+  device::ArenaBuffer<std::int32_t> left_slot;  // per active slot, -1 = leaf
+  device::ArenaBuffer<std::int32_t> right_slot;
+  device::ArenaBuffer<std::int32_t> parent_slot;  // per next-level slot
 };
 
 ChildSlotTables build_child_slot_tables(TrainState& st,
@@ -334,9 +421,9 @@ ChildSlotTables build_child_slot_tables(TrainState& st,
         static_cast<std::int32_t>(s);
   }
   ChildSlotTables t;
-  t.left_slot = upload(st.dev, left_slot);
-  t.right_slot = upload(st.dev, right_slot);
-  t.parent_slot = upload(st.dev, parent_slot);
+  t.left_slot = upload_pooled(st.dev, st.arena, left_slot);
+  t.right_slot = upload_pooled(st.dev, st.arena, right_slot);
+  t.parent_slot = upload_pooled(st.dev, st.arena, parent_slot);
   return t;
 }
 
@@ -349,10 +436,11 @@ ChildSlotTables build_child_slot_tables(TrainState& st,
 /// each run's left/right child lengths (paper Figure 7 middle row) into
 /// len_l/len_r — the counting must see the *old* element domain, and fusing
 /// it here avoids a second irregular sweep over the instance ids.
-DeviceBuffer<std::int64_t> partition_instances_rle(
+device::ArenaBuffer<std::int64_t> partition_instances_rle(
     TrainState& st, const LevelPlan& plan,
-    DeviceBuffer<std::int64_t>& scatter, const ChildSlotTables* slots,
-    DeviceBuffer<std::int64_t>* len_l, DeviceBuffer<std::int64_t>* len_r) {
+    device::ArenaBuffer<std::int64_t>& scatter, const ChildSlotTables* slots,
+    device::ArenaBuffer<std::int64_t>* len_l,
+    device::ArenaBuffer<std::int64_t>* len_r) {
   auto& dev = st.dev;
   const std::int64_t n_runs = st.n_runs;
   const std::int64_t n = st.n_elems;
@@ -361,8 +449,8 @@ DeviceBuffer<std::int64_t> partition_instances_rle(
   // Partition ids in the element domain (attribute comes from the run).
   const auto n_new_slots = static_cast<std::int64_t>(plan.next_active.size());
   const std::int64_t n_parts = n_new_slots * n_attr;
-  auto d_next_slot = upload(dev, plan.next_slot_of_tree);
-  auto part_ids = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
+  auto d_next_slot = upload_pooled(dev, st.arena, plan.next_slot_of_tree);
+  auto part_ids = st.arena.alloc<std::int32_t>(static_cast<std::size_t>(n));
   {
     auto k = st.run_keys.span();
     auto starts = st.run_starts.span();
@@ -421,12 +509,12 @@ DeviceBuffer<std::int64_t> partition_instances_rle(
       n, n_parts, st.param.partition_counter_budget,
       st.param.use_custom_idxcomp_workload);
   auto new_offsets =
-      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_parts) + 1);
-  prim::histogram_partition(dev, part_ids, n_parts, scatter, new_offsets,
-                            pplan);
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_parts) + 1);
+  prim::histogram_partition(dev, part_ids.span(), n_parts, scatter.span(),
+                            new_offsets.span(), pplan, &st.arena);
   const std::int64_t new_n = new_offsets[static_cast<std::size_t>(n_parts)];
 
-  auto new_inst = dev.alloc<std::int32_t>(static_cast<std::size_t>(new_n));
+  auto new_inst = st.arena.alloc<std::int32_t>(static_cast<std::size_t>(new_n));
   {
     auto inst = st.inst.span();
     auto sc = scatter.span();
@@ -459,10 +547,10 @@ DeviceBuffer<std::int64_t> partition_instances_rle(
 /// pre-allocates a left and a right child run with the precomputed child
 /// lengths; zero-length runs are removed by prefix-sum compaction.
 void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
-                       const DeviceBuffer<std::int64_t>& len_l,
-                       const DeviceBuffer<std::int64_t>& len_r,
+                       const device::ArenaBuffer<std::int64_t>& len_l,
+                       const device::ArenaBuffer<std::int64_t>& len_r,
                        std::int64_t n_new_slots,
-                       DeviceBuffer<std::int64_t>& new_elem_offsets) {
+                       device::ArenaBuffer<std::int64_t>& new_elem_offsets) {
   auto& dev = st.dev;
   const std::int64_t n_runs = st.n_runs;
   const std::int64_t n_attr = st.n_attr;
@@ -474,7 +562,7 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
   // Candidate layout: for each new segment, one candidate slot per run of
   // the parent segment.
   auto cand_counts =
-      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg));
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg));
   {
     auto roff = st.run_seg_offsets.span();
     auto ps = d_parent_slot.span();
@@ -500,16 +588,18 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
                });
   }
   auto cand_base =
-      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg));
-  prim::exclusive_scan(dev, cand_counts, cand_base, "rle_cand_base_scan");
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg));
+  prim::exclusive_scan(dev, cand_counts, cand_base, "rle_cand_base_scan",
+                       &st.arena);
   const std::int64_t total_cand =
       n_new_seg == 0 ? 0
                      : cand_base[static_cast<std::size_t>(n_new_seg - 1)] +
                            cand_counts[static_cast<std::size_t>(n_new_seg - 1)];
 
   // Pre-allocate the two child runs of every run (Figure 7 middle row).
-  auto cand_len = dev.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
-  auto cand_val = dev.alloc<float>(static_cast<std::size_t>(total_cand));
+  auto cand_len =
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
+  auto cand_val = st.arena.alloc<float>(static_cast<std::size_t>(total_cand));
   prim::fill(dev, cand_len, std::int64_t{0});
   {
     auto k = st.run_keys.span();
@@ -564,7 +654,8 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
   }
 
   // Remove zero-length runs with a prefix sum (Figure 7 bottom row).
-  auto flags = dev.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
+  auto flags =
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
   {
     auto cl = cand_len.span();
     auto f = flags.span();
@@ -581,16 +672,18 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
                  b.mem_coalesced(elems_in_block(b, total_cand) * 16);
                });
   }
-  auto new_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
-  prim::exclusive_scan(dev, flags, new_idx, "rle_compact_scan");
+  auto new_idx =
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(total_cand));
+  prim::exclusive_scan(dev, flags, new_idx, "rle_compact_scan", &st.arena);
   const std::int64_t n_new_runs =
       total_cand == 0
           ? 0
           : new_idx[static_cast<std::size_t>(total_cand - 1)] +
                 flags[static_cast<std::size_t>(total_cand - 1)];
 
-  auto new_val = dev.alloc<float>(static_cast<std::size_t>(n_new_runs));
-  auto new_len = dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs));
+  auto new_val = st.arena.alloc<float>(static_cast<std::size_t>(n_new_runs));
+  auto new_len =
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs));
   {
     auto cl = cand_len.span();
     auto cv = cand_val.span();
@@ -624,13 +717,13 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
 
   // New run starts: exclusive scan of the surviving lengths.
   auto new_starts =
-      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs) + 1);
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs) + 1);
   if (n_new_runs > 0) {
     auto starts_body =
-        dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs));
-    prim::exclusive_scan(dev, new_len, starts_body, "rle_new_starts_scan");
-    device::DeviceBuffer<std::int64_t>& sb = starts_body;
-    auto src = sb.span();
+        st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_new_runs));
+    prim::exclusive_scan(dev, new_len, starts_body, "rle_new_starts_scan",
+                         &st.arena);
+    auto src = starts_body.span();
     auto dst = new_starts.span();
     dev.launch("rle_new_starts_copy", device::grid_for(n_new_runs, kBlockDim),
                kBlockDim, [&](BlockCtx& b) {
@@ -653,7 +746,7 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
 
   // New segment offsets in the run domain.
   auto new_seg_off =
-      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg) + 1);
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_new_seg) + 1);
   {
     auto cb = cand_base.span();
     auto ni = new_idx.span();
@@ -692,14 +785,15 @@ void direct_split_runs(TrainState& st, const ChildSlotTables& slots,
 /// repeated (de)compression every level is the cost Directly-Split-RLE
 /// avoids; Figure 9 quantifies the difference.
 void decompress_split_runs(TrainState& st,
-                           DeviceBuffer<std::int64_t>& scatter,
-                           DeviceBuffer<std::int64_t>& new_elem_offsets,
+                           device::ArenaBuffer<std::int64_t>& scatter,
+                           device::ArenaBuffer<std::int64_t>& new_elem_offsets,
                            std::int64_t old_n_elems) {
   auto& dev = st.dev;
   const std::int64_t n_runs = st.n_runs;
 
   // Decompress the runs into the (old) element domain.
-  auto old_values = dev.alloc<float>(static_cast<std::size_t>(old_n_elems));
+  auto old_values =
+      st.arena.alloc<float>(static_cast<std::size_t>(old_n_elems));
   {
     auto rv = st.run_values.span();
     auto rs = st.run_starts.span();
@@ -726,7 +820,7 @@ void decompress_split_runs(TrainState& st,
   // Partition the decompressed values with the scatter already computed for
   // the instance ids (same element order).
   const std::int64_t new_n = st.n_elems;  // updated by partition_instances_rle
-  auto new_values = dev.alloc<float>(static_cast<std::size_t>(new_n));
+  auto new_values = st.arena.alloc<float>(static_cast<std::size_t>(new_n));
   {
     auto v = old_values.span();
     auto sc = scatter.span();
@@ -752,59 +846,46 @@ void decompress_split_runs(TrainState& st,
                });
   }
 
-  // Recompress per new segment.
-  auto compressed = rle::compress(dev, new_values, new_elem_offsets);
+  // Recompress per new segment.  The compressor's outputs are freshly sized
+  // device buffers; the arena adopts them so next level's checkouts reuse
+  // the storage instead of growing the device heap.
+  auto compressed = rle::compress(dev, new_values.span(),
+                                  new_elem_offsets.span(), &st.arena);
   st.n_runs = compressed.n_runs;
-  st.run_values = std::move(compressed.values);
-  st.run_starts = std::move(compressed.starts);
-  st.run_seg_offsets = std::move(compressed.seg_offsets);
+  st.run_values = st.arena.adopt(std::move(compressed.values));
+  st.run_starts = st.arena.adopt(std::move(compressed.starts));
+  st.run_seg_offsets = st.arena.adopt(std::move(compressed.seg_offsets));
   st.seg_offsets = std::move(new_elem_offsets);
 }
 
 }  // namespace
 
 void apply_splits_rle(TrainState& st, const LevelPlan& plan) {
-  auto& dev = st.dev;
-  const auto n_slots = st.active.size();
   const std::int64_t old_n_elems = st.n_elems;
 
   assign_default_children(st, plan);
 
-  std::vector<std::int64_t> chosen_seg(n_slots, -1);
-  std::vector<std::int64_t> best_pos(n_slots, -1);
-  std::vector<std::int32_t> left_id(n_slots, -1);
-  std::vector<std::int32_t> right_id(n_slots, -1);
-  for (std::size_t s = 0; s < n_slots; ++s) {
-    const auto& e = plan.per_slot[s];
-    if (!e.split) continue;
-    chosen_seg[s] = e.chosen_seg;
-    best_pos[s] = e.best_pos;
-    left_id[s] = e.left_id;
-    right_id[s] = e.right_id;
-  }
-  auto d_chosen = upload(dev, chosen_seg);
-  auto d_pos = upload(dev, best_pos);
-  auto d_left = upload(dev, left_id);
-  auto d_right = upload(dev, right_id);
+  auto d_cmd = upload_split_cmds(st, plan);
 
   {
     obs::ScopedSpan span("mark_sides");
-    assign_exact_side_rle(st, d_chosen, d_pos, d_left, d_right);
+    assign_exact_side_rle(st, d_cmd.span());
   }
 
   // Directly-Split-RLE needs the child lengths per run, counted on the old
   // element domain; the partition pass below counts them on the fly.
   ChildSlotTables slots;
-  DeviceBuffer<std::int64_t> len_l, len_r;
+  device::ArenaBuffer<std::int64_t> len_l, len_r;
   const bool direct = st.param.use_direct_rle_split;
   if (direct) {
     slots = build_child_slot_tables(st, plan);
-    len_l = dev.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs));
-    len_r = dev.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs));
+    len_l = st.arena.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs));
+    len_r = st.arena.alloc<std::int64_t>(static_cast<std::size_t>(st.n_runs));
   }
 
-  auto scatter = dev.alloc<std::int64_t>(static_cast<std::size_t>(old_n_elems));
-  DeviceBuffer<std::int64_t> new_elem_offsets;
+  auto scatter =
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(old_n_elems));
+  device::ArenaBuffer<std::int64_t> new_elem_offsets;
   {
     obs::ScopedSpan span("partition");
     new_elem_offsets = partition_instances_rle(

@@ -3,10 +3,12 @@
 // per-candidate gain with duplicate suppression and learned missing-value
 // direction, SetKey segmented argmax, then the order-preserving histogram
 // partition of the attribute lists.
+#include <span>
 #include <vector>
 
 #include "core/trainer_detail.h"
 #include "obs/trace.h"
+#include "primitives/fused_split.h"
 #include "primitives/partition.h"
 #include "primitives/segmented.h"
 #include "primitives/transform.h"
@@ -24,7 +26,7 @@ namespace {
 
 /// Gathers per-instance gradients into element order (irregular: the paper's
 /// motivation for keeping everything else streaming).
-void gather_gradients(TrainState& st, DeviceBuffer<GHPair>& ghe) {
+void gather_gradients(TrainState& st, std::span<GHPair> out) {
   const std::int64_t n = st.n_elems;
   // With the dense layout (the xgbst-gpu baseline), the node-interleaved
   // gradient copies exist precisely to make this gather coalesced — that is
@@ -34,7 +36,6 @@ void gather_gradients(TrainState& st, DeviceBuffer<GHPair>& ghe) {
   auto inst = st.inst.span();
   auto g = st.grad.span();
   auto h = st.hess.span();
-  auto out = ghe.span();
   st.dev.launch("gather_gradients", device::grid_for(n, kBlockDim), kBlockDim,
                 [&](BlockCtx& b) {
                   b.for_each_thread([&](std::int64_t i) {
@@ -55,12 +56,10 @@ void gather_gradients(TrainState& st, DeviceBuffer<GHPair>& ghe) {
 
 /// Present-value totals per segment: the segmented scan's value at the last
 /// element of the segment (0 for empty segments).
-void segment_present_totals(TrainState& st, const DeviceBuffer<GHPair>& ghl,
-                            DeviceBuffer<GHPair>& seg_tot) {
+void segment_present_totals(TrainState& st, std::span<const GHPair> scan,
+                            std::span<GHPair> tot) {
   const std::int64_t n_seg = st.n_seg();
   auto off = st.seg_offsets.span();
-  auto scan = ghl.span();
-  auto tot = seg_tot.span();
   st.dev.launch("seg_present_totals", device::grid_for(n_seg, kBlockDim),
                 kBlockDim, [&](BlockCtx& b) {
                   b.for_each_thread([&](std::int64_t s) {
@@ -91,45 +90,148 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
   std::vector<BestSplit> out(st.active.size());
   if (n == 0) return out;
 
+  const bool fused = prim::fused_split_enabled();
+
   // Segment key per element (Customized SetKey / naive one-block-per-seg).
-  st.keys = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
+  // Keys stay materialized even in the fused pipeline: they are cheap to
+  // write, the apply phase reuses them, and keeping the scan's key reads
+  // identical is what makes fused == unfused bitwise trivial to audit.
+  st.keys = st.arena.alloc<std::int32_t>(static_cast<std::size_t>(n));
   {
     obs::ScopedSpan span("set_key");
     prim::set_keys(dev, st.seg_offsets, st.keys, st.segs_per_block(n_seg));
   }
 
   // g/h in attribute order, then one fused segmented prefix sum (Figure 1).
-  auto ghe = dev.alloc<GHPair>(static_cast<std::size_t>(n));
-  auto ghl = dev.alloc<GHPair>(static_cast<std::size_t>(n));
-  auto seg_tot = dev.alloc<GHPair>(static_cast<std::size_t>(n_seg));
+  // Fused mode pulls each (g, h) pair straight from the gradient arrays in
+  // the scan's first phase (no `ghe`) and emits the per-segment present
+  // totals as a scan side product (no seg_present_totals pass).
+  auto ghl = st.arena.alloc<GHPair>(static_cast<std::size_t>(n));
+  auto seg_tot = st.arena.alloc<GHPair>(static_cast<std::size_t>(n_seg));
   {
     obs::ScopedSpan span("gain_prefix_sum");
-    gather_gradients(st, ghe);
-    prim::segmented_inclusive_scan_by_key(dev, ghe, st.keys, ghl,
-                                          "seg_scan_gh");
-    ghe.free();
-    segment_present_totals(st, ghl, seg_tot);
+    if (fused) {
+      const bool interleaved = st.param.dense_layout;
+      auto inst = st.inst.span();
+      auto g = st.grad.span();
+      auto h = st.hess.span();
+      prim::fused_gather_scan_totals(
+          dev, st.arena, st.keys, ghl, seg_tot,
+          [inst, g, h, interleaved](BlockCtx& b, std::int64_t i) {
+            const auto u = static_cast<std::size_t>(i);
+            const auto x = static_cast<std::size_t>(inst[u]);
+            b.reads(inst, i);
+            b.reads(g, inst[u]);
+            b.reads(h, inst[u]);
+            b.mem_coalesced(sizeof(std::int32_t));
+            // Same per-element cost as the unfused gather's m/4 (dense
+            // interleaved layout) vs m*2 (random CSC fetches).
+            b.mem_irregular(interleaved ? (i % 4 == 0 ? 1 : 0) : 2);
+            return GHPair{g[x], h[x]};
+          },
+          "fused_gather_seg_scan");
+    } else {
+      auto ghe = st.arena.alloc<GHPair>(static_cast<std::size_t>(n));
+      gather_gradients(st, ghe.span());
+      prim::segmented_inclusive_scan_by_key(dev, ghe, st.keys, ghl,
+                                            "seg_scan_gh");
+      ghe.free();
+      segment_present_totals(st, ghl.span(), seg_tot.span());
+    }
   }
 
   auto tables = upload_slot_tables(st);
 
-  // Gain of every candidate split point, computed in parallel (paper
-  // Equation 2).  Candidates at duplicated values are suppressed so that the
-  // same split point cannot carry two different gains; we keep the *last*
-  // occurrence, whose inclusive prefix covers every instance with a value
-  // >= the split value (this also makes the RLE path agree exactly).
-  auto gains = dev.alloc<double>(static_cast<std::size_t>(n));
-  auto dirs = dev.alloc<std::uint8_t>(static_cast<std::size_t>(n));
-  {
+  // Gain of every candidate split point (paper Equation 2).  Candidates at
+  // duplicated values are suppressed so that the same split point cannot
+  // carry two different gains; we keep the *last* occurrence, whose inclusive
+  // prefix covers every instance with a value >= the split value (this also
+  // makes the RLE path agree exactly).  Fused mode evaluates gains inside the
+  // per-segment argmax walk and keeps only the winners — the full
+  // gains/dirs arrays exist only on the unfused escape hatch.
+  auto best_seg_val = st.arena.alloc<double>(static_cast<std::size_t>(n_seg));
+  auto best_seg_idx =
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
+  device::ArenaBuffer<std::uint8_t> best_seg_dir;
+  device::ArenaBuffer<double> gains;
+  device::ArenaBuffer<std::uint8_t> dirs;
+  if (fused) {
+    best_seg_dir = st.arena.alloc<std::uint8_t>(static_cast<std::size_t>(n_seg));
+    obs::ScopedSpan span("compute_gains");
+    auto v = st.values.span();
+    auto scan = ghl.span();
+    auto tot = seg_tot.span();
+    auto stats = tables.stats.span();
+    prim::fused_gain_argmax(
+        dev, st.seg_offsets, best_seg_val, best_seg_idx, best_seg_dir,
+        st.segs_per_block(n_seg),
+        [v, scan, tot, stats, n_attr, lambda](
+            BlockCtx& b, std::int64_t s, std::int64_t e, std::int64_t seg_lo,
+            std::int64_t seg_hi) {
+          const auto u = static_cast<std::size_t>(e);
+          b.reads(v, e);
+          b.reads(scan, e);
+          b.mem_coalesced(20);  // v + (g, h) inclusive prefix, streamed
+          if (e == seg_lo) {
+            // Segment-invariant loads: the walk fetches the segment total and
+            // the packed slot stats once and keeps them in registers for the
+            // rest of the segment — this, not the arithmetic, is the fused
+            // kernel's edge over the per-element unfused gains kernel.
+            b.reads(tot, s);
+            b.reads(stats, s / n_attr);
+            b.mem_irregular(1);
+          }
+          // Duplicate suppression (paper Section III-B step ii): a zero gain
+          // loses to any positive candidate, exactly like the zeroed entries
+          // of the unfused gains array.
+          if (e + 1 < seg_hi) {
+            b.reads(v, e + 1);
+            b.mem_coalesced(sizeof(float));
+            if (v[u + 1] == v[u]) return prim::GainDir{};
+          }
+          const auto seg = static_cast<std::size_t>(s);
+          const auto slot = static_cast<std::size_t>(s / n_attr);
+          const double node_g = stats[slot].g;
+          const double node_h = stats[slot].h;
+          const std::int64_t cnt = stats[slot].cnt;
+          b.flop(16);
+          const std::int64_t seg_len = seg_hi - seg_lo;
+          const std::int64_t miss = cnt - seg_len;
+          const double miss_g = node_g - tot[seg].g;
+          const double miss_h = node_h - tot[seg].h;
+          const std::int64_t pos = e - seg_lo + 1;  // left presents
+          const double glp = scan[u].g;
+          const double hlp = scan[u].h;
+
+          // Missing values default right.
+          double gain_r = 0.0;
+          if (pos > 0 && cnt - pos > 0) {
+            gain_r = split_gain(glp, hlp, node_g - glp, node_h - hlp, lambda);
+          }
+          // Missing values default left.
+          // With no missing instances the default direction is irrelevant;
+          // evaluating only one keeps it deterministic across the
+          // sparse/RLE/CPU paths.
+          double gain_l = 0.0;
+          if (miss > 0 && seg_len - pos > 0) {
+            gain_l = split_gain(glp + miss_g, hlp + miss_h,
+                                node_g - glp - miss_g, node_h - hlp - miss_h,
+                                lambda);
+          }
+          if (gain_l > gain_r) return prim::GainDir{gain_l, 1};
+          return prim::GainDir{gain_r, 0};
+        },
+        "fused_gain_argmax");
+  } else {
+    gains = st.arena.alloc<double>(static_cast<std::size_t>(n));
+    dirs = st.arena.alloc<std::uint8_t>(static_cast<std::size_t>(n));
     obs::ScopedSpan span("compute_gains");
     auto v = st.values.span();
     auto k = st.keys.span();
     auto off = st.seg_offsets.span();
     auto scan = ghl.span();
     auto tot = seg_tot.span();
-    auto ng = tables.node_g.span();
-    auto nh = tables.node_h.span();
-    auto nc = tables.node_cnt.span();
+    auto stats = tables.stats.span();
     auto gn = gains.span();
     auto dr = dirs.span();
     dev.launch("compute_gains", device::grid_for(n, kBlockDim), kBlockDim,
@@ -148,9 +250,9 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
                    }
                    const auto slot = static_cast<std::size_t>(
                        static_cast<std::int64_t>(seg) / n_attr);
-                   const double node_g = ng[slot];
-                   const double node_h = nh[slot];
-                   const std::int64_t cnt = nc[slot];
+                   const double node_g = stats[slot].g;
+                   const double node_h = stats[slot].h;
+                   const std::int64_t cnt = stats[slot].cnt;
                    const std::int64_t seg_len = seg_hi - seg_lo;
                    const std::int64_t miss = cnt - seg_len;
                    const double miss_g = node_g - tot[seg].g;
@@ -196,21 +298,18 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
   }
 
   // Best candidate per segment, then best attribute per node (paper step iii:
-  // segmented reduction + reduction).
-  auto best_seg_val = dev.alloc<double>(static_cast<std::size_t>(n_seg));
-  auto best_seg_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
-  std::vector<std::int64_t> node_offs(st.active.size() + 1);
-  for (std::size_t s = 0; s <= st.active.size(); ++s) {
-    node_offs[s] = static_cast<std::int64_t>(s) * n_attr;
-  }
-  auto d_node_offs = upload(dev, node_offs);
-  auto best_node_val = dev.alloc<double>(st.active.size());
-  auto best_node_idx = dev.alloc<std::int64_t>(st.active.size());
+  // segmented reduction + reduction).  The fused pipeline already produced
+  // the per-segment winners above.
+  auto d_node_offs = device_node_offsets(st, st.n_active(), n_attr);
+  auto best_node_val = st.arena.alloc<double>(st.active.size());
+  auto best_node_idx = st.arena.alloc<std::int64_t>(st.active.size());
   {
     obs::ScopedSpan span("setkey_argmax");
-    prim::segmented_arg_max(dev, gains, st.seg_offsets, best_seg_val,
-                            best_seg_idx, st.segs_per_block(n_seg),
-                            "seg_best_gain");
+    if (!fused) {
+      prim::segmented_arg_max(dev, gains, st.seg_offsets, best_seg_val,
+                              best_seg_idx, st.segs_per_block(n_seg),
+                              "seg_best_gain");
+    }
     prim::segmented_arg_max(dev, best_seg_val, d_node_offs, best_node_val,
                             best_node_idx, 1, "node_best_gain");
   }
@@ -235,7 +334,7 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
     b.pos = pos;
     b.attr = static_cast<std::int32_t>(seg % n_attr);
     b.split_value = st.values[upos];
-    b.default_left = dirs[upos] != 0;
+    b.default_left = fused ? best_seg_dir[useg] != 0 : dirs[upos] != 0;
 
     const std::int64_t seg_lo = st.seg_offsets[useg];
     const std::int64_t seg_hi = st.seg_offsets[useg + 1];
@@ -265,27 +364,12 @@ void apply_mark_sides_sparse(TrainState& st, const LevelPlan& plan) {
   auto& dev = st.dev;
   const std::int64_t n = st.n_elems;
   const std::int64_t n_attr = st.n_attr;
-  const auto n_slots = st.active.size();
 
   assign_default_children(st, plan);
 
-  // Per-slot tables for the element-side exact assignment.
-  std::vector<std::int64_t> chosen_seg(n_slots, -1);
-  std::vector<std::int64_t> best_pos(n_slots, -1);
-  std::vector<std::int32_t> left_id(n_slots, -1);
-  std::vector<std::int32_t> right_id(n_slots, -1);
-  for (std::size_t s = 0; s < n_slots; ++s) {
-    const auto& e = plan.per_slot[s];
-    if (!e.split) continue;
-    chosen_seg[s] = e.chosen_seg;
-    best_pos[s] = e.best_pos;
-    left_id[s] = e.left_id;
-    right_id[s] = e.right_id;
-  }
-  auto d_chosen = upload(dev, chosen_seg);
-  auto d_pos = upload(dev, best_pos);
-  auto d_left = upload(dev, left_id);
-  auto d_right = upload(dev, right_id);
+  // Per-slot split commands for the element-side exact assignment, packed
+  // into one per-level upload.
+  auto d_cmd = upload_split_cmds(st, plan);
 
   // Exact side for instances present on the winning attribute: the sorted
   // prefix up to the split position goes left (high values), the rest right.
@@ -293,10 +377,7 @@ void apply_mark_sides_sparse(TrainState& st, const LevelPlan& plan) {
     auto k = st.keys.span();
     auto inst = st.inst.span();
     auto node_of = st.node_of.span();
-    auto cs = d_chosen.span();
-    auto bp = d_pos.span();
-    auto li = d_left.span();
-    auto ri = d_right.span();
+    auto cmd = d_cmd.span();
     dev.launch("assign_exact_side", device::grid_for(n, kBlockDim), kBlockDim,
                [&](BlockCtx& b) {
                  std::uint64_t writes = 0;
@@ -305,9 +386,10 @@ void apply_mark_sides_sparse(TrainState& st, const LevelPlan& plan) {
                    const auto u = static_cast<std::size_t>(e);
                    const std::int64_t seg = k[u];
                    const auto slot = static_cast<std::size_t>(seg / n_attr);
-                   if (cs[slot] != seg) return;
+                   if (cmd[slot].chosen_seg != seg) return;
                    node_of[static_cast<std::size_t>(inst[u])] =
-                       e <= bp[slot] ? li[slot] : ri[slot];
+                       e <= cmd[slot].best_pos ? cmd[slot].left_id
+                                               : cmd[slot].right_id;
                    // An instance appears once per attribute and only the
                    // winning attribute's segment writes, so these scattered
                    // stores are block-disjoint; the auditor verifies it.
@@ -333,8 +415,8 @@ void apply_partition_sparse(TrainState& st, const LevelPlan& plan) {
   // elements of nodes that became leaves.
   const auto n_new_slots = static_cast<std::int64_t>(plan.next_active.size());
   const std::int64_t n_parts = n_new_slots * n_attr;
-  auto d_next_slot = upload(dev, plan.next_slot_of_tree);
-  auto part_ids = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
+  auto d_next_slot = upload_pooled(dev, st.arena, plan.next_slot_of_tree);
+  auto part_ids = st.arena.alloc<std::int32_t>(static_cast<std::size_t>(n));
   {
     auto k = st.keys.span();
     auto inst = st.inst.span();
@@ -366,16 +448,16 @@ void apply_partition_sparse(TrainState& st, const LevelPlan& plan) {
   const auto pplan = prim::plan_partition(
       n, n_parts, st.param.partition_counter_budget,
       st.param.use_custom_idxcomp_workload);
-  auto scatter = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
+  auto scatter = st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n));
   auto new_offsets =
-      dev.alloc<std::int64_t>(static_cast<std::size_t>(n_parts) + 1);
-  prim::histogram_partition(dev, part_ids, n_parts, scatter, new_offsets,
-                            pplan);
+      st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_parts) + 1);
+  prim::histogram_partition(dev, part_ids.span(), n_parts, scatter.span(),
+                            new_offsets.span(), pplan, &st.arena);
   const std::int64_t new_n =
       new_offsets[static_cast<std::size_t>(n_parts)];
 
-  auto new_values = dev.alloc<float>(static_cast<std::size_t>(new_n));
-  auto new_inst = dev.alloc<std::int32_t>(static_cast<std::size_t>(new_n));
+  auto new_values = st.arena.alloc<float>(static_cast<std::size_t>(new_n));
+  auto new_inst = st.arena.alloc<std::int32_t>(static_cast<std::size_t>(new_n));
   {
     auto v = st.values.span();
     auto inst = st.inst.span();

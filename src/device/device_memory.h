@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/access_audit.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace gbdt::device {
@@ -57,6 +58,12 @@ class DeviceAllocator {
     used_ += bytes;
     if (used_ > peak_) peak_ = used_;
     ++allocations_;
+    // Every fresh device allocation is a global-memory round trip on real
+    // hardware; the workspace arena exists to drive this to ~O(1) per level
+    // (test_obs asserts it), so the counter is the regression tripwire.
+    static obs::Counter& alloc_calls =
+        obs::Registry::global().counter("gbdt_device_alloc_calls_total");
+    alloc_calls.inc();
     // Feeds per-span high-water marks; one relaxed load when tracing is off.
     obs::note_device_usage(used_);
   }

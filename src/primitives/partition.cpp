@@ -84,11 +84,12 @@ PartitionPlan plan_partition(std::int64_t n_elements, std::int64_t n_parts,
 }
 
 void histogram_partition(device::Device& dev,
-                         const device::DeviceBuffer<std::int32_t>& part_ids,
+                         std::span<const std::int32_t> part_ids,
                          std::int64_t n_parts,
-                         device::DeviceBuffer<std::int64_t>& scatter_out,
-                         device::DeviceBuffer<std::int64_t>& part_offsets,
-                         const PartitionPlan& plan) {
+                         std::span<std::int64_t> scatter_out,
+                         std::span<std::int64_t> part_offsets,
+                         const PartitionPlan& plan,
+                         device::WorkspaceArena* arena) {
   const std::int64_t n = static_cast<std::int64_t>(part_ids.size());
   assert(static_cast<std::int64_t>(part_offsets.size()) == n_parts + 1);
   if (n == 0) {
@@ -100,16 +101,27 @@ void histogram_partition(device::Device& dev,
   const std::int64_t work = plan.workload;
   const std::int64_t grid = device::grid_for(threads, kBlockDim);
 
-  auto counters = dev.alloc<std::int64_t>(
-      static_cast<std::size_t>(plan.parts_per_pass) *
-      static_cast<std::size_t>(threads));
-  auto bases = dev.alloc<std::int64_t>(counters.size());
+  // Counter/base matrices: pooled when the caller has an arena (the
+  // trainers' per-level loops), otherwise one-shot device allocations.
+  const std::size_t matrix = static_cast<std::size_t>(plan.parts_per_pass) *
+                             static_cast<std::size_t>(threads);
+  device::DeviceBuffer<std::int64_t> owned_counters;
+  device::DeviceBuffer<std::int64_t> owned_bases;
+  device::ArenaBuffer<std::int64_t> pooled_counters;
+  device::ArenaBuffer<std::int64_t> pooled_bases;
+  if (arena != nullptr) {
+    pooled_counters = arena->alloc<std::int64_t>(matrix);
+    pooled_bases = arena->alloc<std::int64_t>(matrix);
+  } else {
+    owned_counters = dev.alloc<std::int64_t>(matrix);
+    owned_bases = dev.alloc<std::int64_t>(matrix);
+  }
 
-  auto ids = part_ids.span();
-  auto scat = scatter_out.span();
-  auto offs = part_offsets.span();
-  auto cnt = counters.span();
-  auto base = bases.span();
+  auto ids = part_ids;
+  auto scat = scatter_out;
+  auto offs = part_offsets;
+  auto cnt = arena != nullptr ? pooled_counters.span() : owned_counters.span();
+  auto base = arena != nullptr ? pooled_bases.span() : owned_bases.span();
 
   std::int64_t placed_before = 0;  // outputs written by earlier passes
   for (int pass = 0; pass < plan.passes; ++pass) {
@@ -155,7 +167,7 @@ void histogram_partition(device::Device& dev,
       b.mem_irregular(scanned / 4 + 1);
     });
 
-    exclusive_scan(dev, counters, bases, "partition_scan");
+    exclusive_scan(dev, cnt, base, "partition_scan", arena);
 
     // Record the start offset of each partition of this pass before the
     // scatter phase consumes the bases.

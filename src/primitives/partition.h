@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "device/device_context.h"
+#include "device/workspace_arena.h"
 
 namespace gbdt::prim {
 
@@ -43,11 +45,15 @@ struct PartitionPlan {
 ///  - part_offsets must have n_parts + 1 entries; on return part_offsets[p]
 ///    is the first output index of partition p and part_offsets[n_parts] the
 ///    number of kept elements.
+/// Spans accept both owned (DeviceBuffer) and pooled (ArenaBuffer) storage.
+/// When `arena` is given, the internal counter/base matrices are checked out
+/// of it instead of hitting the device allocator (per-level trainer loops).
 void histogram_partition(device::Device& dev,
-                         const device::DeviceBuffer<std::int32_t>& part_ids,
+                         std::span<const std::int32_t> part_ids,
                          std::int64_t n_parts,
-                         device::DeviceBuffer<std::int64_t>& scatter_out,
-                         device::DeviceBuffer<std::int64_t>& part_offsets,
-                         const PartitionPlan& plan);
+                         std::span<std::int64_t> scatter_out,
+                         std::span<std::int64_t> part_offsets,
+                         const PartitionPlan& plan,
+                         device::WorkspaceArena* arena = nullptr);
 
 }  // namespace gbdt::prim

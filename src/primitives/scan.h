@@ -13,23 +13,33 @@
 #include <string_view>
 
 #include "device/device_context.h"
+#include "device/workspace_arena.h"
 #include "primitives/transform.h"
 
 namespace gbdt::prim {
 
 namespace detail {
 
-template <typename T>
-void scan_impl(device::Device& dev, const device::DeviceBuffer<T>& in,
-               device::DeviceBuffer<T>& out, bool inclusive,
-               std::string_view name) {
+template <typename InBuf, typename OutBuf>
+void scan_impl(device::Device& dev, const InBuf& in, OutBuf& out,
+               bool inclusive, std::string_view name,
+               device::WorkspaceArena* arena = nullptr) {
+  using T = buffer_element_t<OutBuf>;
   const std::int64_t n = static_cast<std::int64_t>(in.size());
   if (n == 0) return;
   const std::int64_t grid = device::grid_for(n, kBlockDim);
-  auto block_sums = dev.alloc<T>(static_cast<std::size_t>(grid));
-  auto src = in.span();
-  auto dst = out.span();
-  auto sums = block_sums.span();
+  // Per-block sums: checked out of the arena when the caller has one (the
+  // trainers' per-level loops), otherwise a one-shot device allocation.
+  device::DeviceBuffer<T> owned_sums;
+  device::ArenaBuffer<T> pooled_sums;
+  if (arena != nullptr) {
+    pooled_sums = arena->alloc<T>(static_cast<std::size_t>(grid));
+  } else {
+    owned_sums = dev.alloc<T>(static_cast<std::size_t>(grid));
+  }
+  auto src = as_span(in);
+  auto dst = as_span(out);
+  auto sums = arena != nullptr ? pooled_sums.span() : owned_sums.span();
 
   dev.launch(name, grid, kBlockDim, [&](device::BlockCtx& b) {
     const std::int64_t lo = b.block_idx() * b.block_dim();
@@ -83,19 +93,19 @@ void scan_impl(device::Device& dev, const device::DeviceBuffer<T>& in,
 }  // namespace detail
 
 /// out[i] = in[0] + ... + in[i].
-template <typename T>
-void inclusive_scan(device::Device& dev, const device::DeviceBuffer<T>& in,
-                    device::DeviceBuffer<T>& out,
-                    std::string_view name = "inclusive_scan") {
-  detail::scan_impl(dev, in, out, /*inclusive=*/true, name);
+template <typename InBuf, typename OutBuf>
+void inclusive_scan(device::Device& dev, const InBuf& in, OutBuf& out,
+                    std::string_view name = "inclusive_scan",
+                    device::WorkspaceArena* arena = nullptr) {
+  detail::scan_impl(dev, in, out, /*inclusive=*/true, name, arena);
 }
 
 /// out[i] = in[0] + ... + in[i-1]; out[0] = 0.
-template <typename T>
-void exclusive_scan(device::Device& dev, const device::DeviceBuffer<T>& in,
-                    device::DeviceBuffer<T>& out,
-                    std::string_view name = "exclusive_scan") {
-  detail::scan_impl(dev, in, out, /*inclusive=*/false, name);
+template <typename InBuf, typename OutBuf>
+void exclusive_scan(device::Device& dev, const InBuf& in, OutBuf& out,
+                    std::string_view name = "exclusive_scan",
+                    device::WorkspaceArena* arena = nullptr) {
+  detail::scan_impl(dev, in, out, /*inclusive=*/false, name, arena);
 }
 
 }  // namespace gbdt::prim

@@ -30,16 +30,15 @@ namespace gbdt::prim {
 /// Writes keys[e] = segment index of element e, with each block handling
 /// `segs_per_block` consecutive segments.  segs_per_block == 1 is the naive
 /// one-block-per-segment scheme the paper improves on.
-inline void set_keys(device::Device& dev,
-                     const device::DeviceBuffer<std::int64_t>& offsets,
-                     device::DeviceBuffer<std::int32_t>& keys,
-                     std::int64_t segs_per_block) {
+template <typename OffBuf, typename KeyBuf>
+void set_keys(device::Device& dev, const OffBuf& offsets, KeyBuf& keys,
+              std::int64_t segs_per_block) {
   const std::int64_t n_seg = static_cast<std::int64_t>(offsets.size()) - 1;
   if (n_seg <= 0) return;
   segs_per_block = std::max<std::int64_t>(1, segs_per_block);
   const std::int64_t grid = (n_seg + segs_per_block - 1) / segs_per_block;
-  auto off = offsets.span();
-  auto k = keys.span();
+  auto off = as_span(offsets);
+  auto k = as_span(keys);
   dev.launch("set_keys", grid, kBlockDim, [&](device::BlockCtx& b) {
     const std::int64_t s_lo = b.block_idx() * segs_per_block;
     const std::int64_t s_hi = std::min(s_lo + segs_per_block, n_seg);
@@ -69,18 +68,17 @@ inline void set_keys(device::Device& dev,
 /// non-decreasing (they are segment ids).  Three-phase blocked algorithm with
 /// cross-block carry propagation, so big segments still count as parallel
 /// streaming work.
-template <typename T>
-void segmented_inclusive_scan_by_key(device::Device& dev,
-                                     const device::DeviceBuffer<T>& values,
-                                     const device::DeviceBuffer<std::int32_t>& keys,
-                                     device::DeviceBuffer<T>& out,
+template <typename ValBuf, typename KeyBuf, typename OutBuf>
+void segmented_inclusive_scan_by_key(device::Device& dev, const ValBuf& values,
+                                     const KeyBuf& keys, OutBuf& out,
                                      std::string_view name = "seg_scan") {
+  using T = buffer_element_t<OutBuf>;
   const std::int64_t n = static_cast<std::int64_t>(values.size());
   if (n == 0) return;
   const std::int64_t grid = device::grid_for(n, kBlockDim);
-  auto v = values.span();
-  auto k = keys.span();
-  auto o = out.span();
+  auto v = as_span(values);
+  auto k = as_span(keys);
+  auto o = as_span(out);
 
   // Per-block carry metadata.
   auto run_sums = dev.alloc<T>(static_cast<std::size_t>(grid));   // sum of trailing run
@@ -157,22 +155,21 @@ void segmented_inclusive_scan_by_key(device::Device& dev,
 /// Best (maximum) value and its element index for each segment; ties resolve
 /// to the lowest index.  Each block processes `segs_per_block` consecutive
 /// segments (the SetKey-style workload assignment for reductions).
-template <typename T>
-void segmented_arg_max(device::Device& dev,
-                       const device::DeviceBuffer<T>& values,
-                       const device::DeviceBuffer<std::int64_t>& offsets,
-                       device::DeviceBuffer<T>& best_values,
-                       device::DeviceBuffer<std::int64_t>& best_indices,
-                       std::int64_t segs_per_block,
+template <typename ValBuf, typename OffBuf, typename BestValBuf,
+          typename BestIdxBuf>
+void segmented_arg_max(device::Device& dev, const ValBuf& values,
+                       const OffBuf& offsets, BestValBuf& best_values,
+                       BestIdxBuf& best_indices, std::int64_t segs_per_block,
                        std::string_view name = "seg_arg_max") {
+  using T = buffer_element_t<BestValBuf>;
   const std::int64_t n_seg = static_cast<std::int64_t>(offsets.size()) - 1;
   if (n_seg <= 0) return;
   segs_per_block = std::max<std::int64_t>(1, segs_per_block);
   const std::int64_t grid = (n_seg + segs_per_block - 1) / segs_per_block;
-  auto v = values.span();
-  auto off = offsets.span();
-  auto bv = best_values.span();
-  auto bi = best_indices.span();
+  auto v = as_span(values);
+  auto off = as_span(offsets);
+  auto bv = as_span(best_values);
+  auto bi = as_span(best_indices);
   dev.launch(name, grid, kBlockDim, [&](device::BlockCtx& b) {
     const std::int64_t s_lo = b.block_idx() * segs_per_block;
     const std::int64_t s_hi = std::min(s_lo + segs_per_block, n_seg);

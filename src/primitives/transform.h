@@ -8,12 +8,30 @@
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 
 #include "device/device_context.h"
 
 namespace gbdt::prim {
 
 inline constexpr int kBlockDim = 256;
+
+/// Normalises "anything with .span()" (DeviceBuffer, ArenaBuffer) or a plain
+/// span to a std::span, so primitives work on pooled and owned storage alike.
+template <typename T>
+[[nodiscard]] inline std::span<T> as_span(std::span<T> s) {
+  return s;
+}
+template <typename B>
+[[nodiscard]] inline auto as_span(B& b) {
+  return b.span();
+}
+
+/// Element type a buffer-like argument yields through as_span.
+template <typename B>
+using buffer_element_t =
+    typename decltype(as_span(std::declval<B&>()))::element_type;
 
 /// Number of in-range elements covered by block b of an n-element kernel.
 [[nodiscard]] inline std::uint64_t elems_in_block(const device::BlockCtx& b,
@@ -25,25 +43,26 @@ inline constexpr int kBlockDim = 256;
 }
 
 /// out[i] = value for all i.
-template <typename T>
-void fill(device::Device& dev, device::DeviceBuffer<T>& out, T value) {
+template <typename OutBuf, typename T>
+void fill(device::Device& dev, OutBuf& out, T value) {
   const std::int64_t n = static_cast<std::int64_t>(out.size());
-  auto o = out.span();
+  auto o = as_span(out);
   dev.launch("fill", device::grid_for(n, kBlockDim), kBlockDim,
              [&](device::BlockCtx& b) {
                b.for_each_thread([&](std::int64_t i) {
                  if (i < n) o[static_cast<std::size_t>(i)] = value;
                });
                b.writes_tile(o, n);
-               b.mem_coalesced(elems_in_block(b, n) * sizeof(T));
+               b.mem_coalesced(elems_in_block(b, n) *
+                               sizeof(buffer_element_t<OutBuf>));
              });
 }
 
 /// out[i] = start + i.
-template <typename T>
-void iota(device::Device& dev, device::DeviceBuffer<T>& out, T start = T{}) {
+template <typename OutBuf, typename T = buffer_element_t<OutBuf>>
+void iota(device::Device& dev, OutBuf& out, T start = T{}) {
   const std::int64_t n = static_cast<std::int64_t>(out.size());
-  auto o = out.span();
+  auto o = as_span(out);
   dev.launch("iota", device::grid_for(n, kBlockDim), kBlockDim,
              [&](device::BlockCtx& b) {
                b.for_each_thread([&](std::int64_t i) {
@@ -55,13 +74,14 @@ void iota(device::Device& dev, device::DeviceBuffer<T>& out, T start = T{}) {
 }
 
 /// out[i] = f(in[i]).
-template <typename In, typename Out, typename F>
-void transform(device::Device& dev, const device::DeviceBuffer<In>& in,
-               device::DeviceBuffer<Out>& out, F&& f,
+template <typename InBuf, typename OutBuf, typename F>
+void transform(device::Device& dev, const InBuf& in, OutBuf& out, F&& f,
                std::string_view name = "transform") {
+  using In = std::remove_const_t<buffer_element_t<const InBuf>>;
+  using Out = buffer_element_t<OutBuf>;
   const std::int64_t n = static_cast<std::int64_t>(in.size());
-  auto src = in.span();
-  auto dst = out.span();
+  auto src = as_span(in);
+  auto dst = as_span(out);
   dev.launch(name, device::grid_for(n, kBlockDim), kBlockDim,
              [&](device::BlockCtx& b) {
                b.for_each_thread([&](std::int64_t i) {
@@ -94,14 +114,15 @@ void for_each_index(device::Device& dev, std::int64_t n, F&& f,
 }
 
 /// out[i] = src[map[i]] — the map-directed read is irregular.
-template <typename T, typename I>
-void gather(device::Device& dev, const device::DeviceBuffer<T>& src,
-            const device::DeviceBuffer<I>& map, device::DeviceBuffer<T>& out,
-            std::string_view name = "gather") {
+template <typename SrcBuf, typename MapBuf, typename OutBuf>
+void gather(device::Device& dev, const SrcBuf& src, const MapBuf& map,
+            OutBuf& out, std::string_view name = "gather") {
+  using T = buffer_element_t<OutBuf>;
+  using I = std::remove_const_t<buffer_element_t<const MapBuf>>;
   const std::int64_t n = static_cast<std::int64_t>(map.size());
-  auto s = src.span();
-  auto m = map.span();
-  auto o = out.span();
+  auto s = as_span(src);
+  auto m = as_span(map);
+  auto o = as_span(out);
   dev.launch(name, device::grid_for(n, kBlockDim), kBlockDim,
              [&](device::BlockCtx& b) {
                b.for_each_thread([&](std::int64_t i) {
@@ -120,14 +141,15 @@ void gather(device::Device& dev, const device::DeviceBuffer<T>& src,
 }
 
 /// out[map[i]] = src[i] — the map-directed write is irregular.
-template <typename T, typename I>
-void scatter(device::Device& dev, const device::DeviceBuffer<T>& src,
-             const device::DeviceBuffer<I>& map, device::DeviceBuffer<T>& out,
-             std::string_view name = "scatter") {
+template <typename SrcBuf, typename MapBuf, typename OutBuf>
+void scatter(device::Device& dev, const SrcBuf& src, const MapBuf& map,
+             OutBuf& out, std::string_view name = "scatter") {
+  using T = buffer_element_t<OutBuf>;
+  using I = std::remove_const_t<buffer_element_t<const MapBuf>>;
   const std::int64_t n = static_cast<std::int64_t>(src.size());
-  auto s = src.span();
-  auto m = map.span();
-  auto o = out.span();
+  auto s = as_span(src);
+  auto m = as_span(map);
+  auto o = as_span(out);
   dev.launch(name, device::grid_for(n, kBlockDim), kBlockDim,
              [&](device::BlockCtx& b) {
                b.for_each_thread([&](std::int64_t i) {

@@ -10,9 +10,33 @@ namespace gbdt::rle {
 
 using prim::kBlockDim;
 
-DeviceRle compress(device::Device& dev,
-                   const device::DeviceBuffer<float>& values,
-                   const device::DeviceBuffer<std::int64_t>& elem_seg_offsets) {
+namespace {
+
+/// Dual-storage scratch: pooled when an arena is available, owned otherwise.
+template <typename T>
+struct Scratch {
+  device::DeviceBuffer<T> owned;
+  device::ArenaBuffer<T> pooled;
+  bool from_arena = false;
+
+  Scratch(device::Device& dev, device::WorkspaceArena* arena, std::size_t n)
+      : from_arena(arena != nullptr) {
+    if (from_arena) {
+      pooled = arena->alloc<T>(n);
+    } else {
+      owned = dev.alloc<T>(n);
+    }
+  }
+  [[nodiscard]] std::span<T> span() {
+    return from_arena ? pooled.span() : owned.span();
+  }
+};
+
+}  // namespace
+
+DeviceRle compress(device::Device& dev, std::span<const float> values,
+                   std::span<const std::int64_t> elem_seg_offsets,
+                   device::WorkspaceArena* arena) {
   DeviceRle out;
   const std::int64_t n = static_cast<std::int64_t>(values.size());
   const std::int64_t n_seg =
@@ -28,14 +52,15 @@ DeviceRle compress(device::Device& dev,
   }
 
   // Segment key per element, so run heads are forced at segment starts.
-  auto keys = dev.alloc<std::int32_t>(static_cast<std::size_t>(n));
-  prim::set_keys(dev, elem_seg_offsets, keys,
+  Scratch<std::int32_t> keys(dev, arena, static_cast<std::size_t>(n));
+  auto keys_span = keys.span();
+  prim::set_keys(dev, elem_seg_offsets, keys_span,
                  prim::auto_segs_per_block(n_seg, dev.config().num_sms));
 
   // Head flags -> run index per element (exclusive scan).
-  auto head = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
+  Scratch<std::int64_t> head(dev, arena, static_cast<std::size_t>(n));
   {
-    auto v = values.span();
+    auto v = values;
     auto k = keys.span();
     auto h = head.span();
     dev.launch("rle_flag_heads", device::grid_for(n, kBlockDim), kBlockDim,
@@ -51,16 +76,18 @@ DeviceRle compress(device::Device& dev,
                  b.mem_coalesced(prim::elems_in_block(b, n) * 16);
                });
   }
-  auto run_idx = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
-  prim::exclusive_scan(dev, head, run_idx, "rle_head_scan");
-  out.n_runs = run_idx[static_cast<std::size_t>(n - 1)] +
-               head[static_cast<std::size_t>(n - 1)];
+  Scratch<std::int64_t> run_idx(dev, arena, static_cast<std::size_t>(n));
+  auto head_span = head.span();
+  auto run_idx_span = run_idx.span();
+  prim::exclusive_scan(dev, head_span, run_idx_span, "rle_head_scan", arena);
+  out.n_runs = run_idx_span[static_cast<std::size_t>(n - 1)] +
+               head_span[static_cast<std::size_t>(n - 1)];
 
   // Scatter run values and element-domain starts.
   out.values = dev.alloc<float>(static_cast<std::size_t>(out.n_runs));
   out.starts = dev.alloc<std::int64_t>(static_cast<std::size_t>(out.n_runs) + 1);
   {
-    auto v = values.span();
+    auto v = values;
     auto h = head.span();
     auto r = run_idx.span();
     auto rv = out.values.span();
@@ -93,7 +120,7 @@ DeviceRle compress(device::Device& dev,
   out.seg_offsets =
       dev.alloc<std::int64_t>(static_cast<std::size_t>(n_seg) + 1);
   {
-    auto eoff = elem_seg_offsets.span();
+    auto eoff = elem_seg_offsets;
     auto r = run_idx.span();
     auto soff = out.seg_offsets.span();
     const std::int64_t runs = out.n_runs;

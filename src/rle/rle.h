@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "device/device_context.h"
+#include "device/workspace_arena.h"
 
 namespace gbdt::rle {
 
@@ -40,9 +42,13 @@ struct DeviceRle {
 /// entries in the element domain.  Head flags + scan + scatter: O(n) device
 /// work, as the paper notes ("the attribute values are already sorted and we
 /// only need linear time").
+/// Spans accept both owned (DeviceBuffer) and pooled (ArenaBuffer) storage;
+/// with an `arena` the internal head-flag/run-index scratch is checked out
+/// of it instead of hitting the device allocator.
 [[nodiscard]] DeviceRle compress(device::Device& dev,
-                                 const device::DeviceBuffer<float>& values,
-                                 const device::DeviceBuffer<std::int64_t>& elem_seg_offsets);
+                                 std::span<const float> values,
+                                 std::span<const std::int64_t> elem_seg_offsets,
+                                 device::WorkspaceArena* arena = nullptr);
 
 /// Expands runs back into the element domain; out must be n_elements long.
 void decompress(device::Device& dev, const DeviceRle& rle,

@@ -70,8 +70,8 @@ TEST_F(AccessAudit, AnnotatedPrimitivesRunClean) {
   auto scatter = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
   auto offsets = dev.alloc<std::int64_t>(8);
   const auto plan = prim::plan_partition(n, 7, 1 << 20, true);
-  EXPECT_NO_THROW(
-      prim::histogram_partition(dev, ids, 7, scatter, offsets, plan));
+  EXPECT_NO_THROW(prim::histogram_partition(dev, ids.span(), 7, scatter.span(),
+                                            offsets.span(), plan));
   EXPECT_EQ(offsets[7], n);
 }
 
@@ -173,7 +173,7 @@ TEST_F(AccessAudit, RleRoundTripRunsClean) {
   offs[0] = 0;
   offs[1] = n / 2;
   offs[2] = n;
-  const auto rle = rle::compress(dev, values, offs);
+  const auto rle = rle::compress(dev, values.span(), offs.span());
   auto back = dev.alloc<float>(static_cast<std::size_t>(n));
   rle::decompress(dev, rle, back);
   for (std::int64_t i = 0; i < n; ++i) {

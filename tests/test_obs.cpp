@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "core/trainer.h"
+#include "data/synthetic.h"
 #include "device/device_context.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -279,5 +281,39 @@ TEST(ObsBenchCompare, ExitsNonzeroOnInjectedRegression) {
 }
 
 #endif  // GBDT_BENCH_PATH
+
+// ---- workspace-arena allocation metric ------------------------------------
+
+// gbdt_device_alloc_calls_total counts DeviceAllocator::acquire calls.  With
+// the workspace arena pooling per-level scratch, a full training run costs
+// the dataset/base buffers plus one acquire per (type, size class) high-water
+// mark — ~O(1) per level, far below the one-acquire-per-scratch-buffer-
+// per-level (~20 x levels) the trainers paid before the arena.
+TEST(ObsMetrics, ArenaHoldsDeviceAllocCallsNearConstantPerLevel) {
+  data::SyntheticSpec spec;
+  spec.n_instances = 400;
+  spec.n_attributes = 9;
+  spec.density = 0.7;
+  spec.distinct_values = 5;
+  spec.seed = 18;
+  const auto ds = data::generate(spec);
+
+  auto& alloc_calls =
+      obs::Registry::global().counter("gbdt_device_alloc_calls_total");
+
+  GBDTParam p;
+  p.depth = 5;
+  p.n_trees = 2;
+  const std::uint64_t before = alloc_calls.value();
+  {
+    device::Device dev(device::DeviceConfig::titan_x_pascal());
+    (void)GpuGbdtTrainer(dev, p).train(ds);
+  }
+  const std::uint64_t run_calls = alloc_calls.value() - before;
+  const auto levels =
+      static_cast<std::uint64_t>(p.depth) * static_cast<std::uint64_t>(p.n_trees);
+  EXPECT_LT(run_calls, 8 * levels)
+      << "device allocations per level regressed; arena pooling broken?";
+}
 
 }  // namespace

@@ -376,7 +376,8 @@ TEST_P(Partition, GroupsByPartPreservingOrder) {
   const auto plan =
       plan_partition(p.n, p.n_parts, /*max_counter_bytes=*/1 << 16,
                      p.customized);
-  histogram_partition(dev, d_ids, p.n_parts, scatter, offs, plan);
+  histogram_partition(dev, d_ids.span(), p.n_parts, scatter.span(),
+                      offs.span(), plan);
 
   // Reference: stable grouping by part id.
   std::vector<std::int64_t> want(p.n, -1);
@@ -452,11 +453,11 @@ TEST(PartitionPlan, CustomizedIsCheaperForManyParts) {
   auto scatter = dev.alloc<std::int64_t>(n);
   auto offs = dev.alloc<std::int64_t>(parts + 1);
 
-  histogram_partition(dev, d_ids, parts, scatter, offs,
+  histogram_partition(dev, d_ids.span(), parts, scatter.span(), offs.span(),
                       plan_partition(n, parts, 1 << 18, false));
   const double naive = dev.elapsed_seconds();
   dev.reset_timeline();
-  histogram_partition(dev, d_ids, parts, scatter, offs,
+  histogram_partition(dev, d_ids.span(), parts, scatter.span(), offs.span(),
                       plan_partition(n, parts, 1 << 18, true));
   const double custom = dev.elapsed_seconds();
   EXPECT_LT(custom, naive);

@@ -186,7 +186,7 @@ TEST(WorkerDeterminism, ScanAndPartitionMatchAcrossWorkerCounts) {
     auto d_p = dev.to_device<std::int32_t>(parts);
     auto scatter = dev.alloc<std::int64_t>(static_cast<std::size_t>(n));
     auto offs = dev.alloc<std::int64_t>(18);
-    histogram_partition(dev, d_p, 17, scatter, offs,
+    histogram_partition(dev, d_p.span(), 17, scatter.span(), offs.span(),
                         plan_partition(n, 17, 1 << 20, true));
     auto& scan_out = workers == 1 ? scan1 : scan4;
     auto& scat_out = workers == 1 ? scat1 : scat4;

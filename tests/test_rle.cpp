@@ -64,7 +64,7 @@ TEST(Rle, PaperFigure4Example) {
   std::vector<std::int64_t> offs{0, 7};
   auto d_v = dev.to_device<float>(v);
   auto d_o = dev.to_device<std::int64_t>(offs);
-  const auto rle = compress(dev, d_v, d_o);
+  const auto rle = compress(dev, d_v.span(), d_o.span());
   ASSERT_EQ(rle.n_runs, 2);
   EXPECT_EQ(rle.values[0], 1.2f);
   EXPECT_EQ(rle.run_length(0), 3);
@@ -81,7 +81,7 @@ TEST(Rle, RunsNeverCrossSegmentBoundaries) {
   std::vector<std::int64_t> offs{0, 2, 4};
   auto d_v = dev.to_device<float>(v);
   auto d_o = dev.to_device<std::int64_t>(offs);
-  const auto rle = compress(dev, d_v, d_o);
+  const auto rle = compress(dev, d_v.span(), d_o.span());
   ASSERT_EQ(rle.n_runs, 2);
   EXPECT_EQ(rle.run_length(0), 2);
   EXPECT_EQ(rle.run_length(1), 2);
@@ -96,7 +96,7 @@ TEST(Rle, EmptySegmentsGetEmptyRunRanges) {
   std::vector<std::int64_t> offs{0, 0, 2, 2, 3, 3};
   auto d_v = dev.to_device<float>(v);
   auto d_o = dev.to_device<std::int64_t>(offs);
-  const auto rle = compress(dev, d_v, d_o);
+  const auto rle = compress(dev, d_v.span(), d_o.span());
   ASSERT_EQ(rle.n_runs, 2);
   EXPECT_EQ(rle.seg_offsets[0], 0);  // empty
   EXPECT_EQ(rle.seg_offsets[1], 0);
@@ -111,7 +111,7 @@ TEST(Rle, EmptyInput) {
   auto d_v = dev.alloc<float>(0);
   std::vector<std::int64_t> offs{0, 0, 0};
   auto d_o = dev.to_device<std::int64_t>(offs);
-  const auto rle = compress(dev, d_v, d_o);
+  const auto rle = compress(dev, d_v.span(), d_o.span());
   EXPECT_EQ(rle.n_runs, 0);
   EXPECT_EQ(rle.seg_offsets[2], 0);
   EXPECT_DOUBLE_EQ(measured_ratio(rle), 1.0);
@@ -152,7 +152,7 @@ TEST_P(RleRoundTrip, CompressMatchesReferenceAndDecompressRestores) {
 
   auto d_v = dev.to_device<float>(v);
   auto d_o = dev.to_device<std::int64_t>(offs);
-  const auto rle = compress(dev, d_v, d_o);
+  const auto rle = compress(dev, d_v.span(), d_o.span());
   expect_equal(rle, reference_compress(v, offs));
 
   auto restored = dev.alloc<float>(static_cast<std::size_t>(p.n));
@@ -178,7 +178,7 @@ TEST(Rle, CompressionReducesMemoryForRepetitiveData) {
   std::vector<std::int64_t> offs{0, n};
   auto d_v = dev.to_device<float>(v);
   auto d_o = dev.to_device<std::int64_t>(offs);
-  const auto rle = compress(dev, d_v, d_o);
+  const auto rle = compress(dev, d_v.span(), d_o.span());
   EXPECT_EQ(rle.n_runs, 100);
   EXPECT_LT(rle.bytes(), d_v.bytes() / 10);
   EXPECT_DOUBLE_EQ(measured_ratio(rle), 1000.0);

@@ -20,6 +20,11 @@
 //      trace reports stay greppable and span names form a closed vocabulary.
 //      A dynamic name needs a `// span-name-ok:` justification near the
 //      construction.  (The obs/trace.h declarations themselves are exempt.)
+//   7. The fused find-split wrappers (primitives/fused_split.h) label every
+//      internal pass with a `fused_`-prefixed literal; the per-call phase-1
+//      and argmax launches take the caller's `name` parameter.  Rules 4/5
+//      apply to these launches like any other — the wrappers get no
+//      exemption, only the extra prefix check.
 //
 // Comments and string literals are blanked (length-preserving) before any
 // rule other than the justification search runs, so prose never trips the
@@ -300,6 +305,16 @@ void check_file(const fs::path& path) {
     if (!labeled) {
       report(file, line_of(code, open),
              "`.launch(` without a label as first argument");
+    }
+    // Rule 7: the fused find-split wrappers label their internal passes
+    // with a `fused_` prefix (the per-call phase-1 / argmax launches take
+    // the caller's `name` parameter), so the whole family stays greppable
+    // in trace and audit reports.  Literal contents live in `raw` — strip()
+    // blanks them in `code`.
+    if (fname == "fused_split.h" && labeled && code[a] == '"' &&
+        raw.compare(a + 1, 6, "fused_") != 0) {
+      report(file, line_of(code, open),
+             "fused_split.h launch label without `fused_` prefix");
     }
     // Region end: matching close paren.
     int depth = 1;
