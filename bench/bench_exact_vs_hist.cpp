@@ -1,12 +1,27 @@
 // Exact vs approximate split finding: the paper trains "without
 // approximation" and its related work notes that LightGBM "only supports
 // finding the best split points approximately".  This bench quantifies the
-// trade on the dense/medium-dimensional analogs: the histogram method is
-// faster per tree; coarse bins cost accuracy, and fine bins approach (or
-// occasionally luck past — greedy splitting is not globally optimal) the
-// exact fit.
+// trade on the dense/medium-dimensional analogs — for the CPU histogram
+// baseline at several bin budgets AND the device-side histogram trainer
+// (core/trainer_hist) — then sweeps a rows x bins grid to chart where the
+// device histogram method's find-split cost crosses below the exact
+// trainer's (the `xover_*` cases; EXPERIMENTS.md plots the crossover).
 #include "baselines/hist_trainer.h"
 #include "bench_common.h"
+#include "core/trainer_hist.h"
+
+namespace {
+
+/// One device-hist training run on a fresh simulated Titan X.
+gbdt::TrainReport run_device_hist(const gbdt::data::Dataset& ds,
+                                  gbdt::GBDTParam param, int bins) {
+  param.use_hist_trainer = true;
+  param.n_bins = bins;
+  gbdt::device::Device dev(gbdt::device::DeviceConfig::titan_x_pascal());
+  return gbdt::GpuHistTrainer(dev, param).train(ds);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gbdt;
@@ -18,7 +33,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-10s | %10s %10s | %7s", "dataset", "exact(s)", "rmse", "");
   for (int bins : {16, 64, 256}) std::printf("  hist%-4d(s)  rmse  ", bins);
-  std::printf("\n");
+  std::printf("  devhist64(s)  rmse\n");
 
   for (const char* name : {"susy", "higgs", "covtype", "insurance"}) {
     const auto info = data::paper_dataset(name, opt.scale);
@@ -27,6 +42,7 @@ int main(int argc, char** argv) {
     BenchCase c(sink, name);
     const auto exact = run_gpu(ds, param);
     c.metric("modeled_seconds", exact.modeled.total());
+    c.metric("exact_find_split_seconds", exact.modeled.find_split);
     c.metric("rmse", rmse(exact.train_scores, ds.labels()));
     std::printf("%-10s | %10.3f %10.4f | %7s", name, exact.modeled.total(),
                 rmse(exact.train_scores, ds.labels()), "");
@@ -39,7 +55,51 @@ int main(int argc, char** argv) {
       std::printf("  %10.3f %6.4f", r.modeled_seconds,
                   rmse(r.train_scores, ds.labels()));
     }
-    std::printf("\n");
+    const auto dh = run_device_hist(ds, param, 64);
+    c.metric("dhist64_seconds", dh.modeled.total());
+    c.metric("dhist64_find_split_seconds", dh.modeled.find_split);
+    std::printf("    %10.3f %6.4f\n", dh.modeled.total(),
+                rmse(dh.train_scores, ds.labels()));
+  }
+
+  // Crossover sweep: where does the device histogram's modeled find-split
+  // cost drop below the exact trainer's?  Exact enumerates every present
+  // (attribute, value) per level; the histogram method pays one pass over
+  // the entry stream plus n_attr * n_bins cells per node — so it wins on
+  // many rows / few bins and loses on few rows / many bins.
+  std::printf("\n%-18s | %14s %14s | winner\n", "rows x bins",
+              "exact fs(s)", "dev-hist fs(s)");
+  for (std::int64_t base_rows : {20'000, 80'000, 320'000}) {
+    const auto rows = std::max<std::int64_t>(
+        200, static_cast<std::int64_t>(static_cast<double>(base_rows) *
+                                       opt.scale));
+    data::SyntheticSpec spec;
+    spec.name = "xover";
+    spec.n_instances = rows;
+    spec.n_attributes = 16;
+    spec.density = 1.0;
+    spec.label_noise = 0.1;
+    spec.seed = static_cast<unsigned>(1009 + base_rows);
+    const auto ds = data::generate(spec);
+    const auto param = paper_param(opt);
+    const auto exact = run_gpu(ds, param);
+    for (int bins : {16, 64, 256}) {
+      const std::string cname =
+          "xover_r" + std::to_string(rows) + "_b" + std::to_string(bins);
+      BenchCase c(sink, cname);
+      const auto dh = run_device_hist(ds, param, bins);
+      c.metric("modeled_seconds", dh.modeled.find_split);
+      c.metric("exact_find_split_seconds", exact.modeled.find_split);
+      c.metric("dhist_find_split_seconds", dh.modeled.find_split);
+      c.metric("hist_wins",
+               dh.modeled.find_split < exact.modeled.find_split ? 1.0 : 0.0);
+      std::printf("%8lld x %-6d | %14.4f %14.4f | %s\n",
+                  static_cast<long long>(rows), bins,
+                  exact.modeled.find_split, dh.modeled.find_split,
+                  dh.modeled.find_split < exact.modeled.find_split
+                      ? "hist"
+                      : "exact");
+    }
   }
   std::printf("(exact split finding pays more time per tree for the best "
               "achievable fit; histograms trade accuracy for speed)\n");

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/trainer_detail.h"
+#include "primitives/histogram.h"
 #include "primitives/reduce.h"
 #include "primitives/transform.h"
 
@@ -15,51 +16,12 @@ using detail::ActiveNode;
 using detail::GHPair;
 using device::BlockCtx;
 using device::DeviceBuffer;
+using hist::BinCuts;
+using hist::build_cuts;
 using prim::elems_in_block;
 using prim::kBlockDim;
 
 namespace {
-
-/// Quantile bin edges of one attribute: bin_low[b] is the smallest value of
-/// bin b, bins ordered by value descending (bin 0 = highest values) to match
-/// the library's split convention (x >= split_value -> left).
-struct BinCuts {
-  std::vector<float> bin_low;
-
-  [[nodiscard]] int bin_of(float v) const {
-    // First bin whose low edge is <= v (bin_low is descending).
-    const auto it = std::lower_bound(bin_low.begin(), bin_low.end(), v,
-                                     [](float low, float x) { return low > x; });
-    return it == bin_low.end() ? static_cast<int>(bin_low.size()) - 1
-                               : static_cast<int>(it - bin_low.begin());
-  }
-};
-
-/// Greedy quantile cuts over the column's values (any order), at most n_bins
-/// buckets, boundaries only between distinct values.
-BinCuts build_cuts(std::vector<float> values, int n_bins) {
-  BinCuts cuts;
-  if (values.empty()) {
-    cuts.bin_low.push_back(0.f);
-    return cuts;
-  }
-  std::sort(values.rbegin(), values.rend());  // descending
-  // Ceiling division: at most n_bins chunks (run extension below only makes
-  // chunks bigger, never more numerous).
-  const std::size_t per_bin =
-      (values.size() + static_cast<std::size_t>(n_bins) - 1) /
-      static_cast<std::size_t>(n_bins);
-  std::size_t i = 0;
-  while (i < values.size()) {
-    std::size_t j = std::min(values.size(), i + per_bin);
-    // Extend to the end of the run of equal values (a value never straddles
-    // two bins).
-    while (j < values.size() && values[j] == values[j - 1]) ++j;
-    cuts.bin_low.push_back(values[j - 1]);
-    i = j;
-  }
-  return cuts;
-}
 
 struct SplitDecision {
   bool valid = false;
@@ -77,8 +39,8 @@ HistGbdtTrainer::HistGbdtTrainer(device::Device& dev, GBDTParam param,
                                  int n_bins)
     : dev_(dev), param_(std::move(param)), n_bins_(n_bins),
       loss_(make_loss(param_.loss)) {
-  if (n_bins_ < 2 || n_bins_ > 4096) {
-    throw std::invalid_argument("n_bins must be in [2, 4096]");
+  if (n_bins_ < 1 || n_bins_ > 4096) {
+    throw std::invalid_argument("n_bins must be in [1, 4096]");
   }
   if (param_.depth < 1 || param_.n_trees < 1) {
     throw std::invalid_argument("bad depth / n_trees");

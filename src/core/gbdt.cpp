@@ -8,14 +8,21 @@
 #include <stdexcept>
 
 #include "core/predictor.h"
+#include "core/trainer_hist.h"
 
 namespace gbdt {
 
 std::pair<GBDTModel, TrainReport> GBDTModel::train(device::Device& dev,
                                                    const data::Dataset& ds,
                                                    const GBDTParam& param) {
-  GpuGbdtTrainer trainer(dev, param);
-  TrainReport report = trainer.train(ds);
+  TrainReport report;
+  if (param.use_hist_trainer) {
+    GpuHistTrainer trainer(dev, param);
+    report = trainer.train(ds);
+  } else {
+    GpuGbdtTrainer trainer(dev, param);
+    report = trainer.train(ds);
+  }
   GBDTModel model(param, report.trees, report.base_score, ds.n_attributes());
   return {std::move(model), std::move(report)};
 }

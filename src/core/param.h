@@ -52,6 +52,16 @@ struct GBDTParam {
   /// Treat the input as a dense matrix with missing values filled as 0 (the
   /// xgbst-gpu layout).  Used by the dense baseline, not by GPU-GBDT.
   bool dense_layout = false;
+
+  // ---- histogram-method knobs -------------------------------------------
+  /// Train with the device-side histogram trainer (quantized feature bins +
+  /// per-node gradient histograms with the subtraction trick) instead of the
+  /// paper's exact sorted-list trainer.  Approximate splits: quality is
+  /// equivalent, split points are quantile-bin boundaries.
+  bool use_hist_trainer = false;
+  /// Maximum quantile buckets per attribute for the histogram method
+  /// (both the device trainer and the CPU baseline), in [1, 4096].
+  int n_bins = 64;
 };
 
 }  // namespace gbdt

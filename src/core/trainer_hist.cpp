@@ -1,0 +1,596 @@
+// Device-side histogram trainer (see core/trainer_hist.h).
+//
+// Per tree: gradients are quantized to int64 fixed point (hist::GradQuant),
+// then each level runs
+//
+//   hist_build      per-(node, attribute) gradient histograms over the
+//                   bin-index matrix, privatized per block and merged
+//                   deterministically — and only for the *smaller* sibling
+//                   of each pair;
+//   hist_subtract   the larger sibling's histogram derived as
+//                   parent - sibling (exact in int64, so bitwise identical
+//                   to accumulating it directly — self-checked under
+//                   GBDT_CHECK_INVARIANTS);
+//   hist_find_split the PR 5 fused scan + gain/argmax machinery over bins
+//                   instead of sorted values: segment s = slot * n_attr +
+//                   attr holds exactly n_bins cells, so the histogram buffer
+//                   itself is the segment layout;
+//   hist_split_node instances of splitting nodes binary-search their CSR row
+//                   for the split attribute and compare bin indices.
+//
+// All per-level scratch comes from the TrainState workspace arena; the only
+// steady-state device allocations are the persistent per-instance buffers.
+#include "core/trainer_hist.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/trainer_detail.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "primitives/fused_split.h"
+#include "primitives/reduce.h"
+#include "primitives/segmented.h"
+#include "primitives/transform.h"
+#include "testing/invariants.h"
+
+namespace gbdt {
+
+using detail::ActiveNode;
+using detail::TrainState;
+using device::Device;
+
+namespace {
+
+/// Scoped accumulation of modeled device seconds into a phase counter.
+class PhaseScope {
+ public:
+  PhaseScope(Device& dev, double& sink)
+      : dev_(dev), sink_(sink), start_(dev.elapsed_seconds()) {}
+  ~PhaseScope() { sink_ += dev_.elapsed_seconds() - start_; }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Device& dev_;
+  double& sink_;
+  double start_;
+};
+
+void finalize_leaf(TrainState& st, const ActiveNode& node) {
+  auto& tn = st.tree->node(node.tree_node);
+  tn.weight =
+      st.param.eta * leaf_weight(node.sum_g, node.sum_h, st.param.lambda);
+  tn.n_instances = node.count;
+  tn.sum_g = node.sum_g;
+  tn.sum_h = node.sum_h;
+}
+
+/// One level's accumulation plan: which nodes get their histogram built
+/// directly (the smaller sibling of each pair, or every slot on the first
+/// level) and which are derived by subtraction.
+struct AccumPlan {
+  std::vector<std::int32_t> accum_of_node;  // tree-node id -> accum index
+  std::vector<std::int32_t> dest_slot;      // accum index -> level slot
+  std::vector<std::int32_t> der_parent;     // per derived: parent slot (prev level)
+  std::vector<std::int32_t> der_sibling;    // per derived: accumulated sibling slot
+  std::vector<std::int32_t> der_derived;    // per derived: slot to fill
+};
+
+AccumPlan make_accum_plan(const TrainState& st,
+                          const std::vector<std::int32_t>& pair_parent_slot) {
+  AccumPlan plan;
+  plan.accum_of_node.assign(
+      static_cast<std::size_t>(st.current_tree_nodes()), -1);
+  if (pair_parent_slot.empty()) {
+    // First level (or no parent histograms): accumulate every slot.
+    for (std::size_t s = 0; s < st.active.size(); ++s) {
+      plan.accum_of_node[static_cast<std::size_t>(st.active[s].tree_node)] =
+          static_cast<std::int32_t>(plan.dest_slot.size());
+      plan.dest_slot.push_back(static_cast<std::int32_t>(s));
+    }
+    return plan;
+  }
+  // Deeper levels: active nodes arrive in sibling pairs (slots 2k, 2k+1);
+  // accumulate the smaller child, derive the other from the parent.
+  for (std::size_t k = 0; k < pair_parent_slot.size(); ++k) {
+    const std::size_t l = 2 * k;
+    const std::size_t r = 2 * k + 1;
+    const std::size_t small =
+        st.active[l].count <= st.active[r].count ? l : r;
+    const std::size_t big = small == l ? r : l;
+    plan.accum_of_node[static_cast<std::size_t>(st.active[small].tree_node)] =
+        static_cast<std::int32_t>(plan.dest_slot.size());
+    plan.dest_slot.push_back(static_cast<std::int32_t>(small));
+    plan.der_parent.push_back(pair_parent_slot[k]);
+    plan.der_sibling.push_back(static_cast<std::int32_t>(small));
+    plan.der_derived.push_back(static_cast<std::int32_t>(big));
+  }
+  return plan;
+}
+
+/// Bitwise self-check of the subtraction trick: re-accumulates every derived
+/// slot directly and compares cell-by-cell.  Runs only under
+/// GBDT_CHECK_INVARIANTS; with break_hist_subtraction armed it corrupts one
+/// derived cell first, so the check must throw.
+void verify_subtraction(TrainState& st, const BinnedMatrix& binned,
+                        const device::DeviceBuffer<std::int64_t>& qg,
+                        const device::DeviceBuffer<std::int64_t>& qh,
+                        device::ArenaBuffer<hist::QGH>& hist_cur,
+                        const AccumPlan& plan, int n_bins) {
+  const std::int64_t cps = st.n_attr * n_bins;
+  if (testing::fault_injection().break_hist_subtraction) {
+    // Test-only corruption, injected host-side (not a modeled access).
+    hist_cur[static_cast<std::size_t>(plan.der_derived[0]) *
+             static_cast<std::size_t>(cps)]
+        .g += 1;
+  }
+  const std::size_t n_derived = plan.der_derived.size();
+  std::vector<std::int32_t> chk_accum(
+      static_cast<std::size_t>(st.current_tree_nodes()), -1);
+  std::vector<std::int32_t> chk_dest(n_derived);
+  for (std::size_t k = 0; k < n_derived; ++k) {
+    chk_accum[static_cast<std::size_t>(
+        st.active[static_cast<std::size_t>(plan.der_derived[k])].tree_node)] =
+        static_cast<std::int32_t>(k);
+    chk_dest[k] = static_cast<std::int32_t>(k);
+  }
+  auto d_accum = detail::upload_pooled(st.dev, st.arena, chk_accum);
+  auto d_dest = detail::upload_pooled(st.dev, st.arena, chk_dest);
+  auto direct = st.arena.alloc<hist::QGH>(n_derived * static_cast<std::size_t>(cps));
+  hist::build_histograms(st.dev, st.arena, binned.row_offsets.span(),
+                         binned.entry_attr.span(), binned.entry_bin.span(),
+                         qg.span(), qh.span(), st.node_of.span(),
+                         d_accum.span(), d_dest.span(), st.n_attr, n_bins,
+                         direct.span());
+  for (std::size_t k = 0; k < n_derived; ++k) {
+    const auto slot = static_cast<std::size_t>(plan.der_derived[k]);
+    for (std::int64_t c = 0; c < cps; ++c) {
+      const auto cu = static_cast<std::size_t>(c);
+      const hist::QGH sub = hist_cur[slot * static_cast<std::size_t>(cps) + cu];
+      const hist::QGH acc = direct[k * static_cast<std::size_t>(cps) + cu];
+      if (!(sub == acc)) {
+        throw testing::InvariantViolation(
+            "hist_subtract: derived histogram differs from direct "
+            "accumulation (slot " +
+            std::to_string(slot) + ", attr " + std::to_string(c / n_bins) +
+            ", bin " + std::to_string(c % n_bins) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BinnedMatrix build_binned_matrix(Device& dev, const data::Dataset& ds,
+                                 int n_bins) {
+  BinnedMatrix m;
+  m.n_inst = ds.n_instances();
+  m.n_attr = ds.n_attributes();
+  m.n_bins = n_bins;
+  // Per-attribute value columns (present entries only), then quantile cuts.
+  std::vector<std::vector<float>> columns(static_cast<std::size_t>(m.n_attr));
+  for (const data::Entry& e : ds.entries()) {
+    columns[static_cast<std::size_t>(e.attr)].push_back(e.value);
+  }
+  m.cuts.reserve(columns.size());
+  for (auto& col : columns) {
+    m.cuts.push_back(hist::build_cuts(std::move(col), n_bins));
+  }
+  // Rewrite the entry stream as (attr, bin) pairs and upload.
+  const auto& entries = ds.entries();
+  std::vector<std::int32_t> attr(entries.size());
+  std::vector<std::uint16_t> bin(entries.size());
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    attr[k] = entries[k].attr;
+    bin[k] = static_cast<std::uint16_t>(
+        m.cuts[static_cast<std::size_t>(entries[k].attr)].bin_of(
+            entries[k].value));
+  }
+  m.row_offsets = dev.to_device<std::int64_t>(ds.row_offsets());
+  m.entry_attr = dev.to_device<std::int32_t>(attr);
+  m.entry_bin = dev.to_device<std::uint16_t>(bin);
+  return m;
+}
+
+GpuHistTrainer::GpuHistTrainer(Device& dev, GBDTParam param)
+    : dev_(dev), param_(std::move(param)), loss_(make_loss(param_.loss)) {
+  if (param_.depth < 1) throw std::invalid_argument("depth must be >= 1");
+  if (param_.n_trees < 1) throw std::invalid_argument("n_trees must be >= 1");
+  if (param_.gamma < 0) throw std::invalid_argument("gamma must be >= 0");
+  if (param_.lambda < 0) throw std::invalid_argument("lambda must be >= 0");
+  if (param_.n_bins < 1 || param_.n_bins > 4096) {
+    throw std::invalid_argument("n_bins must be in [1, 4096]");
+  }
+}
+
+TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  obs::ScopedSpan train_span("train");
+  static obs::Counter& trees_trained =
+      obs::Registry::global().counter("gbdt_trees_trained_total");
+  static obs::Counter& levels_grown =
+      obs::Registry::global().counter("gbdt_levels_grown_total");
+  static obs::Counter& subtractions =
+      obs::Registry::global().counter("gbdt_hist_subtractions_total");
+  TrainReport report;
+  report.base_score = param_.base_score;
+
+  TrainState st(dev_, param_, *loss_);
+  st.n_inst = ds.n_instances();
+  st.n_attr = ds.n_attributes();
+  if (st.n_inst == 0) throw std::invalid_argument("empty dataset");
+
+  const int n_bins = param_.n_bins;
+  const std::int64_t cps = st.n_attr * n_bins;  // cells per node slot
+  {
+    // Feasibility: the widest level's current + parent histograms must fit
+    // comfortably (same guard shape as the CPU baseline).
+    const double widest = std::ldexp(
+        1.0, std::min(param_.depth - 1, 24));
+    const double hist_bytes =
+        2.0 * widest * static_cast<double>(cps) * sizeof(hist::QGH);
+    if (hist_bytes >
+        static_cast<double>(dev_.config().global_mem_bytes) / 4.0) {
+      throw std::invalid_argument(
+          "hist trainer: per-level histograms would exceed a quarter of "
+          "device memory; reduce depth or n_bins");
+    }
+  }
+
+  dev_.allocator().reset_peak();
+
+  // ---- quantize the features (counted as transfer) ------------------------
+  BinnedMatrix binned;
+  {
+    PhaseScope phase(dev_, report.modeled.transfer);
+    obs::ScopedSpan span("hist_quantize");
+    binned = build_binned_matrix(dev_, ds, n_bins);
+  }
+
+  // ---- persistent per-instance state --------------------------------------
+  auto d_labels = dev_.to_device<float>(ds.labels());
+  st.grad = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
+  st.hess = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
+  st.y_pred = dev_.alloc<float>(static_cast<std::size_t>(st.n_inst));
+  st.node_of = dev_.alloc<std::int32_t>(static_cast<std::size_t>(st.n_inst));
+  prim::fill(dev_, st.y_pred, static_cast<float>(param_.base_score));
+  auto abs_scratch = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
+  auto qg = dev_.alloc<std::int64_t>(static_cast<std::size_t>(st.n_inst));
+  auto qh = dev_.alloc<std::int64_t>(static_cast<std::size_t>(st.n_inst));
+
+  // ---- boosting loop -------------------------------------------------------
+  report.trees.reserve(static_cast<std::size_t>(param_.n_trees));
+  for (int t = 0; t < param_.n_trees; ++t) {
+    {
+      PhaseScope phase(dev_, report.modeled.gradients);
+      obs::ScopedSpan span("gradient_compute");
+      if (t > 0) detail::update_predictions_smart(st, report.trees.back());
+      detail::compute_gradients(st, d_labels);
+    }
+
+    // Quantize this tree's gradients so histogram accumulation is exact
+    // integer arithmetic (counted with the gradient phase).
+    hist::GradQuant quant_g;
+    hist::GradQuant quant_h;
+    hist::QGH rootq;
+    {
+      PhaseScope phase(dev_, report.modeled.gradients);
+      obs::ScopedSpan span("gradient_compute");
+      prim::transform(
+          dev_, st.grad, abs_scratch, [](double v) { return std::abs(v); },
+          "hist_abs");
+      quant_g = hist::make_grad_quant(
+          prim::arg_max<double>(dev_, abs_scratch, "hist_max_abs").value,
+          st.n_inst);
+      prim::transform(
+          dev_, st.hess, abs_scratch, [](double v) { return std::abs(v); },
+          "hist_abs");
+      quant_h = hist::make_grad_quant(
+          prim::arg_max<double>(dev_, abs_scratch, "hist_max_abs").value,
+          st.n_inst);
+      const double sg = quant_g.scale;
+      const double sh = quant_h.scale;
+      prim::transform(
+          dev_, st.grad, qg, [sg](double v) { return std::llround(v * sg); },
+          "hist_quantize_g");
+      prim::transform(
+          dev_, st.hess, qh, [sh](double v) { return std::llround(v * sh); },
+          "hist_quantize_h");
+      rootq = hist::QGH{
+          prim::reduce_sum<std::int64_t>(dev_, qg, "hist_root_sum_g"),
+          prim::reduce_sum<std::int64_t>(dev_, qh, "hist_root_sum_h"),
+          st.n_inst};
+    }
+    prim::fill(dev_, st.node_of, std::int32_t{0});
+
+    report.trees.emplace_back();
+    Tree& tree = report.trees.back();
+    st.tree = &tree;
+
+    ActiveNode root;
+    root.tree_node = 0;
+    root.sum_g = static_cast<double>(rootq.g) * quant_g.inv;
+    root.sum_h = static_cast<double>(rootq.h) * quant_h.inv;
+    root.count = st.n_inst;
+    st.active.assign(1, root);
+    std::vector<hist::QGH> slotq{rootq};  // per-slot quantized node stats
+
+    device::ArenaBuffer<hist::QGH> hist_prev;
+    // pair_parent_slot[k]: previous-level slot of the parent of the sibling
+    // pair occupying current slots (2k, 2k + 1).
+    std::vector<std::int32_t> pair_parent_slot;
+
+    for (int level = 0; level < param_.depth && !st.active.empty(); ++level) {
+      levels_grown.inc();
+      const std::int64_t n_slots = st.n_active();
+      const std::int64_t n_seg = st.n_seg();
+      auto hist_cur = st.arena.alloc<hist::QGH>(
+          static_cast<std::size_t>(n_slots * cps));
+
+      const AccumPlan accum = make_accum_plan(st, pair_parent_slot);
+      {
+        PhaseScope phase(dev_, report.modeled.find_split);
+        obs::ScopedSpan span("hist_build");
+        auto d_accum =
+            detail::upload_pooled(dev_, st.arena, accum.accum_of_node);
+        auto d_dest = detail::upload_pooled(dev_, st.arena, accum.dest_slot);
+        hist::build_histograms(dev_, st.arena, binned.row_offsets.span(),
+                               binned.entry_attr.span(),
+                               binned.entry_bin.span(), qg.span(), qh.span(),
+                               st.node_of.span(), d_accum.span(),
+                               d_dest.span(), st.n_attr, n_bins,
+                               hist_cur.span());
+      }
+      if (!accum.der_derived.empty()) {
+        {
+          PhaseScope phase(dev_, report.modeled.find_split);
+          obs::ScopedSpan span("hist_subtract");
+          auto d_parent =
+              detail::upload_pooled(dev_, st.arena, accum.der_parent);
+          auto d_sibling =
+              detail::upload_pooled(dev_, st.arena, accum.der_sibling);
+          auto d_derived =
+              detail::upload_pooled(dev_, st.arena, accum.der_derived);
+          hist::subtract_histograms(dev_, hist_prev.span(), hist_cur.span(),
+                                    d_parent.span(), d_sibling.span(),
+                                    d_derived.span(), cps);
+          subtractions.inc(accum.der_derived.size());
+        }
+        if (testing::invariants_enabled()) {
+          verify_subtraction(st, binned, qg, qh, hist_cur, accum, n_bins);
+        }
+      }
+
+      // ---- find the best bin boundary per node over the histograms --------
+      std::vector<detail::BestSplit> best(static_cast<std::size_t>(n_slots));
+      std::vector<hist::QGH> child_q(static_cast<std::size_t>(2 * n_slots));
+      {
+        PhaseScope phase(dev_, report.modeled.find_split);
+        obs::ScopedSpan span("hist_find_split");
+        auto seg_offsets = detail::device_node_offsets(st, n_seg, n_bins);
+        st.keys = st.arena.alloc<std::int32_t>(
+            static_cast<std::size_t>(n_slots * cps));
+        prim::set_keys(dev_, seg_offsets, st.keys, st.segs_per_block(n_seg));
+        auto scan = st.arena.alloc<hist::QGH>(
+            static_cast<std::size_t>(n_slots * cps));
+        auto seg_tot =
+            st.arena.alloc<hist::QGH>(static_cast<std::size_t>(n_seg));
+        auto hc = hist_cur.span();
+        prim::fused_gather_scan_totals(
+            dev_, st.arena, st.keys, scan, seg_tot,
+            [hc](device::BlockCtx& b, std::int64_t i) {
+              b.reads(hc, i);
+              b.mem_coalesced(sizeof(hist::QGH));
+              return hc[static_cast<std::size_t>(i)];
+            },
+            "hist_scan");
+        auto d_slotq = detail::upload_pooled(dev_, st.arena, slotq);
+        auto best_seg_val =
+            st.arena.alloc<double>(static_cast<std::size_t>(n_seg));
+        auto best_seg_idx =
+            st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
+        auto best_seg_dir =
+            st.arena.alloc<std::uint8_t>(static_cast<std::size_t>(n_seg));
+        const double inv_g = quant_g.inv;
+        const double inv_h = quant_h.inv;
+        const double lambda = param_.lambda;
+        const std::int64_t n_attr = st.n_attr;
+        auto sc = scan.span();
+        auto tot = seg_tot.span();
+        auto sq = d_slotq.span();
+        prim::fused_gain_argmax(
+            dev_, seg_offsets, best_seg_val, best_seg_idx, best_seg_dir,
+            st.segs_per_block(n_seg),
+            [hc, sc, tot, sq, n_attr, inv_g, inv_h, lambda](
+                device::BlockCtx& b, std::int64_t s, std::int64_t e,
+                std::int64_t seg_lo, std::int64_t /*seg_hi*/) {
+              const auto u = static_cast<std::size_t>(e);
+              b.reads(hc, e);
+              b.reads(sc, e);
+              b.mem_coalesced(2 * sizeof(hist::QGH));
+              if (e == seg_lo) {
+                // Segment-invariant loads, once per segment.
+                b.reads(tot, s);
+                b.reads(sq, s / n_attr);
+                b.mem_irregular(1);
+              }
+              // Empty bins carry no boundary (mirrors the CPU baseline's
+              // skip); a zero-gain suppressed cell loses to any real split.
+              if (hc[u].cnt == 0) return prim::GainDir{};
+              const hist::QGH node = sq[static_cast<std::size_t>(s / n_attr)];
+              const hist::QGH pres = tot[static_cast<std::size_t>(s)];
+              const hist::QGH left = sc[u];
+              const std::int64_t miss = node.cnt - pres.cnt;
+              b.flop(24);
+              double gain_r = 0.0;  // missing values to the right child
+              if (left.cnt > 0 && node.cnt - left.cnt > 0) {
+                gain_r = split_gain(
+                    static_cast<double>(left.g) * inv_g,
+                    static_cast<double>(left.h) * inv_h,
+                    static_cast<double>(node.g - left.g) * inv_g,
+                    static_cast<double>(node.h - left.h) * inv_h, lambda);
+              }
+              double gain_l = 0.0;  // missing values folded into the left
+              if (miss > 0 && pres.cnt - left.cnt > 0) {
+                const std::int64_t lg = left.g + (node.g - pres.g);
+                const std::int64_t lh = left.h + (node.h - pres.h);
+                gain_l = split_gain(static_cast<double>(lg) * inv_g,
+                                    static_cast<double>(lh) * inv_h,
+                                    static_cast<double>(node.g - lg) * inv_g,
+                                    static_cast<double>(node.h - lh) * inv_h,
+                                    lambda);
+              }
+              if (gain_l > gain_r) return prim::GainDir{gain_l, 1};
+              return prim::GainDir{gain_r, 0};
+            },
+            "hist_gain_argmax");
+        auto node_offs = detail::device_node_offsets(st, n_slots, st.n_attr);
+        auto best_node_val =
+            st.arena.alloc<double>(static_cast<std::size_t>(n_slots));
+        auto best_node_idx =
+            st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_slots));
+        prim::segmented_arg_max(dev_, best_seg_val, node_offs, best_node_val,
+                                best_node_idx, 1, "hist_node_best");
+
+        // Winner assembly: the scalar buffer reads below are host glue over
+        // the simulated device (same idiom as the exact trainer).
+        for (std::int64_t s = 0; s < n_slots; ++s) {
+          const auto su = static_cast<std::size_t>(s);
+          const std::int64_t seg = best_node_idx[su];
+          if (seg < 0) continue;
+          const std::int64_t cell =
+              best_seg_idx[static_cast<std::size_t>(seg)];
+          if (cell < 0) continue;
+          const double gain = best_node_val[su];
+          if (!(gain > 0.0)) continue;
+          const auto attr = static_cast<std::int32_t>(seg % st.n_attr);
+          const std::int64_t bin = cell - seg * n_bins;
+          const bool dir = best_seg_dir[static_cast<std::size_t>(seg)] != 0;
+          hist::QGH lq = scan[static_cast<std::size_t>(cell)];
+          const hist::QGH pres = seg_tot[static_cast<std::size_t>(seg)];
+          const hist::QGH node = slotq[su];
+          if (dir) lq += node - pres;  // missing values go left
+          const hist::QGH rq = node - lq;
+          auto& bs = best[su];
+          bs.valid = true;
+          bs.gain = gain;
+          bs.attr = attr;
+          bs.split_value = binned.cuts[static_cast<std::size_t>(attr)]
+                               .bin_low[static_cast<std::size_t>(bin)];
+          bs.default_left = dir;
+          bs.seg = seg;
+          bs.pos = bin;
+          bs.left = ActiveNode{-1, static_cast<double>(lq.g) * quant_g.inv,
+                               static_cast<double>(lq.h) * quant_h.inv,
+                               lq.cnt};
+          bs.right = ActiveNode{-1, static_cast<double>(rq.g) * quant_g.inv,
+                                static_cast<double>(rq.h) * quant_h.inv,
+                                rq.cnt};
+          child_q[2 * su] = lq;
+          child_q[2 * su + 1] = rq;
+        }
+      }
+
+      // ---- host-side split decisions (Algorithm 1 lines 14-23) ------------
+      std::vector<hist::HistSplitCmd> cmds(static_cast<std::size_t>(n_slots));
+      std::vector<ActiveNode> next_active;
+      std::vector<hist::QGH> next_slotq;
+      std::vector<std::int32_t> next_pair_parent;
+      std::vector<std::pair<std::int32_t, std::int64_t>> expected_counts;
+      for (std::int64_t s = 0; s < n_slots; ++s) {
+        const auto su = static_cast<std::size_t>(s);
+        const ActiveNode& node = st.active[su];
+        const detail::BestSplit& bs = best[su];
+        auto& tn = tree.node(node.tree_node);
+        tn.n_instances = node.count;
+        tn.sum_g = node.sum_g;
+        tn.sum_h = node.sum_h;
+        if (bs.valid && bs.gain > param_.gamma) {
+          const auto [l, r] = tree.split(node.tree_node, bs.attr,
+                                         bs.split_value, bs.default_left,
+                                         bs.gain);
+          cmds[su] = hist::HistSplitCmd{
+              bs.attr, static_cast<std::int32_t>(bs.pos), l, r,
+              static_cast<std::uint8_t>(bs.default_left ? 1 : 0)};
+          ActiveNode left = bs.left;
+          left.tree_node = l;
+          ActiveNode right = bs.right;
+          right.tree_node = r;
+          next_active.push_back(left);
+          next_active.push_back(right);
+          next_slotq.push_back(child_q[2 * su]);
+          next_slotq.push_back(child_q[2 * su + 1]);
+          next_pair_parent.push_back(static_cast<std::int32_t>(s));
+          expected_counts.emplace_back(l, left.count);
+          expected_counts.emplace_back(r, right.count);
+        } else {
+          finalize_leaf(st, node);
+        }
+      }
+      if (next_active.empty()) {
+        st.active.clear();
+        break;
+      }
+
+      {
+        PhaseScope phase(dev_, report.modeled.split_node);
+        obs::ScopedSpan span("hist_split_node");
+        std::vector<std::int32_t> slot_of_node(
+            static_cast<std::size_t>(tree.n_nodes()), -1);
+        for (std::size_t s = 0; s < st.active.size(); ++s) {
+          slot_of_node[static_cast<std::size_t>(st.active[s].tree_node)] =
+              static_cast<std::int32_t>(s);
+        }
+        auto d_slot = detail::upload_pooled(dev_, st.arena, slot_of_node);
+        auto d_cmds = detail::upload_pooled(dev_, st.arena, cmds);
+        hist::update_positions(dev_, binned.row_offsets.span(),
+                               binned.entry_attr.span(),
+                               binned.entry_bin.span(), d_slot.span(),
+                               d_cmds.span(), st.node_of.span());
+      }
+      if (testing::invariants_enabled()) {
+        testing::check_instance_counts(st.node_of.span(), expected_counts,
+                                       "hist_split_node");
+      }
+
+      hist_prev = std::move(hist_cur);
+      pair_parent_slot = std::move(next_pair_parent);
+      st.active = std::move(next_active);
+      slotq = std::move(next_slotq);
+    }
+
+    // Depth limit reached: remaining active nodes become leaves.
+    for (const ActiveNode& node : st.active) finalize_leaf(st, node);
+    st.active.clear();
+
+    if (testing::invariants_enabled()) {
+      testing::check_leaf_map(st.node_of.span(), tree, ds, "hist_leaf_map");
+    }
+    trees_trained.inc();
+  }
+
+  // Fold the last tree into the scores and return them.
+  {
+    PhaseScope phase(dev_, report.modeled.gradients);
+    obs::ScopedSpan span("gradient_compute");
+    detail::update_predictions_smart(st, report.trees.back());
+  }
+  const auto final_pred = dev_.to_host(st.y_pred);
+  report.train_scores.assign(final_pred.begin(), final_pred.end());
+
+  report.peak_device_bytes = dev_.allocator().peak();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+}  // namespace gbdt

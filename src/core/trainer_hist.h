@@ -1,0 +1,70 @@
+// Device-side histogram trainer: the quantized-histogram training method
+// every production GPU GBDT system uses (XGBoost-GPU, LightGBM, ThunderGBM),
+// built on the same simulated device, workspace arena and fused find-split
+// machinery as the paper's exact trainer.
+//
+// Typical use:
+//   device::Device dev(device::DeviceConfig::titan_x_pascal());
+//   GBDTParam p;
+//   p.n_bins = 64;
+//   GpuHistTrainer trainer(dev, p);
+//   const TrainReport report = trainer.train(dataset);
+//
+// Splits are approximate (bin boundaries instead of exact feature values),
+// so the trainer is validated by quality equivalence against the exact
+// reference (see testing/oracle.h's hist_vs_exact leg), not bitwise — but
+// the training itself is fully deterministic: gradients are quantized to
+// int64 fixed point, making histogram accumulation exact and the
+// histogram-subtraction trick bitwise-identical to direct accumulation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/loss.h"
+#include "core/param.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "device/device_context.h"
+#include "primitives/histogram.h"
+
+namespace gbdt {
+
+/// Device-resident quantized feature matrix: per-attribute quantile cuts plus
+/// the CSR entry stream rewritten as (attribute, bin-index) pairs.  Built
+/// once per training run; every tree and level reads bins, never raw floats.
+struct BinnedMatrix {
+  std::vector<hist::BinCuts> cuts;                   // per attribute
+  device::DeviceBuffer<std::int64_t> row_offsets;    // [n_inst + 1]
+  device::DeviceBuffer<std::int32_t> entry_attr;     // per CSR entry
+  device::DeviceBuffer<std::uint16_t> entry_bin;
+  std::int64_t n_inst = 0;
+  std::int64_t n_attr = 0;
+  int n_bins = 0;  // bin budget; cuts[a].bin_low.size() may be smaller
+};
+
+/// Quantizes the dataset: builds per-attribute quantile cuts (hist::build_cuts)
+/// and uploads the bin-index entry stream (PCI-e accounted).
+[[nodiscard]] BinnedMatrix build_binned_matrix(device::Device& dev,
+                                               const data::Dataset& ds,
+                                               int n_bins);
+
+/// Histogram-method trainer on the simulated device.  Returns the same
+/// TrainReport as GpuGbdtTrainer (used_rle/rle_ratio stay at their
+/// defaults — the histogram path has no RLE stage).
+class GpuHistTrainer {
+ public:
+  GpuHistTrainer(device::Device& dev, GBDTParam param);
+
+  [[nodiscard]] TrainReport train(const data::Dataset& ds);
+
+  [[nodiscard]] const GBDTParam& param() const { return param_; }
+
+ private:
+  device::Device& dev_;
+  GBDTParam param_;
+  std::unique_ptr<Loss> loss_;
+};
+
+}  // namespace gbdt

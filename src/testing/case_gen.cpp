@@ -54,6 +54,9 @@ FuzzCase FuzzCase::from_seed(std::uint64_t seed) {
   c.ooc_chunk_bytes = static_cast<std::size_t>(1)
                       << static_cast<unsigned>(pick(s, 16, 20));
   c.ooc_stream_compressed = pick(s, 0, 1) == 0;
+  // Drawn last so the histogram knob never perturbs the replay of fields
+  // earlier cases already depended on.
+  c.n_bins = 1 << static_cast<unsigned>(pick(s, 3, 8));  // 8..256
   return c;
 }
 
@@ -95,7 +98,8 @@ std::string FuzzCase::describe() const {
      << " trees=" << n_trees << " lambda=" << lambda << " gamma=" << gamma
      << " loss=" << (loss == LossKind::kSquaredError ? "l2" : "logistic")
      << " gpus=" << n_gpus << " chunk=" << ooc_chunk_bytes
-     << (ooc_stream_compressed ? " ooc-rle" : " ooc-raw");
+     << (ooc_stream_compressed ? " ooc-rle" : " ooc-raw")
+     << " bins=" << n_bins;
   return os.str();
 }
 

@@ -44,6 +44,7 @@ struct FuzzCase {
   int n_gpus = 2;                  // multi-GPU leg (always <= n_attributes)
   std::size_t ooc_chunk_bytes = std::size_t{1} << 17;
   bool ooc_stream_compressed = true;
+  int n_bins = 64;                 // histogram-trainer leg bin budget
 
   [[nodiscard]] static FuzzCase from_seed(std::uint64_t seed);
 

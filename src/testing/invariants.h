@@ -65,6 +65,9 @@ struct FaultInjection {
   /// Drop one instance from a child count in the level plan before the
   /// conservation check (host-side bookkeeping corruption).
   bool break_child_counts = false;
+  /// Corrupt one derived cell after the histogram-subtraction kernel: the
+  /// hist trainer's bitwise subtraction self-check must throw.
+  bool break_hist_subtraction = false;
 };
 [[nodiscard]] FaultInjection& fault_injection();
 

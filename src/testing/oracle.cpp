@@ -9,6 +9,7 @@
 #include "core/metrics.h"
 #include "core/out_of_core.h"
 #include "core/trainer.h"
+#include "core/trainer_hist.h"
 #include "multigpu/multi_trainer.h"
 #include "primitives/fused_split.h"
 #include "testing/invariants.h"
@@ -96,6 +97,65 @@ LegResult run_leg(const std::string& name,
   return leg;
 }
 
+/// The hist_vs_exact leg: the device histogram trainer splits on bin
+/// boundaries, so structural comparison against the exact reference is
+/// meaningless.  Quality equivalence instead: the forest must have the same
+/// tree count, every tree must respect the depth budget, and the training
+/// fit must land within a multiplicative+additive tolerance of the
+/// reference's.  The tolerance is deliberately loose — with few bins on a
+/// high-cardinality column the approximation genuinely costs accuracy — but
+/// tight enough that a broken trainer (wrong histogram, wrong gain, wrong
+/// partition) blows through it.
+LegResult hist_leg(const FuzzCase& c, const LegOutput& ref,
+                   const data::Dataset& ds) {
+  LegResult leg;
+  leg.name = "hist_vs_exact";
+  leg.ran = true;
+  try {
+    GBDTParam p = c.base_param();
+    p.use_hist_trainer = true;
+    p.n_bins = c.n_bins;
+    Device dev(DeviceConfig::titan_x_pascal());
+    auto r = GpuHistTrainer(dev, p).train(ds);
+    if (r.trees.size() != ref.trees.size()) {
+      leg.detail = "forest size " + std::to_string(r.trees.size()) +
+                   " != reference " + std::to_string(ref.trees.size());
+      return leg;
+    }
+    for (std::size_t t = 0; t < r.trees.size(); ++t) {
+      if (r.trees[t].depth() > c.depth) {
+        leg.detail = "tree " + std::to_string(t) + " depth " +
+                     std::to_string(r.trees[t].depth()) +
+                     " exceeds the budget " + std::to_string(c.depth);
+        return leg;
+      }
+    }
+    const double ref_fit = rmse(ref.scores, ds.labels());
+    const double got_fit = rmse(r.train_scores, ds.labels());
+    leg.quality_equivalent = got_fit <= ref_fit * 1.5 + 0.1;
+    leg.detail = "fit " + std::to_string(got_fit) + " vs exact " +
+                 std::to_string(ref_fit) + " (" + std::to_string(c.n_bins) +
+                 " bins)";
+    if (leg.quality_equivalent) leg.detail.clear();
+  } catch (const InvariantViolation& e) {
+    leg.invariant_violation = true;
+    leg.detail = e.what();
+  } catch (const std::exception& e) {
+    leg.detail = std::string("trainer threw: ") + e.what();
+  }
+  return leg;
+}
+
+/// Shared prologue of both oracles: arm invariants, build the dataset and
+/// the CPU exact-greedy reference.
+LegOutput reference_leg(const data::Dataset& ds, const GBDTParam& base) {
+  LegOutput ref;
+  auto r = baseline::XgbExactTrainer(base).train(ds);
+  ref.trees = std::move(r.trees);
+  ref.scores = std::move(r.train_scores);
+  return ref;
+}
+
 }  // namespace
 
 std::string OracleResult::failure_report() const {
@@ -118,12 +178,7 @@ OracleResult run_oracle(const FuzzCase& c, bool check_invariants) {
   const GBDTParam base = c.base_param();
 
   // Reference: the exact-greedy CPU baseline.
-  LegOutput ref;
-  {
-    auto r = baseline::XgbExactTrainer(base).train(ds);
-    ref.trees = std::move(r.trees);
-    ref.scores = std::move(r.train_scores);
-  }
+  const LegOutput ref = reference_leg(ds, base);
 
   result.legs.push_back(run_leg(
       "gpu_sparse",
@@ -235,6 +290,23 @@ OracleResult run_oracle(const FuzzCase& c, bool check_invariants) {
     p.force_rle = true;
     fused_pair_leg(p, "unfused_vs_fused_rle");
   }
+
+  result.legs.push_back(hist_leg(c, ref, ds));
+
+  set_invariants_enabled(was_enabled);
+  return result;
+}
+
+OracleResult run_hist_oracle(const FuzzCase& c, bool check_invariants) {
+  OracleResult result;
+  result.c = c;
+
+  const bool was_enabled = invariants_enabled();
+  set_invariants_enabled(check_invariants);
+
+  const auto ds = data::generate(c.dataset_spec());
+  const LegOutput ref = reference_leg(ds, c.base_param());
+  result.legs.push_back(hist_leg(c, ref, ds));
 
   set_invariants_enabled(was_enabled);
   return result;

@@ -15,7 +15,11 @@
 //    sums differ in the last ulp; such a divergence is accepted only when
 //    the forests are functionally equivalent (same tree count and the same
 //    training fit to within 1e-3 RMSE) and is reported separately from a
-//    real discrepancy.
+//    real discrepancy;
+//  * the device histogram trainer (hist_vs_exact) splits on bin boundaries,
+//    so its trees legitimately differ from the exact reference; the leg
+//    demands the same tree count and a training fit within a quality
+//    tolerance of the reference instead (quality equivalence, not bitwise).
 #pragma once
 
 #include <string>
@@ -32,14 +36,16 @@ struct LegResult {
   bool exact = false;          // every tree structurally identical
   int divergent_trees = 0;     // trees differing within tie tolerance
   bool tie_equivalent = false; // divergences are functionally equivalent
+  bool quality_equivalent = false;  // approximate leg: fit within tolerance
   bool invariant_violation = false;
   double rle_ratio = 1.0;      // RLE legs only
   std::string detail;          // first failure / divergence description
 
-  /// A real discrepancy: ran, and neither exact nor tie-equivalent (or an
-  /// invariant fired inside the trainer).
+  /// A real discrepancy: ran, and neither exact, tie-equivalent nor
+  /// quality-equivalent (or an invariant fired inside the trainer).
   [[nodiscard]] bool failed() const {
-    return ran && (invariant_violation || !(exact || tie_equivalent));
+    return ran && (invariant_violation ||
+                   !(exact || tie_equivalent || quality_equivalent));
   }
 };
 
@@ -68,6 +74,13 @@ struct OracleResult {
 /// the leg failed instead of propagating).
 [[nodiscard]] OracleResult run_oracle(const FuzzCase& c,
                                       bool check_invariants = true);
+
+/// Histogram-only oracle: the CPU reference plus the hist_vs_exact leg (the
+/// quality-equivalence comparison the histogram trainer is validated by —
+/// approximate splits cannot be compared structurally).  Much cheaper than
+/// the full oracle; used by `gbdt_fuzz --hist` and the hist_smoke suite.
+[[nodiscard]] OracleResult run_hist_oracle(const FuzzCase& c,
+                                           bool check_invariants = true);
 
 /// Shrinks a failing case by halving rows/columns and dropping trees/depth
 /// while the oracle keeps failing; returns the smallest still-failing case.

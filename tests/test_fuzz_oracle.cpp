@@ -77,7 +77,7 @@ TEST_F(FuzzOracleTest, OraclePassesOnKnownGoodSeeds) {
 
 TEST_F(FuzzOracleTest, OracleRunsEveryLeg) {
   const OracleResult r = run_oracle(small_case(), /*check_invariants=*/true);
-  ASSERT_EQ(r.legs.size(), 7u);
+  ASSERT_EQ(r.legs.size(), 8u);
   EXPECT_EQ(r.legs[0].name, "gpu_sparse");
   EXPECT_EQ(r.legs[1].name, "gpu_rle_direct");
   EXPECT_EQ(r.legs[2].name, "gpu_rle_fallback");
@@ -87,6 +87,7 @@ TEST_F(FuzzOracleTest, OracleRunsEveryLeg) {
   EXPECT_EQ(r.legs[4].name, "out_of_core");
   EXPECT_EQ(r.legs[5].name, "unfused_vs_fused_sparse");
   EXPECT_EQ(r.legs[6].name, "unfused_vs_fused_rle");
+  EXPECT_EQ(r.legs[7].name, "hist_vs_exact");
   for (const auto& leg : r.legs) EXPECT_TRUE(leg.ran) << leg.name;
   // The sparse leg is held to bitwise equality with the CPU reference.
   EXPECT_TRUE(r.legs[0].exact) << r.legs[0].detail;
@@ -95,6 +96,30 @@ TEST_F(FuzzOracleTest, OracleRunsEveryLeg) {
   // The GBDT_UNFUSED_SPLIT hatch is held to bitwise equality with fused.
   EXPECT_TRUE(r.legs[5].exact) << r.legs[5].detail;
   EXPECT_TRUE(r.legs[6].exact) << r.legs[6].detail;
+  // The histogram leg is approximate: quality equivalence, never exact.
+  EXPECT_TRUE(r.legs[7].quality_equivalent) << r.legs[7].detail;
+  EXPECT_FALSE(r.legs[7].exact);
+}
+
+TEST_F(FuzzOracleTest, HistOracleRunsReferenceAndHistLegOnly) {
+  const OracleResult r =
+      run_hist_oracle(small_case(), /*check_invariants=*/true);
+  ASSERT_EQ(r.legs.size(), 1u);
+  EXPECT_EQ(r.legs[0].name, "hist_vs_exact");
+  EXPECT_TRUE(r.legs[0].ran);
+  EXPECT_TRUE(r.pass()) << r.failure_report();
+}
+
+TEST_F(FuzzOracleTest, HistSubtractionFaultIsCaughtOnlyWhileArmed) {
+  fault_injection().break_hist_subtraction = true;
+  const OracleResult bad =
+      run_hist_oracle(small_case(), /*check_invariants=*/true);
+  EXPECT_FALSE(bad.pass());
+  EXPECT_TRUE(bad.legs[0].invariant_violation) << bad.legs[0].detail;
+
+  const OracleResult off =
+      run_hist_oracle(small_case(), /*check_invariants=*/false);
+  EXPECT_TRUE(off.pass()) << off.failure_report();
 }
 
 TEST_F(FuzzOracleTest, PartitionFaultIsCaughtOnlyWhileArmed) {

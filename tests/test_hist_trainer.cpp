@@ -10,6 +10,7 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "device/device_context.h"
+#include "primitives/histogram.h"
 
 namespace gbdt::baseline {
 namespace {
@@ -121,11 +122,84 @@ TEST(HistTrainer, RejectsInfeasibleHighDimensionalHistograms) {
 TEST(HistTrainer, RejectsBadConfig) {
   Device dev(DeviceConfig::titan_x_pascal());
   GBDTParam p;
-  EXPECT_THROW(HistGbdtTrainer(dev, p, 1), std::invalid_argument);
+  EXPECT_THROW(HistGbdtTrainer(dev, p, 0), std::invalid_argument);
+  EXPECT_THROW(HistGbdtTrainer(dev, p, -3), std::invalid_argument);
   EXPECT_THROW(HistGbdtTrainer(dev, p, 1 << 20), std::invalid_argument);
+  HistGbdtTrainer one_bin_ok(dev, p, 1);  // legal: miss-direction splits only
   HistGbdtTrainer ok(dev, p, 64);
   data::Dataset empty(3);
   EXPECT_THROW((void)ok.train(empty), std::invalid_argument);
+}
+
+// ---- build_cuts degenerate shapes (shared with the device trainer) --------
+
+TEST(HistTrainer, BuildCutsAllEqualColumnIsSingleCleanBin) {
+  const auto cuts = hist::build_cuts({3.5f, 3.5f, 3.5f, 3.5f}, 16);
+  ASSERT_EQ(cuts.bin_low.size(), 1u);
+  EXPECT_EQ(cuts.bin_low[0], 3.5f);
+  EXPECT_EQ(cuts.bin_of(3.5f), 0);
+}
+
+TEST(HistTrainer, BuildCutsDominantRunStillYieldsABoundary) {
+  // One value dominates: the greedy chunking used to swallow the whole
+  // column into a single bin whose boundary never splits.  Any column with
+  // two distinct values must produce at least two bins.
+  const auto cuts = hist::build_cuts({9.f, 1.f, 1.f, 1.f, 1.f, 1.f}, 2);
+  ASSERT_EQ(cuts.bin_low.size(), 2u);
+  EXPECT_EQ(cuts.bin_of(9.f), 0);
+  EXPECT_EQ(cuts.bin_of(1.f), 1);
+}
+
+TEST(HistTrainer, BuildCutsFewDistinctValuesGetOneBinEach) {
+  const auto cuts = hist::build_cuts({5.f, 1.f, 1.f, 1.f, 1.f}, 2);
+  ASSERT_EQ(cuts.bin_low.size(), 2u);
+  EXPECT_EQ(cuts.bin_low[0], 5.f);
+  EXPECT_EQ(cuts.bin_low[1], 1.f);
+  // n_bins = 1 collapses everything into one bucket.
+  const auto one = hist::build_cuts({5.f, 1.f, 2.f}, 1);
+  EXPECT_EQ(one.bin_low.size(), 1u);
+}
+
+TEST(HistTrainer, SingleBinTrainingStillLearnsFromMissingness) {
+  // n_bins = 1: present-vs-present splits are impossible, but on sparse data
+  // the present-vs-missing boundary still carries signal, and training must
+  // run to completion without degenerate splits.
+  SyntheticSpec s;
+  s.n_instances = 600;
+  s.n_attributes = 8;
+  s.density = 0.5;
+  s.seed = 28;
+  const auto ds = generate(s);
+  GBDTParam p;
+  p.depth = 3;
+  p.n_trees = 3;
+  Device dev(DeviceConfig::titan_x_pascal());
+  const auto r = HistGbdtTrainer(dev, p, 1).train(ds);
+  ASSERT_EQ(r.trees.size(), 3u);
+  for (const auto& t : r.trees) {
+    for (const auto& n : t.nodes()) {
+      if (n.is_leaf()) continue;
+      EXPECT_GT(n.n_instances, 0);
+    }
+  }
+}
+
+TEST(HistTrainer, AllEqualColumnsNeverSplit) {
+  // Every attribute is constant: no split has positive gain, so each tree is
+  // a single root leaf (an all-equal column must not fabricate boundaries).
+  data::Dataset ds(2);
+  for (int i = 0; i < 50; ++i) {
+    const data::Entry row[] = {{0, 7.0f}, {1, -2.0f}};
+    ds.add_instance(row, static_cast<float>(i % 2));
+  }
+  GBDTParam p;
+  p.depth = 3;
+  p.n_trees = 2;
+  Device dev(DeviceConfig::titan_x_pascal());
+  const auto r = HistGbdtTrainer(dev, p, 8).train(ds);
+  for (const auto& t : r.trees) {
+    EXPECT_EQ(t.n_leaves(), 1);
+  }
 }
 
 TEST(HistTrainer, DeterministicAcrossRuns) {

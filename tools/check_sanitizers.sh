@@ -7,12 +7,15 @@
 #   GBDT_SANITIZE=thread tools/check_sanitizers.sh # ThreadSanitizer
 #
 # The ASan+UBSan tree lives in build-asan/, the TSan tree in build-tsan/,
-# both next to the regular build/.  The TSan lane runs the unit, property
-# and bench_smoke labels (the concurrency-relevant suites: every kernel
-# launch exercises the thread pool, and the bench smoke drives the
-# observability hooks — trace spans, metrics shards — from those workers);
-# audit-mode fault-injection tests run their racy kernels on single-worker
-# devices precisely so this lane stays clean.
+# both next to the regular build/.  The TSan lane runs the unit, property,
+# bench_smoke and hist_smoke labels (the concurrency-relevant suites: every
+# kernel launch exercises the thread pool, the bench smoke drives the
+# observability hooks — trace spans, metrics shards — from those workers,
+# and the hist smoke hammers the privatized histogram build/merge kernels
+# whose block-disjoint partial tiles are exactly the kind of sharing TSan
+# would catch if they overlapped); audit-mode fault-injection tests run
+# their racy kernels on single-worker devices precisely so this lane stays
+# clean.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,7 +32,7 @@ if [[ "${mode}" == "thread" ]]; then
   if [[ $# -gt 0 ]]; then
     ctest --output-on-failure "$@"
   else
-    ctest --output-on-failure -L 'unit|property|bench_smoke'
+    ctest --output-on-failure -L 'unit|property|bench_smoke|hist_smoke'
   fi
 else
   build_dir="${repo_root}/build-asan"

@@ -115,6 +115,15 @@ GBDTParam params_from(const Flags& f) {
     std::fprintf(stderr, "unknown loss '%s' (use l2|logistic)\n", loss.c_str());
     std::exit(2);
   }
+  const std::string method = f.str("method", "exact");
+  if (method == "hist") {
+    p.use_hist_trainer = true;
+  } else if (method != "exact") {
+    std::fprintf(stderr, "unknown method '%s' (use exact|hist)\n",
+                 method.c_str());
+    std::exit(2);
+  }
+  p.n_bins = static_cast<int>(f.integer("bins", p.n_bins));
   if (f.flag("no-rle")) p.use_rle = false;
   if (f.flag("force-rle")) p.force_rle = true;
   if (f.flag("no-smartgd")) p.use_smart_gd = false;
@@ -162,6 +171,12 @@ int cmd_train(const Flags& f) {
   GBDTModel model;
   TrainReport report;
   if (!valid_path.empty()) {
+    if (param.use_hist_trainer) {
+      std::fprintf(stderr,
+                   "--method=hist does not support --valid/--early-stopping "
+                   "(per-tree validation hooks are exact-trainer only)\n");
+      return 2;
+    }
     const auto valid = data::read_libsvm_file(valid_path);
     auto [m, r, history] = GBDTModel::train_with_validation(
         dev, ds, valid, param, early);
@@ -316,6 +331,7 @@ void usage() {
       "  train   --data=F --model=F [--valid=F --early-stopping=K]\n"
       "          [--trees=40 --depth=6 --eta=0.3 --lambda=1 --gamma=0\n"
       "           --loss=l2|logistic --device=titanx|p100|k20\n"
+      "           --method=exact|hist --bins=64\n"
       "           --no-rle --force-rle --no-smartgd --no-setkey\n"
       "           --no-idxcomp --no-direct-rle --profile]\n"
       "  predict --data=F --model=F [--output=F --transform]\n"

@@ -10,6 +10,7 @@
 //   gbdt_fuzz --cases 50 --start-seed 0x1234        # fuzzing sweep
 //   gbdt_fuzz --seed 0xdeadbeef                     # replay one case
 //   gbdt_fuzz --seed 0xdeadbeef --rows 25 --cols 4  # replay a shrunk case
+//   gbdt_fuzz --hist --cases 25                     # hist_vs_exact-only sweep
 //   gbdt_fuzz --self-test                           # fault-injection check
 //   gbdt_fuzz --cases 50 --audit                    # sweep with the kernel
 //                                                   # access auditor armed
@@ -49,6 +50,7 @@ struct Options {
   bool self_test = false;
   bool audit = false;
   bool audit_fault = false;
+  bool hist_only = false;
 };
 
 void usage() {
@@ -61,6 +63,8 @@ void usage() {
          "  --cols N           override n_attributes\n"
          "  --trees N          override n_trees\n"
          "  --depth N          override depth\n"
+         "  --hist             run only the hist_vs_exact leg (device\n"
+         "                     histogram trainer vs the CPU reference)\n"
          "  --no-invariants    do not arm in-trainer invariant checks\n"
          "  --no-minimize      report failures without shrinking them\n"
          "  --self-test        verify the invariant checker catches injected\n"
@@ -115,6 +119,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.depth = std::atoi(v);
+    } else if (a == "--hist") {
+      opt.hist_only = true;
     } else if (a == "--no-invariants") {
       opt.check_invariants = false;
     } else if (a == "--no-minimize") {
@@ -157,7 +163,10 @@ FuzzCase build_case(std::uint64_t seed, const Options& opt) {
 /// Runs one case; on failure minimizes and prints the repro line.  Returns
 /// true when the case passes.
 bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
-  const OracleResult r = run_oracle(c, opt.check_invariants);
+  const OracleResult r = opt.hist_only
+                             ? gbdt::testing::run_hist_oracle(
+                                   c, opt.check_invariants)
+                             : run_oracle(c, opt.check_invariants);
   std::cout << "[" << index << "/" << total << "] "
             << (r.pass() ? "PASS" : "FAIL") << " " << c.describe();
   if (r.pass() && r.ties() > 0) {
@@ -169,7 +178,9 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
 
   std::cout << r.failure_report();
   FuzzCase repro = c;
-  if (opt.minimize) {
+  // The minimizer replays the full oracle, so in --hist mode a failure is
+  // reported unshrunk (the repro line still replays exactly).
+  if (opt.minimize && !opt.hist_only) {
     repro = gbdt::testing::minimize_case(c, opt.check_invariants);
     if (repro.n_instances != c.n_instances ||
         repro.n_attributes != c.n_attributes || repro.n_trees != c.n_trees ||
@@ -220,9 +231,26 @@ int self_test() {
   }
   {
     fi = {};
+    fi.break_hist_subtraction = true;
+    const OracleResult r =
+        gbdt::testing::run_hist_oracle(c, /*check_invariants=*/true);
+    bool caught = false;
+    for (const auto& leg : r.legs) caught |= leg.invariant_violation;
+    expect("hist-subtraction fault caught by bitwise self-check",
+           caught && !r.pass());
+  }
+  {
+    fi = {};
     fi.break_partition_order = true;
     const OracleResult r = run_oracle(c, /*check_invariants=*/false);
     expect("armed fault inert while checks disabled", r.pass());
+  }
+  {
+    fi = {};
+    fi.break_hist_subtraction = true;
+    const OracleResult r =
+        gbdt::testing::run_hist_oracle(c, /*check_invariants=*/false);
+    expect("armed hist fault inert while checks disabled", r.pass());
   }
   {
     fi = {};

@@ -25,6 +25,9 @@
 //      and argmax launches take the caller's `name` parameter.  Rules 4/5
 //      apply to these launches like any other — the wrappers get no
 //      exemption, only the extra prefix check.
+//   8. The histogram kernels (primitives/histogram.h) label every launch
+//      with a `hist_`-prefixed literal, same rationale and same
+//      no-exemption policy as rule 7.
 //
 // Comments and string literals are blanked (length-preserving) before any
 // rule other than the justification search runs, so prose never trips the
@@ -315,6 +318,13 @@ void check_file(const fs::path& path) {
         raw.compare(a + 1, 6, "fused_") != 0) {
       report(file, line_of(code, open),
              "fused_split.h launch label without `fused_` prefix");
+    }
+    // Rule 8: the histogram kernel family (primitives/histogram.h) keeps
+    // the same greppable-prefix contract with `hist_`.
+    if (fname == "histogram.h" && labeled && code[a] == '"' &&
+        raw.compare(a + 1, 5, "hist_") != 0) {
+      report(file, line_of(code, open),
+             "histogram.h launch label without `hist_` prefix");
     }
     // Region end: matching close paren.
     int depth = 1;
