@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "core/metrics.h"
+#include "core/predictor.h"
+#include "primitives/transform.h"
 
 namespace gbdt {
 
@@ -36,7 +38,16 @@ CvResult cross_validate(device::Device& dev, const data::Dataset& ds,
                           ds.labels()[static_cast<std::size_t>(i)]);
     }
     auto [model, report] = GBDTModel::train(dev, train_set, param);
-    const auto raw = model.predict(held_out);
+    // Score held-out rows with the device-resident predictor: the fold's
+    // forest and rows are each uploaded exactly once.
+    const DeviceForest forest(
+        dev, ForestSoA::flatten(model.trees(), model.base_score()));
+    const DeviceRows rows(dev, held_out);
+    auto d_out =
+        dev.alloc<double>(static_cast<std::size_t>(held_out.n_instances()));
+    prim::fill(dev, d_out, model.base_score());
+    predict_resident(dev, forest, rows, d_out, 0, forest.n_trees());
+    const auto raw = dev.to_host(d_out);
     double metric = 0.0;
     if (classification) {
       metric = error_rate(model.transform_scores(raw), held_out.labels());

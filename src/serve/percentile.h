@@ -1,0 +1,24 @@
+// Exact nearest-rank percentiles over recorded latency samples — shared by
+// `gbdt serve/loadgen` and bench_serve so every report computes p50/p95/p99
+// the same way (the obs histograms are bucketed; these are exact).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace gbdt::serve {
+
+/// Nearest-rank percentile (p in [0, 100]) of `xs`; 0 when empty.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
+}
+
+}  // namespace gbdt::serve

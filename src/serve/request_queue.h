@@ -1,0 +1,156 @@
+// Bounded MPMC request queue feeding the serving micro-batcher.
+//
+// Producers are request threads (PredictionService::submit), consumers are
+// batcher workers.  The queue is bounded so a traffic spike turns into
+// explicit backpressure instead of unbounded memory growth; the overflow
+// policy picks between the two production answers:
+//
+//   kBlock  — producers wait until a slot frees (admission control at the
+//             caller, latency absorbs the spike);
+//   kReject — push fails immediately when full (load shedding; the caller
+//             sees the rejection and can retry or degrade).
+//
+// pop_batch implements the micro-batcher's flush rule: it waits for the
+// first request, then keeps collecting until either `max` requests are in
+// hand or the flush deadline (max_wait from the *first* pop) passes —
+// "flush on max_batch or max_wait ticks".
+//
+// close() stops new work while letting consumers drain: pushes fail after
+// close, pop_batch keeps returning queued requests until the queue is
+// empty, then returns 0 with closed() observable — so a shutting-down
+// service finishes every admitted request (drain-on-shutdown is tested).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gbdt::serve {
+
+/// What a full queue does to the next push.
+enum class OverflowPolicy {
+  kBlock,   // wait for space (backpressure)
+  kReject,  // fail fast (load shedding)
+};
+
+/// Bounded multi-producer multi-consumer FIFO.
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity,
+                        OverflowPolicy policy = OverflowPolicy::kBlock)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues one item.  Returns false when the item was NOT admitted:
+  /// the queue is closed, or it is full under kReject.  Under kBlock a
+  /// full queue makes the caller wait; a close() while waiting also
+  /// returns false.
+  bool push(T item) {
+    std::unique_lock lk(mu_);
+    if (policy_ == OverflowPolicy::kBlock) {
+      not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    }
+    if (closed_ || q_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    q_.push_back(std::move(item));
+    ++pushed_;
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Collects up to `max` items into `out` (appended).  Blocks until the
+  /// first item arrives (or the queue closes empty), then keeps collecting
+  /// until `max` items are in hand or `max_wait` has elapsed since the
+  /// first item was taken.  Returns the number of items appended; 0 means
+  /// closed-and-drained.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max,
+                        std::chrono::nanoseconds max_wait) {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return 0;  // closed and drained
+
+    std::size_t taken = 0;
+    auto take_available = [&] {
+      while (taken < max && !q_.empty()) {
+        out.push_back(std::move(q_.front()));
+        q_.pop_front();
+        ++taken;
+      }
+    };
+    take_available();
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    while (taken < max && !closed_) {
+      if (not_empty_.wait_until(lk, deadline, [&] {
+            return closed_ || !q_.empty();
+          })) {
+        take_available();
+      } else {
+        break;  // flush deadline passed
+      }
+    }
+    popped_ += taken;
+    lk.unlock();
+    // Under kBlock every taken slot may unblock one waiting producer.
+    if (taken > 0) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Rejects all future pushes; wakes blocked producers (their push fails)
+  /// and consumers (they drain, then see 0).
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] OverflowPolicy policy() const { return policy_; }
+
+  /// Lifetime counters (exact once producers/consumers have quiesced).
+  [[nodiscard]] std::uint64_t pushed() const {
+    std::lock_guard lk(mu_);
+    return pushed_;
+  }
+  [[nodiscard]] std::uint64_t popped() const {
+    std::lock_guard lk(mu_);
+    return popped_;
+  }
+  [[nodiscard]] std::uint64_t rejected() const {
+    std::lock_guard lk(mu_);
+    return rejected_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> q_;
+  bool closed_ = false;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace gbdt::serve

@@ -1,0 +1,181 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "testing/invariants.h"
+
+namespace gbdt::serve {
+
+namespace {
+
+obs::Histogram& request_seconds(const char* which) {
+  // Bucket bounds tuned for sub-millisecond serving latencies.
+  static const std::vector<double> kBounds = {
+      1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1};
+  return obs::Registry::global().histogram(which, {}, kBounds);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+PredictionService::Engine::Engine(SnapshotPtr s, const ServeConfig& cfg)
+    : snap(std::move(s)),
+      scorer(std::make_unique<ShardScorer>(snap, cfg.n_shards, cfg.mode,
+                                           cfg.device)),
+      row_pred(snap->forest) {}
+
+PredictionService::PredictionService(const GBDTModel& model, ServeConfig cfg)
+    : cfg_(cfg), q_(cfg.queue_capacity, cfg.policy) {
+  {
+    obs::ScopedSpan span("serve_publish");
+    auto snap = registry_.publish(model);
+    auto eng = std::make_shared<const Engine>(std::move(snap), cfg_);
+    std::lock_guard lk(engine_mu_);
+    engine_ = std::move(eng);
+  }
+  const int n_workers = std::max(1, cfg_.n_workers);
+  workers_.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PredictionService::~PredictionService() { shutdown(); }
+
+SnapshotPtr PredictionService::publish(const GBDTModel& model) {
+  obs::ScopedSpan span("serve_publish");
+  // Build the whole engine before taking the swap lock: forest uploads to
+  // every shard device happen off to the side, serving never pauses.
+  auto snap = registry_.publish(model);
+  auto eng = std::make_shared<const Engine>(snap, cfg_);
+  {
+    std::lock_guard lk(engine_mu_);
+    engine_ = std::move(eng);
+  }
+  obs::Registry::global().counter("serve_swaps_total").inc();
+  return snap;
+}
+
+SnapshotPtr PredictionService::current_snapshot() const {
+  return engine()->snap;
+}
+
+std::shared_ptr<const PredictionService::Engine> PredictionService::engine()
+    const {
+  std::lock_guard lk(engine_mu_);
+  return engine_;
+}
+
+std::optional<std::future<Response>> PredictionService::submit(
+    std::vector<data::Entry> row) {
+  Request req;
+  req.row = std::move(row);
+  req.enqueued = std::chrono::steady_clock::now();
+  auto fut = req.promise.get_future();
+  obs::Registry::global().counter("serve_requests_total").inc();
+  if (!q_.push(std::move(req))) {
+    obs::Registry::global().counter("serve_rejected_total").inc();
+    return std::nullopt;
+  }
+  return fut;
+}
+
+Response PredictionService::predict_row(
+    std::span<const data::Entry> row) const {
+  obs::ScopedSpan span("serve_predict_row");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto eng = engine();  // pin: a concurrent publish cannot tear this call
+  if (testing::invariants_enabled()) eng->snap->verify();
+  Response r{eng->row_pred.score(row), eng->snap->version,
+             std::chrono::steady_clock::now()};
+  request_seconds("serve_row_request_seconds").observe(seconds_since(t0));
+  obs::Registry::global().counter("serve_row_requests_total").inc();
+  return r;
+}
+
+void PredictionService::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    q_.close();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  });
+}
+
+void PredictionService::worker_loop() {
+  std::vector<Request> batch;
+  while (true) {
+    batch.clear();
+    const std::size_t n = q_.pop_batch(batch, cfg_.max_batch, cfg_.max_wait());
+    if (n == 0) break;  // closed and drained
+    process_batch(batch);
+  }
+}
+
+void PredictionService::process_batch(std::vector<Request>& batch) {
+  obs::ScopedSpan span("serve_batch");
+  auto eng = engine();  // pinned: the whole batch scores on one version
+  try {
+    if (testing::invariants_enabled()) eng->snap->verify();
+    // Batch rows may mention attributes the training data never saw; widen
+    // the scratch dataset so add_instance's range check holds (the forest
+    // simply never splits on them).
+    std::int64_t width = eng->snap->n_attributes;
+    for (const auto& r : batch) {
+      for (const auto& e : r.row) {
+        width = std::max<std::int64_t>(width, e.attr + 1);
+      }
+    }
+    data::Dataset rows(width);
+    for (const auto& r : batch) {
+      rows.add_instance(r.row, 0.0f);
+    }
+    const std::vector<double> scores = eng->scorer->score_batch(rows);
+    const auto done = std::chrono::steady_clock::now();
+    auto& lat = request_seconds("serve_batch_request_seconds");
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(
+          Response{scores[i], eng->snap->version, done});
+      lat.observe(seconds_since(batch[i].enqueued));
+    }
+  } catch (...) {
+    // A failed batch (e.g. a torn-swap InvariantViolation) fails every
+    // request in it — callers see the exception through their future.
+    for (auto& r : batch) {
+      r.promise.set_exception(std::current_exception());
+    }
+  }
+  obs::Registry::global().counter("serve_batches_total").inc();
+  obs::Registry::global()
+      .histogram("serve_batch_size")
+      .observe(static_cast<double>(batch.size()));
+  std::lock_guard lk(stat_mu_);
+  ++batches_;
+  completed_ += batch.size();
+}
+
+std::uint64_t PredictionService::completed() const {
+  std::lock_guard lk(stat_mu_);
+  return completed_;
+}
+
+std::uint64_t PredictionService::batches() const {
+  std::lock_guard lk(stat_mu_);
+  return batches_;
+}
+
+std::uint64_t PredictionService::swaps() const { return registry_.swaps(); }
+
+double PredictionService::modeled_seconds() const {
+  return engine()->scorer->modeled_seconds();
+}
+
+}  // namespace gbdt::serve

@@ -1,0 +1,149 @@
+// The prediction service: bounded request queue -> dynamic micro-batcher ->
+// shard scorer -> per-request responses, with atomic model hot-swap.
+//
+// Request path (batched):
+//   submit(row) enqueues a promise-backed request; worker threads pop
+//   micro-batches (flush on max_batch or max_wait ticks), pin the current
+//   engine (snapshot + shard scorer), score the batch on the simulated
+//   device fleet and fulfil each promise with {raw score, model version}.
+//
+// Request path (single-row fast path):
+//   predict_row(row) skips the queue entirely and scores on the host
+//   RowPredictor over the pinned snapshot's flat SoA — no upload, no
+//   batching latency, bitwise identical to the batched answer.
+//
+// Hot swap:
+//   publish(model) builds a complete new engine off to the side (snapshot,
+//   fingerprint, forest uploads to every shard device) and then swaps one
+//   shared_ptr under a mutex.  In-flight batches and fast-path calls keep
+//   the engine they pinned, so they finish on their version; new arrivals
+//   see the new one.  Zero pause, no torn state — and the snapshot
+//   fingerprint check (invariant-gated) makes "no torn state" executable.
+//
+// Shutdown:
+//   close the queue (new submits fail), workers drain everything already
+//   admitted, then join.  No admitted request is ever dropped.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/gbdt.h"
+#include "core/predictor.h"
+#include "data/dataset.h"
+#include "serve/request_queue.h"
+#include "serve/shard_scorer.h"
+#include "serve/snapshot.h"
+
+namespace gbdt::serve {
+
+/// Knobs of the serving pipeline.  `max_wait_ticks` is in scheduler ticks
+/// (tick duration below) so tests can reason in integers.
+struct ServeConfig {
+  std::size_t queue_capacity = 1024;
+  OverflowPolicy policy = OverflowPolicy::kBlock;
+  std::size_t max_batch = 64;
+  std::int64_t max_wait_ticks = 4;
+  std::chrono::nanoseconds tick = std::chrono::microseconds(50);
+  int n_workers = 1;
+  int n_shards = 1;
+  ShardMode mode = ShardMode::kReplicate;
+  device::DeviceConfig device = device::DeviceConfig::titan_x_pascal();
+
+  [[nodiscard]] std::chrono::nanoseconds max_wait() const {
+    return tick * max_wait_ticks;
+  }
+};
+
+/// One scored request: the raw score (pre loss transform) and the model
+/// version that produced it — every response is attributable to exactly
+/// one published snapshot.  `completed` is stamped by the scorer the moment
+/// the score is ready, so clients compute exact per-request latency even
+/// when they harvest futures out of order.
+struct Response {
+  double score = 0.0;
+  std::uint64_t version = 0;
+  std::chrono::steady_clock::time_point completed;
+};
+
+class PredictionService {
+ public:
+  PredictionService(const GBDTModel& model, ServeConfig cfg);
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Hot-swaps to `model`: builds the new engine (snapshot + uploads) off
+  /// to the side, then publishes it atomically.  Returns the new snapshot.
+  SnapshotPtr publish(const GBDTModel& model);
+
+  /// The currently published snapshot.
+  [[nodiscard]] SnapshotPtr current_snapshot() const;
+
+  /// Enqueues one row for micro-batched scoring.  Returns nullopt when the
+  /// request was not admitted (queue closed, or full under kReject).
+  [[nodiscard]] std::optional<std::future<Response>> submit(
+      std::vector<data::Entry> row);
+
+  /// Single-row fast path: host-side traversal of the pinned snapshot, no
+  /// queue, no device round-trip.  Bitwise identical to the batched path.
+  [[nodiscard]] Response predict_row(std::span<const data::Entry> row) const;
+
+  /// Closes the queue and drains: every admitted request is fulfilled
+  /// before the workers exit.  Idempotent; the destructor calls it.
+  void shutdown();
+
+  // ---- introspection ------------------------------------------------------
+  [[nodiscard]] std::uint64_t submitted() const { return q_.pushed(); }
+  [[nodiscard]] std::uint64_t rejected() const { return q_.rejected(); }
+  [[nodiscard]] std::uint64_t completed() const;
+  [[nodiscard]] std::uint64_t batches() const;
+  [[nodiscard]] std::uint64_t swaps() const;
+  /// Modeled device-seconds on the current engine's shard fleet.
+  [[nodiscard]] double modeled_seconds() const;
+  [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+
+ private:
+  /// Everything a request needs from one published version, swapped as a
+  /// unit so a batch never mixes two models.
+  struct Engine {
+    SnapshotPtr snap;
+    std::unique_ptr<ShardScorer> scorer;
+    RowPredictor row_pred;
+    Engine(SnapshotPtr s, const ServeConfig& cfg);
+  };
+
+  struct Request {
+    std::vector<data::Entry> row;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  [[nodiscard]] std::shared_ptr<const Engine> engine() const;
+  void worker_loop();
+  void process_batch(std::vector<Request>& batch);
+
+  ServeConfig cfg_;
+  SnapshotRegistry registry_;
+
+  mutable std::mutex engine_mu_;
+  std::shared_ptr<const Engine> engine_;
+
+  RequestQueue<Request> q_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+
+  mutable std::mutex stat_mu_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace gbdt::serve

@@ -1,0 +1,105 @@
+#include "serve/shard_scorer.h"
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+#include "primitives/transform.h"
+
+namespace gbdt::serve {
+
+ForestSoA slice_forest(const ForestSoA& f, std::int64_t lo, std::int64_t hi) {
+  ForestSoA s;
+  s.base_score = f.base_score;
+  const std::size_t node_lo =
+      static_cast<std::size_t>(f.tree_off[static_cast<std::size_t>(lo)]);
+  const std::size_t node_hi =
+      static_cast<std::size_t>(f.tree_off[static_cast<std::size_t>(hi)]);
+  s.tree_off.reserve(static_cast<std::size_t>(hi - lo) + 1);
+  for (std::int64_t t = lo; t <= hi; ++t) {
+    s.tree_off.push_back(f.tree_off[static_cast<std::size_t>(t)] -
+                         static_cast<std::int64_t>(node_lo));
+  }
+  s.left.assign(f.left.begin() + node_lo, f.left.begin() + node_hi);
+  s.right.assign(f.right.begin() + node_lo, f.right.begin() + node_hi);
+  s.attr.assign(f.attr.begin() + node_lo, f.attr.begin() + node_hi);
+  s.split.assign(f.split.begin() + node_lo, f.split.begin() + node_hi);
+  s.def_left.assign(f.def_left.begin() + node_lo, f.def_left.begin() + node_hi);
+  s.weight.assign(f.weight.begin() + node_lo, f.weight.begin() + node_hi);
+  return s;
+}
+
+ShardScorer::ShardScorer(SnapshotPtr snap, int n_shards, ShardMode mode,
+                         const device::DeviceConfig& cfg)
+    : snap_(std::move(snap)), mode_(mode) {
+  if (!snap_) throw std::invalid_argument("ShardScorer: null snapshot");
+  if (n_shards < 1) throw std::invalid_argument("ShardScorer: n_shards < 1");
+  const std::int64_t n_trees = snap_->forest.n_trees();
+  // More tree shards than trees would leave empty devices; clamp.
+  if (mode_ == ShardMode::kTreeShard && n_trees > 0 &&
+      n_shards > static_cast<int>(n_trees)) {
+    n_shards = static_cast<int>(n_trees);
+  }
+  obs::ScopedSpan span("serve_upload_forest");
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int k = 0; k < n_shards; ++k) {
+    auto sh = std::make_unique<Shard>();
+    sh->dev = std::make_unique<device::Device>(cfg);
+    if (mode_ == ShardMode::kTreeShard) {
+      sh->tree_lo = n_trees * k / n_shards;
+      sh->tree_hi = n_trees * (k + 1) / n_shards;
+      sh->forest = std::make_unique<DeviceForest>(
+          *sh->dev, slice_forest(snap_->forest, sh->tree_lo, sh->tree_hi));
+    } else {
+      sh->tree_lo = 0;
+      sh->tree_hi = n_trees;
+      sh->forest = std::make_unique<DeviceForest>(*sh->dev, snap_->forest);
+    }
+    shards_.push_back(std::move(sh));
+  }
+}
+
+std::vector<double> ShardScorer::score_batch(const data::Dataset& batch) {
+  const auto n = static_cast<std::size_t>(batch.n_instances());
+  std::vector<double> partials(n, snap_->forest.base_score);
+  if (n == 0 || snap_->forest.n_trees() == 0) return partials;
+
+  if (mode_ == ShardMode::kReplicate) {
+    obs::ScopedSpan span("serve_score_replica");
+    Shard& sh = *shards_[rr_.fetch_add(1, std::memory_order_relaxed) %
+                         shards_.size()];
+    std::lock_guard lk(sh.mu);
+    const DeviceRows rows(*sh.dev, batch);
+    auto d_out = sh.dev->to_device<double>(partials);
+    predict_resident(*sh.dev, *sh.forest, rows, d_out, 0,
+                     sh.forest->n_trees(), "serve_predict");
+    return sh.dev->to_host(d_out);
+  }
+
+  // Tree-shard relay: shard k seeds its traversal with shard k-1's partial
+  // sums, so the additions happen in global ascending tree order and the
+  // result matches the offline single-device pass bit for bit.
+  obs::ScopedSpan span("serve_score_relay");
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::lock_guard lk(sh.mu);
+    const DeviceRows rows(*sh.dev, batch);
+    auto d_out = sh.dev->to_device<double>(partials);
+    predict_resident(*sh.dev, *sh.forest, rows, d_out, 0,
+                     sh.forest->n_trees(), "serve_predict_shard");
+    partials = sh.dev->to_host(d_out);
+  }
+  return partials;
+}
+
+double ShardScorer::modeled_seconds() const {
+  double s = 0.0;
+  for (const auto& shp : shards_) {
+    std::lock_guard lk(shp->mu);
+    s += shp->dev->elapsed_seconds();
+  }
+  return s;
+}
+
+}  // namespace gbdt::serve

@@ -1,0 +1,88 @@
+// Forest sharding/replication across simulated devices.
+//
+// A ShardScorer pins one ModelSnapshot and uploads its forest to a fleet of
+// simulated devices ONCE at construction; every batch after that pays only
+// the row upload and the traversal — the serving answer to satellite 4's
+// "predict_on_device re-uploads the forest per call".
+//
+//   kReplicate — every device holds the full forest; batches round-robin
+//                across replicas, so independent batches score genuinely in
+//                parallel (per-shard mutex, no shared device state).
+//   kTreeShard — device k holds only trees [lo_k, hi_k); a batch relays
+//                through the shards in order, each seeding its traversal
+//                with the previous shard's partial sums.
+//
+// Bitwise story: predict_resident accumulates a row's trees in ascending
+// order onto the seeded output cell.  The relay seeds shard 0 with
+// base_score and shard k with shard k-1's partials, so the final double is
+// produced by the exact same addition sequence as the offline
+// predict_on_device pass — sharded serving is bit-for-bit identical, not
+// merely close.  (Independent per-shard sums merged at the end would NOT
+// be: floating-point addition does not reassociate.)  kReplicate is
+// trivially identical: each replica runs the whole-forest pass.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/predictor.h"
+#include "data/dataset.h"
+#include "device/device_config.h"
+#include "device/device_context.h"
+#include "serve/snapshot.h"
+
+namespace gbdt::serve {
+
+/// How the forest is laid out across devices.
+enum class ShardMode {
+  kReplicate,  // full forest on every device, batches round-robin
+  kTreeShard,  // tree ranges across devices, batches relay through all
+};
+
+/// The tree range [lo, hi) of `f` as a self-contained forest with
+/// tree-local offsets.  Child indices inside a tree are tree-relative, so
+/// no node rebasing is needed.
+[[nodiscard]] ForestSoA slice_forest(const ForestSoA& f, std::int64_t lo,
+                                     std::int64_t hi);
+
+/// A snapshot's forest resident across n_shards simulated devices.
+class ShardScorer {
+ public:
+  ShardScorer(SnapshotPtr snap, int n_shards, ShardMode mode,
+              const device::DeviceConfig& cfg);
+
+  ShardScorer(const ShardScorer&) = delete;
+  ShardScorer& operator=(const ShardScorer&) = delete;
+
+  /// Scores every row of `batch`: base_score + all leaf weights, bitwise
+  /// identical to predict_on_device on the snapshot's source forest.
+  /// Thread-safe; concurrent batches interleave across replicas
+  /// (kReplicate) or pipeline through the shard relay (kTreeShard).
+  [[nodiscard]] std::vector<double> score_batch(const data::Dataset& batch);
+
+  [[nodiscard]] const SnapshotPtr& snapshot() const { return snap_; }
+  [[nodiscard]] int n_shards() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] ShardMode mode() const { return mode_; }
+
+  /// Modeled device-seconds accumulated across all shards' timelines.
+  [[nodiscard]] double modeled_seconds() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<device::Device> dev;
+    std::unique_ptr<DeviceForest> forest;  // full (replicate) or slice
+    std::int64_t tree_lo = 0;              // global range held by this shard
+    std::int64_t tree_hi = 0;
+    std::mutex mu;  // Device is not thread-safe; serialize per shard
+  };
+
+  SnapshotPtr snap_;
+  ShardMode mode_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> rr_{0};  // replicate-mode round-robin cursor
+};
+
+}  // namespace gbdt::serve

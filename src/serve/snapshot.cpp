@@ -1,0 +1,89 @@
+#include "serve/snapshot.h"
+
+#include <cstring>
+#include <string>
+
+#include "testing/invariants.h"
+
+namespace gbdt::serve {
+
+namespace {
+
+/// FNV-1a over a raw byte range.
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv1a_vec(const std::vector<T>& v, std::uint64_t h) {
+  return fnv1a(v.data(), v.size() * sizeof(T), h);
+}
+
+}  // namespace
+
+std::uint64_t ModelSnapshot::compute_fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(&version, sizeof(version), h);
+  h = fnv1a(&forest.base_score, sizeof(forest.base_score), h);
+  h = fnv1a_vec(forest.tree_off, h);
+  h = fnv1a_vec(forest.left, h);
+  h = fnv1a_vec(forest.right, h);
+  h = fnv1a_vec(forest.attr, h);
+  h = fnv1a_vec(forest.split, h);
+  h = fnv1a_vec(forest.def_left, h);
+  h = fnv1a_vec(forest.weight, h);
+  return h;
+}
+
+void ModelSnapshot::verify() const {
+  const std::uint64_t now = compute_fingerprint();
+  if (now != fingerprint) {
+    throw testing::InvariantViolation(
+        "serving snapshot v" + std::to_string(version) +
+        " failed its fingerprint check (torn swap: published " +
+        std::to_string(fingerprint) + ", observed " + std::to_string(now) +
+        ")");
+  }
+}
+
+SnapshotPtr make_snapshot(const GBDTModel& model, std::uint64_t version) {
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->version = version;
+  snap->forest = ForestSoA::flatten(model.trees(), model.base_score());
+  snap->loss = model.param().loss;
+  snap->n_attributes = model.n_attributes();
+  snap->fingerprint = snap->compute_fingerprint();
+  // Fault injection: corrupt one leaf weight AFTER fingerprinting, so the
+  // published snapshot is torn the way a racy non-atomic swap would be.
+  if (testing::invariants_enabled() &&
+      testing::fault_injection().serve_torn_swap &&
+      !snap->forest.weight.empty()) {
+    snap->forest.weight.back() += 1.0;
+  }
+  return snap;
+}
+
+SnapshotPtr SnapshotRegistry::publish(const GBDTModel& model) {
+  std::lock_guard lk(mu_);
+  auto snap = make_snapshot(model, next_version_++);
+  cur_ = snap;
+  ++swaps_;
+  return snap;
+}
+
+SnapshotPtr SnapshotRegistry::current() const {
+  std::lock_guard lk(mu_);
+  return cur_;
+}
+
+std::uint64_t SnapshotRegistry::swaps() const {
+  std::lock_guard lk(mu_);
+  return swaps_;
+}
+
+}  // namespace gbdt::serve

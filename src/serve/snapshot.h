@@ -1,0 +1,79 @@
+// Versioned immutable model snapshots and the hot-swap registry.
+//
+// A ModelSnapshot is a frozen, flattened copy of a GBDTModel: the flat-SoA
+// forest the predictor traverses, the loss (for score transforms), a
+// monotonically increasing version number, and a fingerprint over the
+// forest bytes taken at build time.  Snapshots are immutable after
+// publish; everything downstream (shard scorers, row predictors, in-flight
+// batches) holds them by shared_ptr, so a hot swap never pauses serving:
+// new requests pin the new version, in-flight batches finish on the
+// version they pinned, and the old snapshot dies with its last reference.
+//
+// The fingerprint makes "no torn forests" executable: verify() rehashes
+// the arrays and throws testing::InvariantViolation on mismatch.  The
+// serving layer calls it (invariant-gated, free when disabled) before
+// scoring with a pinned snapshot; the serve_torn_swap fault injection
+// publishes a snapshot corrupted *after* fingerprinting so tests can prove
+// the detector fires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/gbdt.h"
+#include "core/predictor.h"
+
+namespace gbdt::serve {
+
+/// Immutable published model version.
+struct ModelSnapshot {
+  std::uint64_t version = 0;
+  ForestSoA forest;
+  LossKind loss = LossKind::kSquaredError;
+  std::int64_t n_attributes = 0;
+  std::uint64_t fingerprint = 0;  // FNV-1a over the forest arrays
+
+  /// Rehashes the forest arrays.
+  [[nodiscard]] std::uint64_t compute_fingerprint() const;
+
+  /// Throws testing::InvariantViolation when the forest no longer matches
+  /// the fingerprint taken at publish time (a torn swap).
+  void verify() const;
+};
+
+using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
+
+/// Builds a frozen snapshot of `model` with the given version; the
+/// fingerprint is taken here.  When the serve_torn_swap fault is armed
+/// (and invariants are enabled) one leaf weight is flipped *after*
+/// fingerprinting, producing the torn snapshot the detector must catch.
+[[nodiscard]] SnapshotPtr make_snapshot(const GBDTModel& model,
+                                        std::uint64_t version);
+
+/// Atomic publish/read point for the current model version.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Freezes `model` as the next version and publishes it.  Returns the
+  /// published snapshot.
+  SnapshotPtr publish(const GBDTModel& model);
+
+  /// The latest published snapshot (nullptr before the first publish).
+  /// The returned pointer pins that version for as long as it is held.
+  [[nodiscard]] SnapshotPtr current() const;
+
+  /// Number of publishes so far.
+  [[nodiscard]] std::uint64_t swaps() const;
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotPtr cur_;
+  std::uint64_t next_version_ = 1;
+  std::uint64_t swaps_ = 0;
+};
+
+}  // namespace gbdt::serve

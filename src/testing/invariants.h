@@ -68,6 +68,11 @@ struct FaultInjection {
   /// Corrupt one derived cell after the histogram-subtraction kernel: the
   /// hist trainer's bitwise subtraction self-check must throw.
   bool break_hist_subtraction = false;
+  /// Publish a torn serving snapshot: one leaf weight is flipped *after*
+  /// the snapshot's fingerprint is taken, modeling a reader observing a
+  /// half-swapped forest.  The serving layer's per-batch snapshot verify
+  /// must throw.
+  bool serve_torn_swap = false;
 };
 [[nodiscard]] FaultInjection& fault_injection();
 

@@ -3,15 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <future>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 
 #include "baselines/xgb_exact.h"
+#include "core/gbdt.h"
 #include "core/metrics.h"
 #include "core/out_of_core.h"
 #include "core/trainer.h"
 #include "core/trainer_hist.h"
+#include "core/predictor.h"
 #include "multigpu/multi_trainer.h"
 #include "primitives/fused_split.h"
+#include "serve/service.h"
 #include "testing/invariants.h"
 
 namespace gbdt::testing {
@@ -312,8 +318,152 @@ OracleResult run_hist_oracle(const FuzzCase& c, bool check_invariants) {
   return result;
 }
 
-FuzzCase minimize_case(const FuzzCase& failing, bool check_invariants,
-                       int max_attempts) {
+OracleResult run_serve_oracle(const FuzzCase& c, bool check_invariants) {
+  OracleResult result;
+  result.c = c;
+
+  const bool was_enabled = invariants_enabled();
+  set_invariants_enabled(check_invariants);
+
+  const auto ds = data::generate(c.dataset_spec());
+  const GBDTParam base = c.base_param();
+
+  // The model under serve is the sparse GPU trainer's forest; the offline
+  // reference is predict_on_device over the same rows on a fresh device.
+  std::optional<GBDTModel> model;
+  std::vector<double> ref;
+  try {
+    Device dev(DeviceConfig::titan_x_pascal());
+    model.emplace(GBDTModel::train(dev, ds, base).first);
+    Device ref_dev(DeviceConfig::titan_x_pascal());
+    ref = model->predict_device(ref_dev, ds);
+  } catch (const std::exception& e) {
+    LegResult leg;
+    leg.name = "serve_setup";
+    leg.ran = true;
+    leg.detail = std::string("training/reference threw: ") + e.what();
+    result.legs.push_back(std::move(leg));
+    set_invariants_enabled(was_enabled);
+    return result;
+  }
+
+  // One serving leg: run `body`, demand bitwise agreement with the offline
+  // reference row for row.  Invariant violations (the torn-swap detector)
+  // are recorded, not propagated.
+  auto serve_leg = [&](const std::string& name,
+                       const std::function<std::vector<double>()>& body) {
+    LegResult leg;
+    leg.name = name;
+    leg.ran = true;
+    try {
+      const std::vector<double> got = body();
+      if (got.size() != ref.size()) {
+        leg.detail = "scored " + std::to_string(got.size()) + " rows, offline " +
+                     std::to_string(ref.size());
+        return leg;
+      }
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (got[i] != ref[i]) {
+          leg.detail = "row " + std::to_string(i) + " differs bitwise (" +
+                       std::to_string(got[i]) + " vs offline " +
+                       std::to_string(ref[i]) + ")";
+          return leg;
+        }
+      }
+      leg.exact = true;
+    } catch (const InvariantViolation& e) {
+      leg.invariant_violation = true;
+      leg.detail = e.what();
+    } catch (const std::exception& e) {
+      leg.detail = std::string("serving threw: ") + e.what();
+    }
+    return leg;
+  };
+
+  // Serving knobs derived from the case seed (SplitMix64 finalizer) so the
+  // fuzzer sweeps batch sizes, shard counts, modes and worker counts.
+  std::uint64_t h = c.seed + 0x9e3779b97f4a7c15ull;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+
+  serve::ServeConfig sc;
+  sc.max_batch = 1 + static_cast<std::size_t>(h % 32);
+  sc.n_shards = 1 + static_cast<int>((h >> 8) % 3);
+  sc.mode = ((h >> 16) & 1) != 0 ? serve::ShardMode::kTreeShard
+                                 : serve::ShardMode::kReplicate;
+  sc.n_workers = 1 + static_cast<int>((h >> 24) % 2);
+  sc.queue_capacity = 256;
+  sc.policy = serve::OverflowPolicy::kBlock;  // the oracle must score all rows
+  sc.max_wait_ticks = 1;
+
+  result.legs.push_back(serve_leg("serve_vs_batch", [&] {
+    serve::PredictionService svc(*model, sc);
+    const std::uint64_t want_version = svc.current_snapshot()->version;
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(static_cast<std::size_t>(ds.n_instances()));
+    for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+      auto row = ds.instance(i);
+      auto f = svc.submit({row.begin(), row.end()});
+      if (!f) throw std::runtime_error("kBlock submit rejected a request");
+      futs.push_back(std::move(*f));
+    }
+    svc.shutdown();
+    std::vector<double> got;
+    got.reserve(futs.size());
+    for (auto& f : futs) {
+      const serve::Response r = f.get();
+      if (r.version != want_version) {
+        throw std::runtime_error("response attributed to version " +
+                                 std::to_string(r.version) + ", published " +
+                                 std::to_string(want_version));
+      }
+      got.push_back(r.score);
+    }
+    return got;
+  }));
+
+  result.legs.push_back(serve_leg("serve_row", [&] {
+    serve::ServeConfig row_cfg = sc;
+    row_cfg.n_workers = 1;
+    row_cfg.n_shards = 1;
+    serve::PredictionService svc(*model, row_cfg);
+    std::vector<double> got;
+    got.reserve(static_cast<std::size_t>(ds.n_instances()));
+    for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+      got.push_back(svc.predict_row(ds.instance(i)).score);
+    }
+    return got;
+  }));
+
+  if (model->trees().size() >= 2) {
+    result.legs.push_back(serve_leg("serve_relay", [&] {
+      auto snap = serve::make_snapshot(*model, 1);
+      if (invariants_enabled()) snap->verify();
+      const int shards = static_cast<int>(
+          std::min<std::size_t>(3, model->trees().size()));
+      serve::ShardScorer scorer(snap, shards, serve::ShardMode::kTreeShard,
+                                DeviceConfig::titan_x_pascal());
+      return scorer.score_batch(ds);
+    }));
+  } else {
+    LegResult skipped;
+    skipped.name = "serve_relay";
+    skipped.ran = false;
+    skipped.detail = "skipped: single-tree forest";
+    result.legs.push_back(std::move(skipped));
+  }
+
+  set_invariants_enabled(was_enabled);
+  return result;
+}
+
+FuzzCase minimize_case_with(
+    const FuzzCase& failing,
+    const std::function<bool(const FuzzCase&)>& still_fails,
+    int max_attempts) {
   FuzzCase best = failing;
   int attempts = 0;
   bool shrunk = true;
@@ -347,13 +497,23 @@ FuzzCase minimize_case(const FuzzCase& failing, bool check_invariants,
       FuzzCase candidate = best;
       if (!op(candidate)) continue;
       ++attempts;
-      if (!run_oracle(candidate, check_invariants).pass()) {
+      if (still_fails(candidate)) {
         best = candidate;
         shrunk = true;
       }
     }
   }
   return best;
+}
+
+FuzzCase minimize_case(const FuzzCase& failing, bool check_invariants,
+                       int max_attempts) {
+  return minimize_case_with(
+      failing,
+      [check_invariants](const FuzzCase& c) {
+        return !run_oracle(c, check_invariants).pass();
+      },
+      max_attempts);
 }
 
 }  // namespace gbdt::testing

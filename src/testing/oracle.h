@@ -22,6 +22,7 @@
 //    tolerance of the reference instead (quality equivalence, not bitwise).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -82,9 +83,29 @@ struct OracleResult {
 [[nodiscard]] OracleResult run_hist_oracle(const FuzzCase& c,
                                            bool check_invariants = true);
 
+/// Serving-path oracle (`gbdt_fuzz --serve`): trains the case's model on
+/// the sparse GPU path, computes the offline predict_on_device reference,
+/// then routes every row through the serving stack and demands bitwise
+/// agreement on three legs:
+///  * serve_vs_batch     — the micro-batched queue path (batch size, shard
+///    count, shard mode and overflow policy all derived from the seed);
+///  * serve_row          — the single-row RowPredictor fast path;
+///  * serve_relay        — the tree-shard relay with >= 2 shards (skipped
+///    when the forest has a single tree).
+/// With check_invariants, the snapshot fingerprint check is armed, so an
+/// armed serve_torn_swap fault surfaces as an invariant_violation.
+[[nodiscard]] OracleResult run_serve_oracle(const FuzzCase& c,
+                                            bool check_invariants = true);
+
 /// Shrinks a failing case by halving rows/columns and dropping trees/depth
-/// while the oracle keeps failing; returns the smallest still-failing case.
-/// max_attempts bounds the number of oracle re-runs.
+/// while `still_fails` keeps returning true; returns the smallest
+/// still-failing case.  max_attempts bounds the number of re-runs.
+[[nodiscard]] FuzzCase minimize_case_with(
+    const FuzzCase& failing,
+    const std::function<bool(const FuzzCase&)>& still_fails,
+    int max_attempts = 64);
+
+/// minimize_case_with over the full trainer oracle.
 [[nodiscard]] FuzzCase minimize_case(const FuzzCase& failing,
                                      bool check_invariants = true,
                                      int max_attempts = 64);

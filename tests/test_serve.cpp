@@ -1,0 +1,431 @@
+// The serving layer: batched-vs-single-row bitwise equivalence across
+// losses and shard configurations, queue backpressure and drain semantics,
+// hot-swap races (run under TSan in the sanitizer lanes), and the
+// torn-swap fault injection proving the snapshot fingerprint detector can
+// actually fire.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/gbdt.h"
+#include "core/predictor.h"
+#include "data/synthetic.h"
+#include "serve/request_queue.h"
+#include "serve/service.h"
+#include "serve/shard_scorer.h"
+#include "serve/snapshot.h"
+#include "testing/invariants.h"
+
+namespace {
+
+using namespace gbdt;
+using serve::OverflowPolicy;
+using serve::PredictionService;
+using serve::RequestQueue;
+using serve::Response;
+using serve::ServeConfig;
+using serve::ShardMode;
+using serve::ShardScorer;
+
+data::Dataset make_data(std::int64_t n, std::int64_t d, bool binary,
+                        unsigned seed) {
+  data::SyntheticSpec spec;
+  spec.n_instances = n;
+  spec.n_attributes = d;
+  spec.density = 0.8;
+  spec.binary_labels = binary;
+  spec.seed = seed;
+  return data::generate(spec);
+}
+
+GBDTModel train_model(const data::Dataset& ds, LossKind loss, int trees = 8,
+                      unsigned = 0) {
+  device::Device dev(device::DeviceConfig::titan_x_pascal());
+  GBDTParam p;
+  p.n_trees = trees;
+  p.depth = 3;
+  p.loss = loss;
+  return GBDTModel::train(dev, ds, p).first;
+}
+
+std::vector<double> offline_scores(const GBDTModel& m,
+                                   const data::Dataset& ds) {
+  device::Device dev(device::DeviceConfig::titan_x_pascal());
+  return predict_on_device(dev, m.trees(), m.base_score(), ds);
+}
+
+/// Routes every row of `ds` through the service's batched path.
+std::vector<double> served_scores(PredictionService& svc,
+                                  const data::Dataset& ds) {
+  std::vector<std::future<Response>> futs;
+  futs.reserve(static_cast<std::size_t>(ds.n_instances()));
+  for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+    auto row = ds.instance(i);
+    auto f = svc.submit({row.begin(), row.end()});
+    EXPECT_TRUE(f.has_value());
+    futs.push_back(std::move(*f));
+  }
+  std::vector<double> got;
+  got.reserve(futs.size());
+  for (auto& f : futs) got.push_back(f.get().score);
+  return got;
+}
+
+// ---- bitwise equivalence ---------------------------------------------------
+
+TEST(ServeEquivalence, BatchedShardedAndRowPathsMatchOfflineBitwise) {
+  const auto ds = make_data(150, 9, false, 11);
+  const auto binary_ds = make_data(150, 9, true, 12);
+  const std::vector<std::pair<const data::Dataset*, LossKind>> problems = {
+      {&ds, LossKind::kSquaredError}, {&binary_ds, LossKind::kLogistic}};
+
+  for (const auto& [data, loss] : problems) {
+    const GBDTModel model = train_model(*data, loss);
+    const auto offline = offline_scores(model, *data);
+    const RowPredictor row_pred(model.trees(), model.base_score());
+
+    for (const int shards : {1, 2, 3}) {
+      for (const ShardMode mode : {ShardMode::kReplicate,
+                                   ShardMode::kTreeShard}) {
+        for (const std::size_t max_batch : {std::size_t{1}, std::size_t{7},
+                                            std::size_t{64}}) {
+          ServeConfig cfg;
+          cfg.n_shards = shards;
+          cfg.mode = mode;
+          cfg.max_batch = max_batch;
+          cfg.max_wait_ticks = 1;
+          PredictionService svc(model, cfg);
+          const auto got = served_scores(svc, *data);
+          svc.shutdown();
+          ASSERT_EQ(got.size(), offline.size());
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            // Bitwise: the serving relay reproduces the offline addition
+            // order exactly, so == (not near) is the contract.
+            ASSERT_EQ(got[i], offline[i])
+                << "row " << i << " shards=" << shards
+                << " mode=" << (mode == ShardMode::kReplicate ? "rep" : "tree")
+                << " max_batch=" << max_batch;
+          }
+        }
+      }
+    }
+
+    // Single-row fast path, both standalone and through the service.
+    ServeConfig cfg;
+    PredictionService svc(model, cfg);
+    for (std::int64_t i = 0; i < data->n_instances(); ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      ASSERT_EQ(row_pred.score(data->instance(i)), offline[iu]);
+      ASSERT_EQ(svc.predict_row(data->instance(i)).score, offline[iu]);
+    }
+  }
+}
+
+TEST(ServeEquivalence, OneVsRestMulticlassServesEachClassBitwise) {
+  // Three-class one-vs-rest: each class's binary model is served
+  // independently and must match its offline predictor bit for bit.
+  auto ds = make_data(120, 6, false, 21);
+  for (std::size_t i = 0; i < ds.labels().size(); ++i) {
+    ds.labels()[i] = static_cast<float>(i % 3);
+  }
+  for (int cls = 0; cls < 3; ++cls) {
+    data::Dataset one_vs_rest = ds;
+    for (auto& y : one_vs_rest.labels()) {
+      y = y == static_cast<float>(cls) ? 1.0f : 0.0f;
+    }
+    const GBDTModel model = train_model(one_vs_rest, LossKind::kLogistic, 5);
+    const auto offline = offline_scores(model, ds);
+    ServeConfig cfg;
+    cfg.n_shards = 2;
+    cfg.mode = ShardMode::kTreeShard;
+    cfg.max_batch = 16;
+    PredictionService svc(model, cfg);
+    const auto got = served_scores(svc, ds);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], offline[i]) << "class " << cls << " row " << i;
+    }
+  }
+}
+
+TEST(ServeEquivalence, SliceForestRelayMatchesWholeForest) {
+  const auto ds = make_data(80, 5, false, 31);
+  const GBDTModel model = train_model(ds, LossKind::kSquaredError, 7);
+  const auto offline = offline_scores(model, ds);
+  auto snap = serve::make_snapshot(model, 1);
+  for (const int shards : {2, 3, 7}) {
+    ShardScorer scorer(snap, shards, ShardMode::kTreeShard,
+                       device::DeviceConfig::titan_x_pascal());
+    const auto got = scorer.score_batch(ds);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], offline[i]) << "shards=" << shards << " row " << i;
+    }
+  }
+}
+
+// ---- queue semantics -------------------------------------------------------
+
+TEST(ServeQueue, RejectPolicyShedsLoadWhenFull) {
+  RequestQueue<int> q(3, OverflowPolicy::kReject);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_FALSE(q.push(4));  // full: shed
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.size(), 3u);
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 10, std::chrono::milliseconds(1)), 3u);
+  EXPECT_TRUE(q.push(5));  // space again
+}
+
+TEST(ServeQueue, BlockPolicyAppliesBackpressureUntilConsumed) {
+  RequestQueue<int> q(2, OverflowPolicy::kBlock);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+
+  std::atomic<bool> third_admitted{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(3));  // blocks until the consumer frees a slot
+    third_admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_admitted.load());  // still blocked: queue full
+
+  std::vector<int> out;
+  EXPECT_GE(q.pop_batch(out, 1, std::chrono::milliseconds(1)), 1u);
+  producer.join();
+  EXPECT_TRUE(third_admitted.load());
+  EXPECT_EQ(q.rejected(), 0u);
+}
+
+TEST(ServeQueue, PopBatchFlushesOnMaxBatchOrDeadline) {
+  RequestQueue<int> q(16, OverflowPolicy::kBlock);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.push(i));
+
+  // max_batch reached: returns immediately with exactly max items.
+  std::vector<int> two;
+  EXPECT_EQ(q.pop_batch(two, 2, std::chrono::seconds(10)), 2u);
+
+  // Deadline flush: fewer than max items in hand, the wait must end at the
+  // deadline rather than block for more.
+  std::vector<int> rest;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_batch(rest, 8, std::chrono::milliseconds(30)), 1u);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+}
+
+TEST(ServeQueue, CloseWakesProducersAndDrainsConsumers) {
+  RequestQueue<int> q(1, OverflowPolicy::kBlock);
+  EXPECT_TRUE(q.push(1));
+  std::thread blocked([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  blocked.join();
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4, std::chrono::milliseconds(1)), 1u);  // drains
+  EXPECT_EQ(q.pop_batch(out, 4, std::chrono::milliseconds(1)), 0u);  // done
+  EXPECT_FALSE(q.push(7));
+}
+
+TEST(ServeService, ShutdownDrainsEveryAdmittedRequest) {
+  const auto ds = make_data(200, 6, false, 41);
+  const GBDTModel model = train_model(ds, LossKind::kSquaredError, 4);
+  ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_ticks = 100;  // long flush window: shutdown must not wait it out
+  cfg.n_workers = 2;
+  PredictionService svc(model, cfg);
+
+  std::vector<std::future<Response>> futs;
+  for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+    auto row = ds.instance(i);
+    auto f = svc.submit({row.begin(), row.end()});
+    ASSERT_TRUE(f.has_value());
+    futs.push_back(std::move(*f));
+  }
+  svc.shutdown();
+  // Every admitted request has a fulfilled future — nothing dropped.
+  const auto offline = offline_scores(model, ds);
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    ASSERT_EQ(futs[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futs[i].get().score, offline[i]);
+  }
+  EXPECT_EQ(svc.completed(), static_cast<std::uint64_t>(ds.n_instances()));
+  EXPECT_FALSE(svc.submit({}).has_value());  // closed: no new admissions
+}
+
+TEST(ServeService, RejectPolicySurfacesAsNulloptNotDrop) {
+  const auto ds = make_data(60, 5, false, 51);
+  const GBDTModel model = train_model(ds, LossKind::kSquaredError, 3);
+  ServeConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.policy = OverflowPolicy::kReject;
+  cfg.max_batch = 2;
+  cfg.max_wait_ticks = 1;
+  PredictionService svc(model, cfg);
+
+  std::uint64_t admitted = 0;
+  std::vector<std::future<Response>> futs;
+  for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+    auto row = ds.instance(i);
+    auto f = svc.submit({row.begin(), row.end()});
+    if (f) {
+      ++admitted;
+      futs.push_back(std::move(*f));
+    }
+  }
+  svc.shutdown();
+  for (auto& f : futs) (void)f.get();  // every admitted request completes
+  EXPECT_EQ(svc.completed(), admitted);
+  EXPECT_EQ(svc.rejected() + svc.submitted(),
+            static_cast<std::uint64_t>(ds.n_instances()));
+}
+
+// ---- hot swap --------------------------------------------------------------
+
+TEST(ServeHotSwap, ResponsesAttributableToExactlyOnePublishedVersion) {
+  const auto ds = make_data(100, 6, false, 61);
+  const GBDTModel model_a = train_model(ds, LossKind::kSquaredError, 6);
+  const GBDTModel model_b = train_model(ds, LossKind::kSquaredError, 3);
+
+  // Per-version offline references: odd versions serve A, even serve B.
+  const auto ref_a = offline_scores(model_a, ds);
+  const auto ref_b = offline_scores(model_b, ds);
+
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_ticks = 1;
+  cfg.n_workers = 2;
+  cfg.n_shards = 2;
+  PredictionService svc(model_a, cfg);
+
+  constexpr int kProducers = 4;
+  constexpr int kRowsPerProducer = 60;
+  constexpr int kSwaps = 12;
+  std::atomic<std::uint64_t> max_version{1};
+
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::pair<std::int64_t, Response>>> responses(
+      kProducers);
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int k = 0; k < kRowsPerProducer; ++k) {
+        const std::int64_t i = (p * 37 + k) % ds.n_instances();
+        if (k % 2 == 0) {
+          auto f = svc.submit(
+              {ds.instance(i).begin(), ds.instance(i).end()});
+          if (f) responses[static_cast<std::size_t>(p)].emplace_back(
+              i, f->get());
+        } else {
+          responses[static_cast<std::size_t>(p)].emplace_back(
+              i, svc.predict_row(ds.instance(i)));
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int s = 0; s < kSwaps; ++s) {
+      const auto snap = svc.publish(s % 2 == 0 ? model_b : model_a);
+      max_version.store(snap->version);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (auto& t : producers) t.join();
+  swapper.join();
+  svc.shutdown();
+
+  // Every response is attributable to exactly one published version, and
+  // its score is bitwise that version's model output for the row — a torn
+  // or mixed-version batch could not produce this.
+  std::uint64_t seen_max = 0;
+  for (const auto& per_producer : responses) {
+    for (const auto& [row, resp] : per_producer) {
+      ASSERT_GE(resp.version, 1u);
+      ASSERT_LE(resp.version, max_version.load());
+      const auto& ref = resp.version % 2 == 1 ? ref_a : ref_b;
+      ASSERT_EQ(resp.score, ref[static_cast<std::size_t>(row)])
+          << "row " << row << " version " << resp.version;
+      seen_max = std::max(seen_max, resp.version);
+    }
+  }
+  EXPECT_EQ(svc.swaps(), static_cast<std::uint64_t>(kSwaps) + 1);
+  EXPECT_GT(seen_max, 0u);
+}
+
+// ---- torn-swap fault injection ---------------------------------------------
+
+class ServeTornSwap : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = gbdt::testing::invariants_enabled();
+    gbdt::testing::fault_injection() = {};
+  }
+  void TearDown() override {
+    gbdt::testing::fault_injection() = {};
+    gbdt::testing::set_invariants_enabled(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(ServeTornSwap, DetectorFiresOnBothPathsWhenArmed) {
+  const auto ds = make_data(40, 5, false, 71);
+  const GBDTModel model = train_model(ds, LossKind::kSquaredError, 3);
+
+  gbdt::testing::set_invariants_enabled(true);
+  gbdt::testing::fault_injection().serve_torn_swap = true;
+
+  // The fault corrupts a leaf weight after fingerprinting, so the snapshot
+  // itself is torn; both scoring paths must refuse to serve from it.
+  auto snap = serve::make_snapshot(model, 1);
+  EXPECT_THROW(snap->verify(), gbdt::testing::InvariantViolation);
+
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  PredictionService svc(model, cfg);
+  EXPECT_THROW((void)svc.predict_row(ds.instance(0)),
+               gbdt::testing::InvariantViolation);
+  auto f = svc.submit({ds.instance(0).begin(), ds.instance(0).end()});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_THROW((void)f->get(), gbdt::testing::InvariantViolation);
+  svc.shutdown();
+}
+
+TEST_F(ServeTornSwap, ArmedFaultIsInertWhileInvariantsDisabled) {
+  const auto ds = make_data(40, 5, false, 72);
+  const GBDTModel model = train_model(ds, LossKind::kSquaredError, 3);
+
+  gbdt::testing::set_invariants_enabled(false);
+  gbdt::testing::fault_injection().serve_torn_swap = true;
+
+  const auto offline = offline_scores(model, ds);
+  ServeConfig cfg;
+  PredictionService svc(model, cfg);
+  EXPECT_EQ(svc.predict_row(ds.instance(0)).score, offline[0]);
+  auto f = svc.submit({ds.instance(0).begin(), ds.instance(0).end()});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get().score, offline[0]);
+  svc.shutdown();
+}
+
+TEST_F(ServeTornSwap, CleanSnapshotVerifiesWithChecksArmed) {
+  const auto ds = make_data(40, 5, false, 73);
+  const GBDTModel model = train_model(ds, LossKind::kSquaredError, 3);
+  gbdt::testing::set_invariants_enabled(true);
+  auto snap = serve::make_snapshot(model, 1);
+  EXPECT_NO_THROW(snap->verify());
+  const auto offline = offline_scores(model, ds);
+  ServeConfig cfg;
+  PredictionService svc(model, cfg);
+  EXPECT_EQ(svc.predict_row(ds.instance(0)).score, offline[0]);
+  svc.shutdown();
+}
+
+}  // namespace

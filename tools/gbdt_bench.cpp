@@ -50,6 +50,7 @@ constexpr BenchEntry kBenches[] = {
     {"exact_vs_hist", "bench_exact_vs_hist"},
     {"out_of_core", "bench_out_of_core"},
     {"multigpu", "bench_multigpu"},
+    {"serve", "bench_serve"},
 };
 
 struct SuiteOptions {

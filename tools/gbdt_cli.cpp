@@ -6,25 +6,35 @@
 //   gbdt dump    --model=out.model [--tree=K]
 //   gbdt importance --model=out.model [--kind=gain|cover|splits]
 //   gbdt synth   --out=data.libsvm --instances=N --attributes=D [...]
+//   gbdt serve   --model=out.model --data=requests.libsvm|-  [serving knobs]
+//   gbdt loadgen --model=out.model --data=requests.libsvm --rate=R [...]
 //
 // Run `gbdt help` (or any subcommand with --help) for the full flag list.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cv.h"
 #include "core/gbdt.h"
 #include "core/metrics.h"
+#include "core/predictor.h"
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
 #include "device/device_context.h"
 #include "obs/trace.h"
+#include "primitives/transform.h"
+#include "serve/percentile.h"
+#include "serve/service.h"
 
 namespace {
 
@@ -218,9 +228,18 @@ int cmd_predict(const Flags& f) {
   const auto model = GBDTModel::load(f.require("model"));
   const auto out_path = f.str("output");
   const bool transform = f.flag("transform");
+  device::Device dev(device_by_name(f.str("device")));
   f.warn_unused();
 
-  auto scores = model.predict(ds);
+  // Device-resident scoring: the forest and the rows are each uploaded
+  // exactly once (predict_on_device would re-upload per call).
+  const DeviceForest forest(
+      dev, ForestSoA::flatten(model.trees(), model.base_score()));
+  const DeviceRows rows(dev, ds);
+  auto d_out = dev.alloc<double>(static_cast<std::size_t>(ds.n_instances()));
+  prim::fill(dev, d_out, model.base_score());
+  predict_resident(dev, forest, rows, d_out, 0, forest.n_trees());
+  auto scores = dev.to_host(d_out);
   if (transform) scores = model.transform_scores(scores);
   std::ostream* out = &std::cout;
   std::ofstream file;
@@ -323,6 +342,237 @@ int cmd_synth(const Flags& f) {
   return 0;
 }
 
+serve::ServeConfig serve_config_from(const Flags& f) {
+  serve::ServeConfig sc;
+  sc.queue_capacity = static_cast<std::size_t>(
+      f.integer("queue", static_cast<long>(sc.queue_capacity)));
+  sc.max_batch = static_cast<std::size_t>(
+      f.integer("max-batch", static_cast<long>(sc.max_batch)));
+  sc.max_wait_ticks = f.integer("max-wait-ticks", sc.max_wait_ticks);
+  sc.n_workers = static_cast<int>(f.integer("workers", sc.n_workers));
+  sc.n_shards = static_cast<int>(f.integer("shards", sc.n_shards));
+  sc.device = device_by_name(f.str("device"));
+  const auto mode = f.str("mode", "replicate");
+  if (mode == "replicate") {
+    sc.mode = serve::ShardMode::kReplicate;
+  } else if (mode == "treeshard") {
+    sc.mode = serve::ShardMode::kTreeShard;
+  } else {
+    std::fprintf(stderr, "unknown mode '%s' (use replicate|treeshard)\n",
+                 mode.c_str());
+    std::exit(2);
+  }
+  const auto policy = f.str("policy", "block");
+  if (policy == "block") {
+    sc.policy = serve::OverflowPolicy::kBlock;
+  } else if (policy == "reject") {
+    sc.policy = serve::OverflowPolicy::kReject;
+  } else {
+    std::fprintf(stderr, "unknown policy '%s' (use block|reject)\n",
+                 policy.c_str());
+    std::exit(2);
+  }
+  return sc;
+}
+
+/// Request rows for serve/loadgen: a libsvm file, or stdin when `-`.
+data::Dataset read_requests(const std::string& path) {
+  if (path == "-") return data::read_libsvm(std::cin);
+  return data::read_libsvm_file(path);
+}
+
+int cmd_serve(const Flags& f) {
+  const auto model = GBDTModel::load(f.require("model"));
+  const auto ds = read_requests(f.require("data"));
+  const auto out_path = f.str("output");
+  const bool transform = f.flag("transform");
+  const bool selfcheck = f.flag("selfcheck");
+  const bool row_path = f.flag("row-path");
+  const auto sc = serve_config_from(f);
+  f.warn_unused();
+
+  serve::PredictionService svc(model, sc);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<double> latency;
+  latency.reserve(static_cast<std::size_t>(ds.n_instances()));
+  std::vector<double> scores;
+  scores.reserve(static_cast<std::size_t>(ds.n_instances()));
+  std::uint64_t rejected = 0;
+
+  if (row_path) {
+    // Single-row fast path: host-side traversal, no queue, no device.
+    for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+      const auto sent = std::chrono::steady_clock::now();
+      const auto r = svc.predict_row(ds.instance(i));
+      scores.push_back(r.score);
+      latency.push_back(
+          std::chrono::duration<double>(r.completed - sent).count());
+    }
+  } else {
+    std::vector<std::future<serve::Response>> futs;
+    std::vector<std::chrono::steady_clock::time_point> sent;
+    futs.reserve(static_cast<std::size_t>(ds.n_instances()));
+    sent.reserve(futs.capacity());
+    for (std::int64_t i = 0; i < ds.n_instances(); ++i) {
+      auto row = ds.instance(i);
+      sent.push_back(std::chrono::steady_clock::now());
+      auto fut = svc.submit({row.begin(), row.end()});
+      if (!fut) {
+        ++rejected;
+        sent.pop_back();
+        continue;
+      }
+      futs.push_back(std::move(*fut));
+    }
+    svc.shutdown();
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const auto r = futs[i].get();
+      scores.push_back(r.score);
+      latency.push_back(
+          std::chrono::duration<double>(r.completed - sent[i]).count());
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (selfcheck) {
+    // Replay the same rows through the offline batch predictor; serving
+    // must agree bit for bit on every row it admitted.
+    device::Device dev(sc.device);
+    const auto offline =
+        predict_on_device(dev, model.trees(), model.base_score(), ds);
+    if (rejected == 0) {
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] != offline[i]) {
+          std::fprintf(stderr,
+                       "selfcheck FAILED: row %zu served %.17g offline %.17g\n",
+                       i, scores[i], offline[i]);
+          return 1;
+        }
+      }
+      std::fprintf(stderr, "selfcheck ok: %zu rows bitwise-identical\n",
+                   scores.size());
+    } else {
+      std::fprintf(stderr,
+                   "selfcheck skipped: %llu rejected rows misalign the "
+                   "comparison\n",
+                   static_cast<unsigned long long>(rejected));
+    }
+  }
+
+  auto printed = scores;
+  if (transform) printed = model.transform_scores(printed);
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out = &file;
+  }
+  out->precision(9);
+  for (double s : printed) *out << s << '\n';
+
+  std::fprintf(stderr,
+               "served %zu rows (%llu rejected) in %.3f s (%.0f rows/s), "
+               "%llu batches, model v%llu\n"
+               "latency p50 %.6f ms  p95 %.6f ms  p99 %.6f ms; "
+               "modeled device time %.6f s\n",
+               scores.size(), static_cast<unsigned long long>(rejected), wall,
+               static_cast<double>(scores.size()) / wall,
+               static_cast<unsigned long long>(svc.batches()),
+               static_cast<unsigned long long>(svc.current_snapshot()->version),
+               1e3 * serve::percentile(latency, 50.0),
+               1e3 * serve::percentile(latency, 95.0),
+               1e3 * serve::percentile(latency, 99.0), svc.modeled_seconds());
+  return 0;
+}
+
+int cmd_loadgen(const Flags& f) {
+  const auto model = GBDTModel::load(f.require("model"));
+  const auto ds = read_requests(f.require("data"));
+  const double rate = f.num("rate", 1000.0);
+  const auto n_requests = static_cast<std::int64_t>(
+      f.integer("requests", static_cast<long>(ds.n_instances())));
+  const bool poisson = f.flag("poisson");
+  const auto seed = static_cast<unsigned>(f.integer("seed", 42));
+  const auto sc = serve_config_from(f);
+  f.warn_unused();
+  if (rate <= 0.0 || ds.n_instances() == 0 || n_requests <= 0) {
+    std::fprintf(stderr, "--rate must be > 0 and data must be non-empty\n");
+    return 2;
+  }
+
+  // Open-loop arrivals: request k is *scheduled* at t_k regardless of how
+  // the service is keeping up, so queueing delay shows up in the latency —
+  // the closed-loop alternative would hide overload.
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> exp_gap(rate);
+  std::vector<double> arrival(static_cast<std::size_t>(n_requests));
+  double t = 0.0;
+  for (auto& a : arrival) {
+    t += poisson ? exp_gap(rng) : 1.0 / rate;
+    a = t;
+  }
+
+  serve::PredictionService svc(model, sc);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<serve::Response>> futs;
+  std::vector<std::chrono::steady_clock::time_point> sched;
+  futs.reserve(arrival.size());
+  sched.reserve(arrival.size());
+  std::uint64_t rejected = 0;
+  for (std::size_t k = 0; k < arrival.size(); ++k) {
+    const auto due =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(arrival[k]));
+    std::this_thread::sleep_until(due);
+    auto row = ds.instance(static_cast<std::int64_t>(
+        k % static_cast<std::size_t>(ds.n_instances())));
+    auto fut = svc.submit({row.begin(), row.end()});
+    if (!fut) {
+      ++rejected;
+      continue;
+    }
+    futs.push_back(std::move(*fut));
+    sched.push_back(due);
+  }
+  svc.shutdown();
+
+  std::vector<double> latency;
+  latency.reserve(futs.size());
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto r = futs[i].get();
+    latency.push_back(
+        std::chrono::duration<double>(r.completed - sched[i]).count());
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf(
+      "loadgen: rate %.0f req/s (%s), %zu completed, %llu rejected, "
+      "%.3f s wall (%.0f rows/s)\n"
+      "latency p50 %.6f ms  p95 %.6f ms  p99 %.6f ms\n"
+      "batches %llu (mean size %.2f), modeled device time %.6f s\n",
+      rate, poisson ? "poisson" : "uniform", latency.size(),
+      static_cast<unsigned long long>(rejected), wall,
+      static_cast<double>(latency.size()) / wall,
+      1e3 * serve::percentile(latency, 50.0),
+      1e3 * serve::percentile(latency, 95.0),
+      1e3 * serve::percentile(latency, 99.0),
+      static_cast<unsigned long long>(svc.batches()),
+      svc.batches() > 0
+          ? static_cast<double>(svc.completed()) /
+                static_cast<double>(svc.batches())
+          : 0.0,
+      svc.modeled_seconds());
+  return 0;
+}
+
 void usage() {
   std::puts(
       "gbdt — GPU-GBDT command line (simulated device)\n"
@@ -341,7 +591,15 @@ void usage() {
       "  importance --model=F [--kind=gain|cover|splits]\n"
       "  synth   --out=F (--paper=NAME [--scale=S] |\n"
       "           --instances=N --attributes=D [--density=1 --distinct=0\n"
-      "           --binary --seed=42])");
+      "           --binary --seed=42])\n"
+      "  serve   --model=F --data=F|-  (replay requests through the serving\n"
+      "          pipeline; `-` reads libsvm rows from stdin)\n"
+      "          [--shards=1 --mode=replicate|treeshard --max-batch=64\n"
+      "           --max-wait-ticks=4 --workers=1 --queue=1024\n"
+      "           --policy=block|reject --row-path --selfcheck\n"
+      "           --transform --output=F --device=titanx|p100|k20]\n"
+      "  loadgen --model=F --data=F --rate=R (open-loop arrival generator)\n"
+      "          [--requests=N --poisson --seed=42 + serve knobs]");
 }
 
 }  // namespace
@@ -365,6 +623,8 @@ int main(int argc, char** argv) {
     if (cmd == "dump") return cmd_dump(flags);
     if (cmd == "importance") return cmd_importance(flags);
     if (cmd == "synth") return cmd_synth(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "loadgen") return cmd_loadgen(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

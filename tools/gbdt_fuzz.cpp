@@ -11,6 +11,8 @@
 //   gbdt_fuzz --seed 0xdeadbeef                     # replay one case
 //   gbdt_fuzz --seed 0xdeadbeef --rows 25 --cols 4  # replay a shrunk case
 //   gbdt_fuzz --hist --cases 25                     # hist_vs_exact-only sweep
+//   gbdt_fuzz --serve --cases 25                    # serving-path sweep
+//                                                   # (serve_vs_batch oracle)
 //   gbdt_fuzz --self-test                           # fault-injection check
 //   gbdt_fuzz --cases 50 --audit                    # sweep with the kernel
 //                                                   # access auditor armed
@@ -51,6 +53,7 @@ struct Options {
   bool audit = false;
   bool audit_fault = false;
   bool hist_only = false;
+  bool serve_only = false;
 };
 
 void usage() {
@@ -65,6 +68,9 @@ void usage() {
          "  --depth N          override depth\n"
          "  --hist             run only the hist_vs_exact leg (device\n"
          "                     histogram trainer vs the CPU reference)\n"
+         "  --serve            route cases through the serving path instead:\n"
+         "                     micro-batched, sharded and single-row scoring\n"
+         "                     must match the offline predictor bit for bit\n"
          "  --no-invariants    do not arm in-trainer invariant checks\n"
          "  --no-minimize      report failures without shrinking them\n"
          "  --self-test        verify the invariant checker catches injected\n"
@@ -121,6 +127,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.depth = std::atoi(v);
     } else if (a == "--hist") {
       opt.hist_only = true;
+    } else if (a == "--serve") {
+      opt.serve_only = true;
     } else if (a == "--no-invariants") {
       opt.check_invariants = false;
     } else if (a == "--no-minimize") {
@@ -163,10 +171,11 @@ FuzzCase build_case(std::uint64_t seed, const Options& opt) {
 /// Runs one case; on failure minimizes and prints the repro line.  Returns
 /// true when the case passes.
 bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
-  const OracleResult r = opt.hist_only
-                             ? gbdt::testing::run_hist_oracle(
-                                   c, opt.check_invariants)
-                             : run_oracle(c, opt.check_invariants);
+  const OracleResult r =
+      opt.hist_only ? gbdt::testing::run_hist_oracle(c, opt.check_invariants)
+      : opt.serve_only
+          ? gbdt::testing::run_serve_oracle(c, opt.check_invariants)
+          : run_oracle(c, opt.check_invariants);
   std::cout << "[" << index << "/" << total << "] "
             << (r.pass() ? "PASS" : "FAIL") << " " << c.describe();
   if (r.pass() && r.ties() > 0) {
@@ -178,17 +187,27 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
 
   std::cout << r.failure_report();
   FuzzCase repro = c;
-  // The minimizer replays the full oracle, so in --hist mode a failure is
-  // reported unshrunk (the repro line still replays exactly).
+  // The minimizer re-runs whichever oracle failed, so the shrunk case still
+  // fails the same way.  --hist failures are reported unshrunk (the repro
+  // line still replays exactly).
   if (opt.minimize && !opt.hist_only) {
-    repro = gbdt::testing::minimize_case(c, opt.check_invariants);
+    if (opt.serve_only) {
+      const bool check = opt.check_invariants;
+      repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
+        return !gbdt::testing::run_serve_oracle(s, check).pass();
+      });
+    } else {
+      repro = gbdt::testing::minimize_case(c, opt.check_invariants);
+    }
     if (repro.n_instances != c.n_instances ||
         repro.n_attributes != c.n_attributes || repro.n_trees != c.n_trees ||
         repro.depth != c.depth) {
       std::cout << "  minimized to: " << repro.describe() << "\n";
     }
   }
-  std::cout << "  repro: " << repro.repro_command() << "\n";
+  std::cout << "  repro: " << repro.repro_command()
+            << (opt.serve_only ? " --serve" : opt.hist_only ? " --hist" : "")
+            << "\n";
   return false;
 }
 
@@ -241,9 +260,26 @@ int self_test() {
   }
   {
     fi = {};
+    fi.serve_torn_swap = true;
+    const OracleResult r =
+        gbdt::testing::run_serve_oracle(c, /*check_invariants=*/true);
+    bool caught = false;
+    for (const auto& leg : r.legs) caught |= leg.invariant_violation;
+    expect("torn-swap fault caught by snapshot fingerprint check",
+           caught && !r.pass());
+  }
+  {
+    fi = {};
     fi.break_partition_order = true;
     const OracleResult r = run_oracle(c, /*check_invariants=*/false);
     expect("armed fault inert while checks disabled", r.pass());
+  }
+  {
+    fi = {};
+    fi.serve_torn_swap = true;
+    const OracleResult r =
+        gbdt::testing::run_serve_oracle(c, /*check_invariants=*/false);
+    expect("armed torn-swap fault inert while checks disabled", r.pass());
   }
   {
     fi = {};
@@ -256,6 +292,12 @@ int self_test() {
     fi = {};
     const OracleResult r = run_oracle(c, /*check_invariants=*/true);
     expect("clean run passes with checks armed", r.pass());
+  }
+  {
+    fi = {};
+    const OracleResult r =
+        gbdt::testing::run_serve_oracle(c, /*check_invariants=*/true);
+    expect("clean serving run passes with checks armed", r.pass());
   }
   fi = {};
   return failures == 0 ? 0 : 1;

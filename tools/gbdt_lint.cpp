@@ -28,6 +28,10 @@
 //   8. The histogram kernels (primitives/histogram.h) label every launch
 //      with a `hist_`-prefixed literal, same rationale and same
 //      no-exemption policy as rule 7.
+//   9. The serving layer (src/serve/) labels every launch and names every
+//      `obs::ScopedSpan` with a `serve_`-prefixed literal, so request-path
+//      device work is separable from training in traces, metrics and audit
+//      reports.  Same no-exemption policy as rules 7/8.
 //
 // Comments and string literals are blanked (length-preserving) before any
 // rule other than the justification search runs, so prose never trips the
@@ -326,6 +330,12 @@ void check_file(const fs::path& path) {
       report(file, line_of(code, open),
              "histogram.h launch label without `hist_` prefix");
     }
+    // Rule 9: serving-layer launches keep the contract with `serve_`.
+    if (file.find("/serve/") != std::string::npos && labeled &&
+        code[a] == '"' && raw.compare(a + 1, 6, "serve_") != 0) {
+      report(file, line_of(code, open),
+             "src/serve/ launch label without `serve_` prefix");
+    }
     // Region end: matching close paren.
     int depth = 1;
     std::size_t end = open + 1;
@@ -363,7 +373,16 @@ void check_file(const fs::path& path) {
              std::isspace(static_cast<unsigned char>(code[j]))) {
         ++j;
       }
-      if (j < code.size() && code[j] == '"') continue;
+      if (j < code.size() && code[j] == '"') {
+        // Rule 9: serving-layer spans carry the `serve_` prefix so the
+        // request path stays separable from training in trace reports.
+        if (file.find("/serve/") != std::string::npos &&
+            raw.compare(j + 1, 6, "serve_") != 0) {
+          report(file, line_of(code, j),
+                 "src/serve/ ScopedSpan name without `serve_` prefix");
+        }
+        continue;
+      }
       // Justification window: a few lines above through the closing paren.
       std::size_t end = open_at + 1;
       int depth = 1;
