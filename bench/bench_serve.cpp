@@ -73,9 +73,10 @@ LoadResult run_open_loop(const GBDTModel& model, const data::Dataset& ds,
 
 void report(BenchJson& sink, const std::string& name, const LoadResult& r) {
   BenchCase c(sink, name);
-  const double p50 = serve::percentile(r.latency, 50.0);
-  const double p95 = serve::percentile(r.latency, 95.0);
-  const double p99 = serve::percentile(r.latency, 99.0);
+  const auto pcts = serve::percentiles(r.latency, {50.0, 95.0, 99.0});
+  const double p50 = pcts[0];
+  const double p95 = pcts[1];
+  const double p99 = pcts[2];
   const double rps = static_cast<double>(r.latency.size()) / r.wall;
   c.metric("p50_latency_seconds", p50);
   c.metric("p95_latency_seconds", p95);

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "device/device_context.h"
 
@@ -65,6 +67,108 @@ inline void run_out_of_bounds_fault(device::Device& dev,
                b.writes_tile(d, n);
                if (b.block_idx() == b.grid_dim() - 1) b.writes(d, n, 1);
              });
+}
+
+// ---- Seeded stream races for the happens-before detector ------------------
+//
+// Each fault is a realistic mis-use of the stream API (src/analysis/
+// hb_race.h); the race detector must throw RaceViolation at the second
+// access of the unordered pair.
+
+/// Two streams write the same range with no event between them — the
+/// prototypical write/write race.
+inline void run_race_unordered_write(device::Device& dev) {
+  const int s1 = dev.stream();
+  const int s2 = dev.stream();
+  const std::int64_t n = 64;
+  auto buf = dev.alloc<float>(static_cast<std::size_t>(n));
+  const auto sp = buf.span();
+  dev.launch_async("stream_race_write_a", s1, device::grid_for(n, 32), 32,
+                   [sp, n](device::BlockCtx& b) {
+                     b.for_each_thread([&](std::int64_t i) {
+                       if (i < n) sp[static_cast<std::size_t>(i)] = 1.f;
+                     });
+                     b.writes_tile(sp, n);
+                   });
+  dev.launch_async("stream_race_write_b", s2, device::grid_for(n, 32), 32,
+                   [sp, n](device::BlockCtx& b) {
+                     b.for_each_thread([&](std::int64_t i) {
+                       if (i < n) sp[static_cast<std::size_t>(i)] = 2.f;
+                     });
+                     b.writes_tile(sp, n);
+                   });
+  dev.sync();
+}
+
+/// An async upload on one stream feeds a kernel on another with no
+/// wait_event for the copy — the double-buffering bug the out-of-core
+/// pipeline must not have.
+inline void run_race_missing_event_wait(device::Device& dev) {
+  const int s_copy = dev.stream();
+  const int s_compute = dev.stream();
+  const std::int64_t n = 64;
+  auto buf = dev.alloc<float>(static_cast<std::size_t>(n));
+  std::vector<float> host(static_cast<std::size_t>(n), 3.f);
+  dev.copy_to_device_async("stream_race_upload", s_copy,
+                           std::span<const float>(host), buf);
+  const auto sp = buf.span();
+  dev.launch_async("stream_race_consume", s_compute, device::grid_for(n, 32),
+                   32, [sp, n](device::BlockCtx& b) {
+                     float acc = 0.f;
+                     b.for_each_thread([&](std::int64_t i) {
+                       if (i < n) acc += sp[static_cast<std::size_t>(i)];
+                     });
+                     b.reads_tile(sp, n);
+                     b.work(static_cast<std::uint64_t>(acc >= 0.f));
+                   });
+  dev.sync();
+}
+
+/// The fixed form of run_race_missing_event_wait: the event edge orders the
+/// upload before the consumer, so the detector must stay silent.
+inline void run_race_event_wait_fixed(device::Device& dev) {
+  const int s_copy = dev.stream();
+  const int s_compute = dev.stream();
+  const std::int64_t n = 64;
+  auto buf = dev.alloc<float>(static_cast<std::size_t>(n));
+  std::vector<float> host(static_cast<std::size_t>(n), 3.f);
+  dev.copy_to_device_async("stream_race_upload", s_copy,
+                           std::span<const float>(host), buf);
+  const int uploaded = dev.record_event(s_copy);
+  // hb: upload(s_copy) -> consume(s_compute)
+  dev.wait_event(s_compute, uploaded);
+  const auto sp = buf.span();
+  dev.launch_async("stream_race_consume", s_compute, device::grid_for(n, 32),
+                   32, [sp, n](device::BlockCtx& b) {
+                     float acc = 0.f;
+                     b.for_each_thread([&](std::int64_t i) {
+                       if (i < n) acc += sp[static_cast<std::size_t>(i)];
+                     });
+                     b.reads_tile(sp, n);
+                     b.work(static_cast<std::uint64_t>(acc >= 0.f));
+                   });
+  dev.sync();
+}
+
+/// A kernel writes a buffer on one stream while another stream downloads
+/// it with no ordering edge — a torn readback.
+inline void run_race_copy_overlaps_kernel(device::Device& dev) {
+  const int s_compute = dev.stream();
+  const int s_copy = dev.stream();
+  const std::int64_t n = 64;
+  auto buf = dev.alloc<float>(static_cast<std::size_t>(n));
+  const auto sp = buf.span();
+  dev.launch_async("stream_race_produce", s_compute, device::grid_for(n, 32),
+                   32, [sp, n](device::BlockCtx& b) {
+                     b.for_each_thread([&](std::int64_t i) {
+                       if (i < n) sp[static_cast<std::size_t>(i)] = 4.f;
+                     });
+                     b.writes_tile(sp, n);
+                   });
+  std::vector<float> host(static_cast<std::size_t>(n));
+  dev.copy_to_host_async("stream_race_download", s_copy, buf,
+                         std::span<float>(host));
+  dev.sync();
 }
 
 }  // namespace gbdt::analysis

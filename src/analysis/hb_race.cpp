@@ -1,0 +1,251 @@
+#include "analysis/hb_race.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+namespace gbdt::analysis {
+
+namespace {
+
+bool env_race_enabled() {
+  const char* v = std::getenv("GBDT_RACE_DETECT");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "on" || s == "true" || s == "ON" || s == "TRUE";
+}
+
+std::atomic<int>& race_state() {
+  // -1: unresolved (consult the environment), 0: off, 1: on.
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+}  // namespace
+
+bool race_detect_enabled() {
+  int s = race_state().load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = env_race_enabled() ? 1 : 0;
+    race_state().store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void set_race_detect_enabled(bool enabled) {
+  race_state().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void LaunchFootprint::record(const void* base, std::size_t elem_size,
+                             std::size_t n_elems, std::int64_t lo,
+                             std::int64_t count, bool is_write) {
+  if (count <= 0) return;
+  // Clamp to the buffer: bounds are the auditor's job, ordering is ours.
+  std::int64_t hi = lo + count;
+  lo = std::max<std::int64_t>(lo, 0);
+  hi = std::min<std::int64_t>(hi, static_cast<std::int64_t>(n_elems));
+  if (lo >= hi) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  Buffer& b = buffers_[base];
+  if (b.elem_size == 0) {
+    b.elem_size = elem_size;
+    b.n_elems = n_elems;
+  }
+  std::vector<Interval>& v = is_write ? b.writes : b.reads;
+  if (!v.empty() && v.back().hi == lo) {
+    v.back().hi = hi;  // common pattern: consecutive tiles
+  } else {
+    v.push_back(Interval{lo, hi});
+  }
+}
+
+LaunchFootprint::Map LaunchFootprint::take() {
+  std::lock_guard<std::mutex> lk(mu_);
+  Map out = std::move(buffers_);
+  buffers_.clear();
+  // One op touching an interval from many blocks leaves many fragments;
+  // merge them so the shadow lists stay small.
+  const auto merge = [](std::vector<Interval>& v) {
+    if (v.size() < 2) return;
+    std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) {
+      return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+    });
+    std::size_t out_n = 0;
+    for (const Interval& iv : v) {
+      if (out_n > 0 && iv.lo <= v[out_n - 1].hi) {
+        v[out_n - 1].hi = std::max(v[out_n - 1].hi, iv.hi);
+      } else {
+        v[out_n++] = iv;
+      }
+    }
+    v.resize(out_n);
+  };
+  for (auto& [base, b] : out) {
+    merge(b.writes);
+    merge(b.reads);
+  }
+  return out;
+}
+
+void HbRaceDetector::ensure_stream(int stream) {
+  const auto need = static_cast<std::size_t>(stream) + 1;
+  if (vc_.size() < need) {
+    vc_.resize(need);
+    op_count_.resize(need, 0);
+  }
+  for (Clock& c : vc_) {
+    if (c.size() < need) c.resize(need, 0);
+  }
+  if (host_vc_.size() < need) host_vc_.resize(need, 0);
+}
+
+void HbRaceDetector::join(Clock& into, const Clock& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+bool HbRaceDetector::ordered(const Access& b, const Clock& vc) {
+  const auto t = static_cast<std::size_t>(b.stream);
+  return t < vc.size() && vc[t] >= b.epoch;
+}
+
+void HbRaceDetector::report(const Access& prior, bool prior_write,
+                            const void* base, const Shadow& m, int stream,
+                            std::uint64_t op_seq, std::string_view label,
+                            std::string_view kind, std::int64_t lo,
+                            std::int64_t hi, bool is_write) const {
+  const std::int64_t olo = std::max(lo, prior.lo);
+  const std::int64_t ohi = std::min(hi, prior.hi);
+  const auto es = static_cast<std::int64_t>(m.elem_size);
+  std::ostringstream os;
+  os << kind << " '" << label << "' (stream " << stream << ", op #" << op_seq
+     << ") " << (is_write ? "writes" : "reads") << " and " << prior.kind
+     << " '" << prior.label << "' (stream " << prior.stream << ", op #"
+     << prior.op_seq << ") " << (prior_write ? "writes" : "reads")
+     << " overlapping elements [" << olo << ", " << ohi << ") (bytes ["
+     << olo * es << ", " << ohi * es << ")) of buffer " << base << " ("
+     << m.n_elems << " elems x " << m.elem_size
+     << "B) with no happens-before edge; order them with e = "
+        "record_event(stream "
+     << prior.stream << ") after '" << prior.label << "' + wait_event(stream "
+     << stream << ", e) before '" << label << "', or a dev.sync()";
+  throw RaceViolation(os.str());
+}
+
+void HbRaceDetector::on_op(int stream, std::string_view label,
+                           std::string_view kind,
+                           LaunchFootprint::Map footprint) {
+  ensure_stream(stream);
+  const auto s = static_cast<std::size_t>(stream);
+  // Host-enqueue edge; the default stream additionally joins every stream
+  // (legacy blocking semantics).
+  join(vc_[s], host_vc_);
+  if (stream == 0) {
+    for (const Clock& c : vc_) join(vc_[0], c);
+  }
+  ++vc_[s][s];
+  const Clock& vc = vc_[s];
+  const std::uint64_t op_seq = ++op_count_[s];
+
+  for (auto& [base, fb] : footprint) {
+    Shadow& m = shadow_[base];
+    if (m.elem_size == 0) {
+      m.elem_size = fb.elem_size;
+      m.n_elems = fb.n_elems;
+    }
+    // Writes conflict with earlier writes and reads; reads only with
+    // earlier writes.  Checking before inserting keeps an op's own read+
+    // write of the same range from self-conflicting (same epoch: ordered).
+    for (const auto& w : fb.writes) {
+      for (const Access& pw : m.writes) {
+        if (pw.lo < w.hi && pw.hi > w.lo && !ordered(pw, vc)) {
+          report(pw, /*prior_write=*/true, base, m, stream, op_seq, label,
+                 kind, w.lo, w.hi, /*is_write=*/true);
+        }
+      }
+      for (const Access& pr : m.reads) {
+        if (pr.lo < w.hi && pr.hi > w.lo && !ordered(pr, vc)) {
+          report(pr, /*prior_write=*/false, base, m, stream, op_seq, label,
+                 kind, w.lo, w.hi, /*is_write=*/true);
+        }
+      }
+    }
+    for (const auto& r : fb.reads) {
+      for (const Access& pw : m.writes) {
+        if (pw.lo < r.hi && pw.hi > r.lo && !ordered(pw, vc)) {
+          report(pw, /*prior_write=*/true, base, m, stream, op_seq, label,
+                 kind, r.lo, r.hi, /*is_write=*/false);
+        }
+      }
+    }
+    // Insert, pruning records this op supersedes.  A new write may retire
+    // any ordered record it fully covers (a future op unordered with the
+    // old record must also be unordered with — and overlap — this write,
+    // so detection is preserved); a new read may only retire ordered
+    // covered *reads* (a write masked by a read would hide write/write
+    // races).
+    const auto prune = [&](std::vector<Access>& v, std::int64_t lo,
+                           std::int64_t hi) {
+      std::erase_if(v, [&](const Access& a) {
+        return a.lo >= lo && a.hi <= hi && ordered(a, vc);
+      });
+    };
+    for (const auto& w : fb.writes) {
+      prune(m.writes, w.lo, w.hi);
+      prune(m.reads, w.lo, w.hi);
+      m.writes.push_back(Access{w.lo, w.hi, stream, vc[s], op_seq,
+                                std::string(label), std::string(kind)});
+    }
+    for (const auto& r : fb.reads) {
+      prune(m.reads, r.lo, r.hi);
+      m.reads.push_back(Access{r.lo, r.hi, stream, vc[s], op_seq,
+                               std::string(label), std::string(kind)});
+    }
+  }
+
+  if (stream == 0) {
+    // Legacy default-stream propagation: later ops on any stream are
+    // ordered after this one.
+    for (Clock& c : vc_) join(c, vc_[0]);
+    join(host_vc_, vc_[0]);
+  }
+}
+
+void HbRaceDetector::record_event(int stream, int event) {
+  ensure_stream(stream);
+  events_[event] = vc_[static_cast<std::size_t>(stream)];
+}
+
+void HbRaceDetector::wait_event(int stream, int event) {
+  ensure_stream(stream);
+  const auto it = events_.find(event);
+  if (it != events_.end()) {
+    join(vc_[static_cast<std::size_t>(stream)], it->second);
+  }
+}
+
+void HbRaceDetector::sync_stream(int stream) {
+  ensure_stream(stream);
+  join(host_vc_, vc_[static_cast<std::size_t>(stream)]);
+}
+
+void HbRaceDetector::sync_all() {
+  for (const Clock& c : vc_) join(host_vc_, c);
+}
+
+void HbRaceDetector::on_free(const void* base) noexcept {
+  shadow_.erase(base);
+}
+
+void HbRaceDetector::reset() {
+  vc_.clear();
+  host_vc_.clear();
+  events_.clear();
+  op_count_.clear();
+  shadow_.clear();
+}
+
+}  // namespace gbdt::analysis

@@ -1,0 +1,157 @@
+// Stream-aware happens-before race detector for the simulated device.
+//
+// The PR-3 access auditor checks block-disjointness *within* one launch;
+// this detector checks ordering *between* operations once the device grows
+// streams.  Every device operation (kernel launch, async copy) carries the
+// per-buffer element intervals it reads and writes — reusing the footprint
+// declarations kernels already make via BlockCtx::reads/writes — and the
+// detector maintains:
+//
+//  * one vector clock per stream (VC[s][t] = number of stream-t operations
+//    stream s provably happens-after), advanced by the edge rules below;
+//  * a host clock H joined into every enqueue (work enqueued after a
+//    sync() returns is ordered after everything the sync covered);
+//  * per-event snapshots of the recording stream's clock;
+//  * shadow last-writer / last-reader interval lists per device buffer.
+//
+// Edge rules (the model documented in DESIGN.md §5h):
+//  * program order: operations on one stream are FIFO — each op increments
+//    its stream's own component;
+//  * record_event(s) snapshots VC[s]; wait_event(d, e) joins the snapshot
+//    into VC[d];
+//  * sync(s) joins VC[s] into H; sync() joins every stream into H; every
+//    enqueue on stream s first joins H into VC[s];
+//  * the default stream (0) has legacy blocking semantics: a default-stream
+//    op joins *all* stream clocks before running and propagates its clock
+//    to all streams after — which is why fully synchronous programs can
+//    never race.
+//
+// An earlier access B on stream t happens-before the current op A iff
+// VC_A[t] >= B's own-component timestamp at record time (the FastTrack
+// epoch test).  Two overlapping accesses, at least one a write, with no
+// such ordering throw RaceViolation naming both operations, the buffer,
+// the overlapping byte range, and the missing edge.
+//
+// Armed by GBDT_RACE_DETECT=1 or set_race_detect_enabled (the fuzz
+// harness); when off, every hook is a relaxed atomic load.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gbdt::analysis {
+
+/// Thrown when two device operations touch overlapping buffer elements
+/// with no happens-before edge between them.
+class RaceViolation : public std::logic_error {
+ public:
+  explicit RaceViolation(const std::string& what)
+      : std::logic_error("stream race violation: " + what) {}
+};
+
+/// Whether device operations feed the happens-before detector.  Initialised
+/// lazily from the GBDT_RACE_DETECT environment variable ("1"/"on"/"true");
+/// set_race_detect_enabled overrides it (tests, the fuzz harness).
+[[nodiscard]] bool race_detect_enabled();
+void set_race_detect_enabled(bool enabled);
+
+/// Collects one operation's merged per-buffer access footprint.  Kernel
+/// blocks record concurrently from the host thread pool (mutex-guarded);
+/// the Device hands the collected map to HbRaceDetector::on_op.
+class LaunchFootprint {
+ public:
+  struct Interval {
+    std::int64_t lo;
+    std::int64_t hi;  // exclusive
+  };
+  struct Buffer {
+    std::size_t elem_size = 0;
+    std::size_t n_elems = 0;
+    std::vector<Interval> writes;
+    std::vector<Interval> reads;
+  };
+  using Map = std::map<const void*, Buffer>;
+
+  void record(const void* base, std::size_t elem_size, std::size_t n_elems,
+              std::int64_t lo, std::int64_t count, bool is_write);
+
+  /// Returns the collected footprint and leaves the collector empty.
+  [[nodiscard]] Map take();
+
+ private:
+  std::mutex mu_;
+  Map buffers_;
+};
+
+/// Per-Device happens-before state.  All methods are called from the host
+/// thread that drives the device (kernel *bodies* run on the pool, but ops
+/// are processed one at a time), so no internal locking is needed beyond
+/// LaunchFootprint's.
+class HbRaceDetector {
+ public:
+  /// Processes one operation's footprint on `stream` (0 = default stream).
+  /// `kind` is a short noun for reports ("kernel", "copy").  Throws
+  /// RaceViolation on the first unordered overlapping access pair.
+  void on_op(int stream, std::string_view label, std::string_view kind,
+             LaunchFootprint::Map footprint);
+
+  /// Event edges: record snapshots the stream clock, wait joins it.
+  void record_event(int stream, int event);
+  void wait_event(int stream, int event);
+
+  /// Host joins: sync(s) / sync-all fold stream clocks into the host clock,
+  /// ordering everything enqueued afterwards behind them.
+  void sync_stream(int stream);
+  void sync_all();
+
+  /// Buffer freed: drop its shadow state so a later allocation reusing the
+  /// address does not inherit stale accesses.
+  void on_free(const void* base) noexcept;
+
+  /// Drops all shadow/clock state (paired with Device::reset_timeline-style
+  /// reuse in tests).
+  void reset();
+
+ private:
+  using Clock = std::vector<std::uint64_t>;
+
+  struct Access {
+    std::int64_t lo;
+    std::int64_t hi;  // exclusive
+    int stream;
+    std::uint64_t epoch;   // owner-component timestamp at record time
+    std::uint64_t op_seq;  // per-stream op number, for reports
+    std::string label;
+    std::string kind;
+  };
+  struct Shadow {
+    std::size_t elem_size = 0;
+    std::size_t n_elems = 0;
+    std::vector<Access> writes;
+    std::vector<Access> reads;
+  };
+
+  void ensure_stream(int stream);
+  static void join(Clock& into, const Clock& from);
+  /// True iff the recorded access happens-before a clock (epoch test).
+  [[nodiscard]] static bool ordered(const Access& b, const Clock& vc);
+  [[noreturn]] void report(const Access& prior, bool prior_write,
+                           const void* base, const Shadow& m, int stream,
+                           std::uint64_t op_seq, std::string_view label,
+                           std::string_view kind, std::int64_t lo,
+                           std::int64_t hi, bool is_write) const;
+
+  std::vector<Clock> vc_;        // per-stream clocks
+  Clock host_vc_;                // host clock H
+  std::map<int, Clock> events_;  // event id -> recorded snapshot
+  std::vector<std::uint64_t> op_count_;  // per-stream ops, for reports
+  std::map<const void*, Shadow> shadow_;
+};
+
+}  // namespace gbdt::analysis

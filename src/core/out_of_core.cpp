@@ -80,6 +80,7 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
       obs::Registry::global().counter("gbdt_ooc_chunks_streamed_total");
   const auto wall_start = std::chrono::steady_clock::now();
   const double modeled_start = dev_.elapsed_seconds();
+  const double busy_start = dev_.timeline().total_seconds();
   dev_.allocator().reset_peak();
 
   OutOfCoreReport report;
@@ -152,6 +153,50 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
   }
   report.n_chunks = static_cast<int>(chunks.size());
 
+  // ---- double-buffered chunk streaming setup ------------------------------
+  // Uploads ride stream_copy one chunk ahead of stream_compute; events order
+  // upload->consume (RAW) and enumerate->overwrite (WAR).  With
+  // GBDT_SYNC_STREAMS=1 both names alias the default stream: the same
+  // enqueue order executes serially, so trees are bitwise identical.
+  const bool async_streams = device::stream_async_enabled();
+  const int stream_copy =
+      async_streams ? dev_.stream() : device::kDefaultStream;
+  const int stream_compute =
+      async_streams ? dev_.stream() : device::kDefaultStream;
+
+  std::vector<const Chunk*> live;
+  for (const Chunk& c : chunks) {
+    if (c.n_entries() > 0) live.push_back(&c);
+  }
+  std::size_t max_entries = 0;
+  std::size_t max_runs = 0;
+  for (const Chunk* c : live) {
+    max_entries =
+        std::max(max_entries, static_cast<std::size_t>(c->n_entries()));
+    if (c->compressed) max_runs = std::max(max_runs, c->run_values.size());
+  }
+
+  // Two reusable landing slots sized for the largest chunk; slot k%2 holds
+  // chunk k while slot (k+1)%2 is being filled.
+  struct ChunkSlot {
+    DeviceBuffer<std::int32_t> inst;
+    DeviceBuffer<float> values;
+    DeviceBuffer<float> run_values;
+    DeviceBuffer<std::int32_t> run_lens;
+    DeviceBuffer<std::int64_t> run_starts;
+  };
+  const std::size_t n_slots_db = std::min<std::size_t>(2, live.size());
+  std::vector<ChunkSlot> slots(n_slots_db);
+  for (ChunkSlot& sl : slots) {
+    sl.inst = dev_.alloc<std::int32_t>(max_entries);
+    sl.values = dev_.alloc<float>(max_entries);
+    if (max_runs > 0) {
+      sl.run_values = dev_.alloc<float>(max_runs);
+      sl.run_lens = dev_.alloc<std::int32_t>(max_runs);
+      sl.run_starts = dev_.alloc<std::int64_t>(max_runs);
+    }
+  }
+
   // ---- resident per-instance state ---------------------------------------
   detail::TrainState st(dev_, param_, *loss_);
   st.n_inst = n_inst;
@@ -212,63 +257,94 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
       // ---- stream every chunk through the device once per level ----------
       {
       obs::ScopedSpan find_span("find_split");
-      for (const Chunk& c : chunks) {
-        const std::int64_t n = c.n_entries();
-        if (n == 0) continue;
-        const std::int64_t n_cols = c.attr_hi - c.attr_lo;
+      // Upload chunk k into slot k % n_slots_db on stream_copy.  The spans
+      // handed to the async copies point into the host CSC / chunk arrays,
+      // which outlive the level.
+      std::vector<int> up_event(live.size(), -1);
+      std::vector<int> last_use_event(n_slots_db, -1);
+      auto upload_chunk = [&](std::size_t k) {
+        const Chunk& c = *live[k];
+        const auto n = static_cast<std::size_t>(c.n_entries());
+        ChunkSlot& sl = slots[k % n_slots_db];
+        obs::ScopedSpan io_span("chunk_io");
         chunks_streamed.inc();
+        if (async_streams && last_use_event[k % n_slots_db] >= 0) {
+          // hb: enumerate of the slot's previous chunk -> overwrite (WAR)
+          dev_.wait_event(stream_copy, last_use_event[k % n_slots_db]);
+        }
+        dev_.copy_to_device_async(
+            "stream_ooc_upload_inst", stream_copy,
+            std::span<const std::int32_t>(csc.inst_ids)
+                .subspan(static_cast<std::size_t>(c.entry_lo), n),
+            sl.inst);
+        if (c.compressed) {
+          dev_.copy_to_device_async("stream_ooc_upload_run_values",
+                                    stream_copy,
+                                    std::span<const float>(c.run_values),
+                                    sl.run_values);
+          dev_.copy_to_device_async(
+              "stream_ooc_upload_run_lens", stream_copy,
+              std::span<const std::int32_t>(c.run_lens), sl.run_lens);
+          dev_.copy_to_device_async(
+              "stream_ooc_upload_run_starts", stream_copy,
+              std::span<const std::int64_t>(c.run_starts), sl.run_starts);
+          report.streamed_bytes +=
+              c.run_values.size() * 16 + static_cast<std::uint64_t>(n) * 4;
+        } else {
+          dev_.copy_to_device_async(
+              "stream_ooc_upload_values", stream_copy,
+              std::span<const float>(csc.values)
+                  .subspan(static_cast<std::size_t>(c.entry_lo), n),
+              sl.values);
+          report.streamed_bytes += static_cast<std::uint64_t>(n) * 8;
+        }
+        if (async_streams) {
+          up_event[k] = dev_.record_event(stream_copy);
+        }
+      };
 
-        // Ship the chunk (RLE-compressed values where profitable).
-        DeviceBuffer<std::int32_t> d_inst;
-        DeviceBuffer<float> d_values;
-        {
-          obs::ScopedSpan io_span("chunk_io");
-          d_inst = dev_.to_device<std::int32_t>(
-              std::span<const std::int32_t>(csc.inst_ids)
-                  .subspan(static_cast<std::size_t>(c.entry_lo),
-                           static_cast<std::size_t>(n)));
-          if (c.compressed) {
-            auto d_rv = dev_.to_device<float>(c.run_values);
-            auto d_rl = dev_.to_device<std::int32_t>(c.run_lens);
-            auto d_rs = dev_.to_device<std::int64_t>(c.run_starts);
-            report.streamed_bytes += c.run_values.size() * 16 +
-                                     static_cast<std::uint64_t>(n) * 4;
-            d_values = dev_.alloc<float>(static_cast<std::size_t>(n));
-            const auto n_runs = static_cast<std::int64_t>(c.run_values.size());
-            auto rv = d_rv.span();
-            auto rl = d_rl.span();
-            auto rs = d_rs.span();
-            auto out = d_values.span();
-            dev_.launch("ooc_decompress", device::grid_for(n_runs, kBlockDim),
-                        kBlockDim, [&](BlockCtx& b) {
-                          std::uint64_t written = 0;
-                          b.for_each_thread([&](std::int64_t r) {
-                            if (r >= n_runs) return;
-                            const auto ru = static_cast<std::size_t>(r);
-                            for (std::int32_t j = 0; j < rl[ru]; ++j) {
-                              out[static_cast<std::size_t>(rs[ru] + j)] =
-                                  rv[ru];
-                            }
-                            b.writes(out, rs[ru], rl[ru]);
-                            written += static_cast<std::uint64_t>(rl[ru]);
-                          });
-                          b.reads_tile(rv, n_runs);
-                          b.reads_tile(rl, n_runs);
-                          b.reads_tile(rs, n_runs);
-                          b.work(written);
-                          b.mem_coalesced(written * 4 +
-                                          elems_in_block(b, n_runs) * 20);
-                        });
-          } else {
-            d_values = dev_.to_device<float>(
-                std::span<const float>(csc.values)
-                    .subspan(static_cast<std::size_t>(c.entry_lo),
-                             static_cast<std::size_t>(n)));
-            report.streamed_bytes += static_cast<std::uint64_t>(n) * 8;
-          }
+      if (!live.empty()) upload_chunk(0);
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        if (k + 1 < live.size()) upload_chunk(k + 1);
+        const Chunk& c = *live[k];
+        const std::int64_t n = c.n_entries();
+        const std::int64_t n_cols = c.attr_hi - c.attr_lo;
+        ChunkSlot& sl = slots[k % n_slots_db];
+        if (async_streams) {
+          // hb: upload(k) on stream_copy -> decompress/enumerate (RAW)
+          dev_.wait_event(stream_compute, up_event[k]);
+        }
+        if (c.compressed) {
+          const auto n_runs = static_cast<std::int64_t>(c.run_values.size());
+          const auto rv = sl.run_values.span().first(c.run_values.size());
+          const auto rl = sl.run_lens.span().first(c.run_lens.size());
+          const auto rs = sl.run_starts.span().first(c.run_starts.size());
+          const auto out = sl.values.span().first(static_cast<std::size_t>(n));
+          dev_.launch_async(
+              "stream_ooc_decompress", stream_compute,
+              device::grid_for(n_runs, kBlockDim), kBlockDim,
+              [rv, rl, rs, out, n_runs](BlockCtx& b) {
+                std::uint64_t written = 0;
+                b.for_each_thread([&](std::int64_t r) {
+                  if (r >= n_runs) return;
+                  const auto ru = static_cast<std::size_t>(r);
+                  for (std::int32_t j = 0; j < rl[ru]; ++j) {
+                    out[static_cast<std::size_t>(rs[ru] + j)] = rv[ru];
+                  }
+                  b.writes(out, rs[ru], rl[ru]);
+                  written += static_cast<std::uint64_t>(rl[ru]);
+                });
+                b.reads_tile(rv, n_runs);
+                b.reads_tile(rl, n_runs);
+                b.reads_tile(rs, n_runs);
+                b.work(written);
+                b.mem_coalesced(written * 4 + elems_in_block(b, n_runs) * 20);
+              });
         }
 
-        // Column offsets local to the chunk.
+        // Column offsets local to the chunk; uploaded on the compute stream
+        // so the copy stream's lookahead is never stalled behind metadata.
+        // local_offs outlives the per-chunk sync below.
         std::vector<std::int64_t> local_offs(
             static_cast<std::size_t>(n_cols) + 1);
         for (std::int64_t a2 = 0; a2 <= n_cols; ++a2) {
@@ -276,28 +352,35 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
               csc.col_offsets[static_cast<std::size_t>(c.attr_lo + a2)] -
               c.entry_lo;
         }
-        auto d_offs = detail::upload_pooled(dev_, st.arena, local_offs);
+        auto d_offs = st.arena.alloc<std::int64_t>(local_offs.size());
+        dev_.copy_to_device_async("stream_ooc_upload_offs", stream_compute,
+                                  std::span<const std::int64_t>(local_offs),
+                                  d_offs.backing());
 
         // Per-(column, slot) winners, checked out per chunk (every entry is
         // written by ooc_enumerate, so the unzeroed checkout is safe).
         auto d_best = st.arena.alloc<ColumnBest>(
             static_cast<std::size_t>(n_cols) * static_cast<std::size_t>(n_slots));
 
-        auto values = d_values.span();
-        auto inst = d_inst.span();
-        auto offs = d_offs.span();
-        auto node_of = st.node_of.span();
-        auto so = d_slot_of.span();
-        auto stats = d_stats.span();
-        auto out_best = d_best.span();
-        auto g = st.grad.span();
-        auto h = st.hess.span();
+        const auto values = sl.values.span().first(static_cast<std::size_t>(n));
+        const auto inst = sl.inst.span().first(static_cast<std::size_t>(n));
+        const auto offs = d_offs.span();
+        const auto node_of = st.node_of.span();
+        const auto so = d_slot_of.span();
+        const auto stats = d_stats.span();
+        const auto out_best = d_best.span();
+        const auto g = st.grad.span();
+        const auto h = st.hess.span();
 
         // One logical block per column: two fused passes (present totals,
         // then candidate enumeration with both missing directions) against
         // per-slot running accumulators — the streaming analogue of node
-        // interleaving.
-        dev_.launch("ooc_enumerate", n_cols, kBlockDim, [&](BlockCtx& b) {
+        // interleaving.  Spans are captured by value: under schedule
+        // perturbation the body runs at a later drain point.
+        dev_.launch_async(
+            "stream_ooc_enumerate", stream_compute, n_cols, kBlockDim,
+            [values, inst, offs, node_of, so, stats, out_best, g, h, n_slots,
+             lambda](BlockCtx& b) {
           const std::int64_t col = b.block_idx();
           const std::int64_t lo = offs[static_cast<std::size_t>(col)];
           const std::int64_t hi = offs[static_cast<std::size_t>(col) + 1];
@@ -388,6 +471,15 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
           b.mem_irregular(2 * 2 * touched);  // node_of + (g,h) per pass
           b.flop(touched * 8);
         });
+
+        if (async_streams) {
+          // Recorded after enumerate: the slot may be overwritten (and the
+          // arena blocks reused) once this fires.
+          last_use_event[k % n_slots_db] = dev_.record_event(stream_compute);
+        }
+        // Host merge needs the winners; the copy stream keeps prefetching
+        // chunk k+1 underneath this sync.
+        dev_.sync(stream_compute);
 
         // Merge the chunk's winners into the per-node best (columns in
         // ascending attribute order; strict > keeps the lowest attribute on
@@ -565,6 +657,16 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
   report.train_scores.assign(final_pred.begin(), final_pred.end());
   report.peak_device_bytes = dev_.allocator().peak();
   report.modeled_seconds = dev_.elapsed_seconds() - modeled_start;
+  // Busy seconds are what a single serialized stream would have taken; the
+  // gap to the makespan is the PCI-e time hidden under enumeration.
+  const double busy_seconds = dev_.timeline().total_seconds() - busy_start;
+  report.overlap_ratio =
+      busy_seconds > 0.0
+          ? std::max(0.0, 1.0 - report.modeled_seconds / busy_seconds)
+          : 0.0;
+  obs::Registry::global()
+      .gauge("gbdt_device_overlap_ratio")
+      .set(report.overlap_ratio);
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

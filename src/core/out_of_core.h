@@ -11,7 +11,11 @@
 //  * the root-sorted attribute lists stay on the host and are streamed in
 //    column chunks once per level; enumeration uses position lookups
 //    against the resident instance->node map, so the lists are never
-//    partitioned and never reshipped in a different order;
+//    partitioned and never reshipped in a different order.  Chunk uploads
+//    ride a dedicated copy stream that double-buffers one chunk ahead of
+//    the compute stream (event-ordered, race-checked), so PCI-e time hides
+//    under enumeration; GBDT_SYNC_STREAMS=1 routes both streams through
+//    the default stream for a bitwise-identical serial schedule;
 //  * per-(node, attribute) running statistics live in a small device table
 //    (#nodes x #chunk-attributes), the streaming analogue of node
 //    interleaving.
@@ -41,6 +45,10 @@ struct OutOfCoreReport {
   std::vector<double> train_scores;
   double modeled_seconds = 0.0;
   double wall_seconds = 0.0;
+  /// Fraction of busy device seconds hidden by upload/compute overlap
+  /// (0 when GBDT_SYNC_STREAMS routes everything through the default
+  /// stream).
+  double overlap_ratio = 0.0;
   /// Total bytes streamed over PCI-e for column chunks.
   std::uint64_t streamed_bytes = 0;
   /// Device bytes the in-core trainer would have needed for its lists.

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/access_audit.h"
+#include "analysis/hb_race.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -99,6 +100,17 @@ class DeviceAllocator {
   /// Resets the peak-usage watermark (not the current usage).
   void reset_peak() { peak_ = used_; }
 
+  /// Wires the owning Device's happens-before race detector in so buffer
+  /// frees drop their shadow access state (address reuse must not inherit
+  /// stale last-writer records).
+  void set_race_detector(analysis::HbRaceDetector* d) { race_ = d; }
+  void note_buffer_free(const void* base) noexcept {
+    if (race_ != nullptr && base != nullptr &&
+        analysis::race_detect_enabled()) {
+      race_->on_free(base);
+    }
+  }
+
  private:
   std::size_t capacity_;
   std::size_t used_ = 0;
@@ -107,6 +119,7 @@ class DeviceAllocator {
   std::size_t releases_ = 0;
   std::size_t over_releases_ = 0;
   std::size_t over_released_bytes_ = 0;
+  analysis::HbRaceDetector* race_ = nullptr;
 };
 
 /// RAII array in simulated device memory.
@@ -164,6 +177,7 @@ class DeviceBuffer {
 
   void free() {
     if (alloc_ != nullptr) {
+      alloc_->note_buffer_free(data_.data());
       alloc_->release(bytes());
       alloc_ = nullptr;
     }

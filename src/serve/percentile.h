@@ -6,19 +6,36 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <initializer_list>
 #include <vector>
 
 namespace gbdt::serve {
 
+/// Nearest-rank percentiles (each p in [0, 100]) of `xs`, sorting the
+/// samples once; result is positional (out[i] answers ps[i]).  All zeros
+/// when `xs` is empty.
+inline std::vector<double> percentiles(std::vector<double> xs,
+                                       std::initializer_list<double> ps) {
+  std::vector<double> out;
+  out.reserve(ps.size());
+  if (xs.empty()) {
+    out.assign(ps.size(), 0.0);
+    return out;
+  }
+  std::sort(xs.begin(), xs.end());
+  for (const double p : ps) {
+    const double rank = p / 100.0 * static_cast<double>(xs.size());
+    auto idx = static_cast<std::size_t>(std::ceil(rank));
+    if (idx > 0) --idx;
+    if (idx >= xs.size()) idx = xs.size() - 1;
+    out.push_back(xs[idx]);
+  }
+  return out;
+}
+
 /// Nearest-rank percentile (p in [0, 100]) of `xs`; 0 when empty.
 inline double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const double rank = p / 100.0 * static_cast<double>(xs.size());
-  auto idx = static_cast<std::size_t>(std::ceil(rank));
-  if (idx > 0) --idx;
-  if (idx >= xs.size()) idx = xs.size() - 1;
-  return xs[idx];
+  return percentiles(std::move(xs), {p}).front();
 }
 
 }  // namespace gbdt::serve

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/access_audit.h"
+#include "analysis/hb_race.h"
 #include "baselines/xgb_exact.h"
 #include "core/gbdt.h"
 #include "core/metrics.h"
@@ -97,6 +99,12 @@ LegResult run_leg(const std::string& name,
   } catch (const InvariantViolation& e) {
     leg.invariant_violation = true;
     leg.detail = e.what();
+  } catch (const analysis::RaceViolation& e) {
+    leg.invariant_violation = true;
+    leg.detail = e.what();
+  } catch (const analysis::AuditViolation& e) {
+    leg.invariant_violation = true;
+    leg.detail = e.what();
   } catch (const std::exception& e) {
     leg.detail = std::string("trainer threw: ") + e.what();
   }
@@ -144,6 +152,12 @@ LegResult hist_leg(const FuzzCase& c, const LegOutput& ref,
                  " bins)";
     if (leg.quality_equivalent) leg.detail.clear();
   } catch (const InvariantViolation& e) {
+    leg.invariant_violation = true;
+    leg.detail = e.what();
+  } catch (const analysis::RaceViolation& e) {
+    leg.invariant_violation = true;
+    leg.detail = e.what();
+  } catch (const analysis::AuditViolation& e) {
     leg.invariant_violation = true;
     leg.detail = e.what();
   } catch (const std::exception& e) {
@@ -457,6 +471,79 @@ OracleResult run_serve_oracle(const FuzzCase& c, bool check_invariants) {
   }
 
   set_invariants_enabled(was_enabled);
+  return result;
+}
+
+OracleResult run_race_oracle(const FuzzCase& c, bool check_invariants) {
+  // Arm the happens-before detector for every trainer path (a race anywhere
+  // fails its leg as an invariant violation), and force real streams so the
+  // out-of-core double buffer is actually exercised.
+  const bool race_was = analysis::race_detect_enabled();
+  const bool async_was = device::stream_async_enabled();
+  analysis::set_race_detect_enabled(true);
+  device::set_stream_async_enabled(true);
+
+  OracleResult result = run_oracle(c, check_invariants);
+
+  const auto ds = data::generate(c.dataset_spec());
+  const GBDTParam base = c.base_param();
+  auto ooc_leg = [&](Device& dev) {
+    auto r = OutOfCoreTrainer(dev, base, c.ooc_chunk_bytes,
+                              c.ooc_stream_compressed)
+                 .train(ds);
+    return LegOutput{std::move(r.trees), std::move(r.train_scores), 1.0};
+  };
+
+  // Eager async baseline for the schedule-equivalence legs (the detector
+  // stays armed: these runs must also be race-clean).
+  bool have_async = false;
+  LegOutput async_ref;
+  try {
+    Device dev(DeviceConfig::titan_x_pascal());
+    async_ref = ooc_leg(dev);
+    have_async = true;
+  } catch (const std::exception& e) {
+    LegResult leg;
+    leg.name = "ooc_async_baseline";
+    leg.ran = true;
+    leg.detail = std::string("async pipeline threw: ") + e.what();
+    result.legs.push_back(std::move(leg));
+  }
+
+  if (have_async) {
+    result.legs.push_back(run_leg(
+        "ooc_sync_hatch",
+        [&] {
+          device::set_stream_async_enabled(false);
+          try {
+            Device dev(DeviceConfig::titan_x_pascal());
+            LegOutput out = ooc_leg(dev);
+            device::set_stream_async_enabled(true);
+            return out;
+          } catch (...) {
+            device::set_stream_async_enabled(true);
+            throw;
+          }
+        },
+        async_ref, 0.0, ds.labels()));
+
+    for (int k = 0; k < 3; ++k) {
+      result.legs.push_back(run_leg(
+          "ooc_schedule_fuzz_" + std::to_string(k),
+          [&] {
+            Device dev(DeviceConfig::titan_x_pascal());
+            dev.set_schedule_fuzz(c.seed * 1315423911ull +
+                                  static_cast<std::uint64_t>(k));
+            LegOutput out = ooc_leg(dev);
+            dev.clear_schedule_fuzz();
+            return out;
+          },
+          async_ref, 0.0, ds.labels()));
+    }
+  }
+
+  device::set_stream_async_enabled(async_was);
+  analysis::set_race_detect_enabled(race_was);
   return result;
 }
 

@@ -97,6 +97,18 @@ struct OracleResult {
 [[nodiscard]] OracleResult run_serve_oracle(const FuzzCase& c,
                                             bool check_invariants = true);
 
+/// Race-detection oracle (`gbdt_fuzz --race`): the full trainer-path oracle
+/// with the happens-before race detector armed (a RaceViolation or
+/// AuditViolation inside any leg marks it as an invariant violation), plus
+/// stream-specific legs on the out-of-core double-buffer pipeline:
+///  * ooc_sync_hatch        — the GBDT_SYNC_STREAMS serial schedule must be
+///    bitwise identical to the eager async pipeline;
+///  * ooc_schedule_fuzz_<k> — seeded random-but-legal interleavings of the
+///    two streams (Device::set_schedule_fuzz) must also be bitwise
+///    identical; a schedule-sensitive result means a missing ordering edge.
+[[nodiscard]] OracleResult run_race_oracle(const FuzzCase& c,
+                                           bool check_invariants = true);
+
 /// Shrinks a failing case by halving rows/columns and dropping trees/depth
 /// while `still_fails` keeps returning true; returns the smallest
 /// still-failing case.  max_attempts bounds the number of re-runs.

@@ -1,0 +1,210 @@
+// Happens-before race detector: the fault-injection kernels must throw
+// RaceViolation with actionable reports, the event-ordered fix and every
+// default-stream / sync-ordered program must stay silent, and the shadow
+// state must honour buffer frees (address reuse cannot inherit stale
+// accesses).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/fault_kernels.h"
+#include "analysis/hb_race.h"
+#include "device/device_context.h"
+#include "device/device_memory.h"
+
+namespace gbdt {
+namespace {
+
+using analysis::HbRaceDetector;
+using analysis::LaunchFootprint;
+using analysis::RaceViolation;
+
+device::DeviceConfig small_config() {
+  device::DeviceConfig c = device::DeviceConfig::titan_x_pascal();
+  c.global_mem_bytes = 1 << 20;
+  return c;
+}
+
+/// Arms the detector for the test body and restores the prior state on the
+/// way out, so suites sharing the process-wide flag stay independent.
+struct RaceDetectGuard {
+  bool was = analysis::race_detect_enabled();
+  RaceDetectGuard() { analysis::set_race_detect_enabled(true); }
+  ~RaceDetectGuard() { analysis::set_race_detect_enabled(was); }
+};
+
+std::string violation_message(void (*fault)(device::Device&)) {
+  RaceDetectGuard guard;
+  device::Device dev(small_config());
+  try {
+    fault(dev);
+  } catch (const RaceViolation& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "fault kernel did not throw RaceViolation";
+  return {};
+}
+
+TEST(HbRace, UnorderedWriteWriteIsCaughtWithBothOpsNamed) {
+  const std::string msg = violation_message(&analysis::run_race_unordered_write);
+  EXPECT_NE(msg.find("stream race violation"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("stream_race_write_a"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("stream_race_write_b"), std::string::npos) << msg;
+  // The report must spell out the missing edge, not just the overlap.
+  EXPECT_NE(msg.find("record_event"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wait_event"), std::string::npos) << msg;
+}
+
+TEST(HbRace, MissingEventWaitIsCaught) {
+  const std::string msg =
+      violation_message(&analysis::run_race_missing_event_wait);
+  EXPECT_NE(msg.find("stream_race_upload"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("stream_race_consume"), std::string::npos) << msg;
+}
+
+TEST(HbRace, CopyOverlappingKernelIsCaught) {
+  const std::string msg =
+      violation_message(&analysis::run_race_copy_overlaps_kernel);
+  EXPECT_NE(msg.find("stream_race_produce"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("stream_race_download"), std::string::npos) << msg;
+}
+
+TEST(HbRace, EventWaitFixedFormIsSilent) {
+  RaceDetectGuard guard;
+  device::Device dev(small_config());
+  EXPECT_NO_THROW(analysis::run_race_event_wait_fixed(dev));
+}
+
+TEST(HbRace, DisabledDetectorNeverThrows) {
+  const bool was = analysis::race_detect_enabled();
+  analysis::set_race_detect_enabled(false);
+  device::Device dev(small_config());
+  EXPECT_NO_THROW(analysis::run_race_unordered_write(dev));
+  analysis::set_race_detect_enabled(was);
+}
+
+TEST(HbRace, DefaultStreamProgramsNeverRace) {
+  RaceDetectGuard guard;
+  device::Device dev(small_config());
+  const std::int64_t n = 64;
+  auto buf = dev.alloc<float>(static_cast<std::size_t>(n));
+  const auto sp = buf.span();
+  // Two overlapping writes, but both on the legacy blocking stream: the
+  // default stream joins and propagates every clock, so they are ordered.
+  for (int pass = 0; pass < 2; ++pass) {
+    dev.launch("stream_default_write", device::grid_for(n, 32), 32,
+               [sp, n, pass](device::BlockCtx& b) {
+                 b.for_each_thread([&](std::int64_t i) {
+                   if (i < n) sp[static_cast<std::size_t>(i)] =
+                       static_cast<float>(pass);
+                 });
+                 b.writes_tile(sp, n);
+               });
+  }
+  EXPECT_NO_THROW(dev.sync());
+}
+
+TEST(HbRace, HostSyncEstablishesCrossStreamEdge) {
+  RaceDetectGuard guard;
+  device::Device dev(small_config());
+  const int s1 = dev.stream();
+  const int s2 = dev.stream();
+  const std::int64_t n = 64;
+  auto buf = dev.alloc<float>(static_cast<std::size_t>(n));
+  const auto sp = buf.span();
+  const auto write_all = [sp, n](float v) {
+    return [sp, n, v](device::BlockCtx& b) {
+      b.for_each_thread([&](std::int64_t i) {
+        if (i < n) sp[static_cast<std::size_t>(i)] = v;
+      });
+      b.writes_tile(sp, n);
+    };
+  };
+  dev.launch_async("stream_sync_edge_a", s1, device::grid_for(n, 32), 32,
+                   write_all(1.f));
+  // sync(s1) joins s1 into the host clock; the later enqueue on s2 joins the
+  // host clock, so the second write is ordered after the first.
+  dev.sync(s1);
+  dev.launch_async("stream_sync_edge_b", s2, device::grid_for(n, 32), 32,
+                   write_all(2.f));
+  EXPECT_NO_THROW(dev.sync());
+}
+
+TEST(HbRace, ReadReadSharingIsNotARace) {
+  HbRaceDetector det;
+  const int fake_base = 0;
+  const void* base = &fake_base;
+  LaunchFootprint::Map a;
+  a[base] = {sizeof(float), 64, /*writes=*/{}, /*reads=*/{{0, 64}}};
+  LaunchFootprint::Map b = a;
+  det.on_op(1, "stream_reader_a", "kernel", std::move(a));
+  EXPECT_NO_THROW(det.on_op(2, "stream_reader_b", "kernel", std::move(b)));
+}
+
+TEST(HbRace, UnorderedReadAfterWriteRaces) {
+  HbRaceDetector det;
+  const int fake_base = 0;
+  const void* base = &fake_base;
+  LaunchFootprint::Map w;
+  w[base] = {sizeof(float), 64, /*writes=*/{{0, 64}}, /*reads=*/{}};
+  LaunchFootprint::Map r;
+  r[base] = {sizeof(float), 64, /*writes=*/{}, /*reads=*/{{32, 48}}};
+  det.on_op(1, "stream_writer", "kernel", std::move(w));
+  EXPECT_THROW(det.on_op(2, "stream_reader", "kernel", std::move(r)),
+               RaceViolation);
+}
+
+TEST(HbRace, DisjointRangesDoNotRace) {
+  HbRaceDetector det;
+  const int fake_base = 0;
+  const void* base = &fake_base;
+  LaunchFootprint::Map a;
+  a[base] = {sizeof(float), 64, /*writes=*/{{0, 32}}, /*reads=*/{}};
+  LaunchFootprint::Map b;
+  b[base] = {sizeof(float), 64, /*writes=*/{{32, 64}}, /*reads=*/{}};
+  det.on_op(1, "stream_lo_half", "kernel", std::move(a));
+  EXPECT_NO_THROW(det.on_op(2, "stream_hi_half", "kernel", std::move(b)));
+}
+
+TEST(HbRace, EventEdgeOrdersConflictingOps) {
+  HbRaceDetector det;
+  const int fake_base = 0;
+  const void* base = &fake_base;
+  LaunchFootprint::Map a;
+  a[base] = {sizeof(float), 64, /*writes=*/{{0, 64}}, /*reads=*/{}};
+  LaunchFootprint::Map b = a;
+  det.on_op(1, "stream_first", "kernel", std::move(a));
+  det.record_event(1, 7);
+  det.wait_event(2, 7);
+  EXPECT_NO_THROW(det.on_op(2, "stream_second", "kernel", std::move(b)));
+}
+
+TEST(HbRace, FreeClearsShadowSoAddressReuseIsClean) {
+  HbRaceDetector det;
+  const int fake_base = 0;
+  const void* base = &fake_base;
+  LaunchFootprint::Map a;
+  a[base] = {sizeof(float), 64, /*writes=*/{{0, 64}}, /*reads=*/{}};
+  LaunchFootprint::Map b = a;
+  det.on_op(1, "stream_old_owner", "kernel", std::move(a));
+  // The buffer is freed and a new allocation lands at the same address: the
+  // unordered write from the old owner must not count against it.
+  det.on_free(base);
+  EXPECT_NO_THROW(det.on_op(2, "stream_new_owner", "kernel", std::move(b)));
+}
+
+TEST(HbRace, ResetDropsAllShadowState) {
+  HbRaceDetector det;
+  const int fake_base = 0;
+  const void* base = &fake_base;
+  LaunchFootprint::Map a;
+  a[base] = {sizeof(float), 64, /*writes=*/{{0, 64}}, /*reads=*/{}};
+  LaunchFootprint::Map b = a;
+  det.on_op(1, "stream_before_reset", "kernel", std::move(a));
+  det.reset();
+  EXPECT_NO_THROW(det.on_op(2, "stream_after_reset", "kernel", std::move(b)));
+}
+
+}  // namespace
+}  // namespace gbdt

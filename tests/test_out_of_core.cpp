@@ -1,8 +1,10 @@
 // Tests for the out-of-core (column-streaming) trainer: equivalence with the
 // in-core exact trainer, bounded device footprint, RLE-compressed streaming,
-// and PCI-e traffic accounting.
+// PCI-e traffic accounting, and the double-buffered upload pipeline
+// (async-vs-sync bitwise equality, overlap, race cleanliness).
 #include <gtest/gtest.h>
 
+#include "analysis/hb_race.h"
 #include "core/metrics.h"
 #include "core/out_of_core.h"
 #include "core/trainer.h"
@@ -15,6 +17,17 @@ namespace {
 using data::SyntheticSpec;
 using device::Device;
 using device::DeviceConfig;
+
+/// Restores the process-wide stream/race toggles on scope exit so test
+/// order never leaks state.
+struct ToggleGuard {
+  bool async = device::stream_async_enabled();
+  bool race = analysis::race_detect_enabled();
+  ~ToggleGuard() {
+    device::set_stream_async_enabled(async);
+    analysis::set_race_detect_enabled(race);
+  }
+};
 
 data::Dataset make_data(unsigned seed, std::int64_t n = 1200,
                         std::int64_t d = 14, double density = 0.7,
@@ -129,6 +142,82 @@ TEST(OutOfCore, IncompressibleDataSkipsCompression) {
   const auto rle = OutOfCoreTrainer(dev2, p, 1 << 20, true).train(ds);
   // Continuous values never pass the 1.5x gate; identical traffic.
   EXPECT_EQ(raw.streamed_bytes, rle.streamed_bytes);
+}
+
+TEST(OutOfCore, AsyncPipelineMatchesSyncHatchBitwise) {
+  // The double-buffered upload pipeline must produce the identical forest to
+  // the GBDT_SYNC_STREAMS escape hatch: same enqueue order, serial schedule.
+  ToggleGuard guard;
+  const auto ds = make_data(81, 4000, 12, 0.9);
+  const auto p = small_param();
+
+  device::set_stream_async_enabled(true);
+  Device dev_async(DeviceConfig::titan_x_pascal());
+  const auto async_r =
+      OutOfCoreTrainer(dev_async, p, 1 << 18).train(ds);
+
+  device::set_stream_async_enabled(false);
+  Device dev_sync(DeviceConfig::titan_x_pascal());
+  const auto sync_r = OutOfCoreTrainer(dev_sync, p, 1 << 18).train(ds);
+
+  ASSERT_EQ(async_r.trees.size(), sync_r.trees.size());
+  for (std::size_t t = 0; t < async_r.trees.size(); ++t) {
+    EXPECT_TRUE(Tree::same_structure(async_r.trees[t], sync_r.trees[t], 0.0))
+        << t;
+  }
+  ASSERT_EQ(async_r.train_scores.size(), sync_r.train_scores.size());
+  for (std::size_t i = 0; i < async_r.train_scores.size(); ++i) {
+    ASSERT_EQ(async_r.train_scores[i], sync_r.train_scores[i]) << i;
+  }
+  EXPECT_EQ(async_r.streamed_bytes, sync_r.streamed_bytes);
+
+  // Upload time hides under enumeration only when the streams are real.
+  // The serial ratio is makespan-vs-sum rounding noise, not overlap.
+  EXPECT_GT(async_r.overlap_ratio, 0.01);
+  EXPECT_LT(sync_r.overlap_ratio, 1e-9);
+  EXPECT_LT(async_r.modeled_seconds, sync_r.modeled_seconds);
+}
+
+TEST(OutOfCore, AsyncPipelineIsRaceClean) {
+  // With the happens-before detector armed every upload/compute edge of the
+  // double-buffer must be covered; a missing wait_event throws here.
+  ToggleGuard guard;
+  device::set_stream_async_enabled(true);
+  analysis::set_race_detect_enabled(true);
+  const auto ds = make_data(82, 3000, 10, 0.8, /*distinct=*/4);
+  Device dev(DeviceConfig::titan_x_pascal());
+  OutOfCoreReport r;
+  EXPECT_NO_THROW(r = OutOfCoreTrainer(dev, small_param(), 1 << 18).train(ds));
+  EXPECT_GT(r.trees.size(), 0u);
+}
+
+TEST(OutOfCore, SchedulePerturbationIsBitwiseStable) {
+  // Deferred, seeded-random-but-legal drain orders must not change the data
+  // the pipeline produces — the event edges fully determine it.
+  ToggleGuard guard;
+  device::set_stream_async_enabled(true);
+  const auto ds = make_data(83, 2500, 10, 0.9);
+  const auto p = small_param();
+
+  Device dev_eager(DeviceConfig::titan_x_pascal());
+  const auto eager = OutOfCoreTrainer(dev_eager, p, 1 << 18).train(ds);
+
+  for (std::uint64_t seed : {1ull, 99ull}) {
+    Device dev(DeviceConfig::titan_x_pascal());
+    dev.set_schedule_fuzz(seed);
+    const auto fuzzed = OutOfCoreTrainer(dev, p, 1 << 18).train(ds);
+    dev.clear_schedule_fuzz();
+    ASSERT_EQ(fuzzed.train_scores.size(), eager.train_scores.size());
+    for (std::size_t i = 0; i < fuzzed.train_scores.size(); ++i) {
+      ASSERT_EQ(fuzzed.train_scores[i], eager.train_scores[i])
+          << "seed " << seed << " instance " << i;
+    }
+    ASSERT_EQ(fuzzed.trees.size(), eager.trees.size());
+    for (std::size_t t = 0; t < fuzzed.trees.size(); ++t) {
+      EXPECT_TRUE(Tree::same_structure(fuzzed.trees[t], eager.trees[t], 0.0))
+          << "seed " << seed << " tree " << t;
+    }
+  }
 }
 
 TEST(OutOfCore, RejectsBadConfig) {

@@ -15,6 +15,7 @@
 #include "core/gbdt.h"
 #include "core/predictor.h"
 #include "data/synthetic.h"
+#include "serve/percentile.h"
 #include "serve/request_queue.h"
 #include "serve/service.h"
 #include "serve/shard_scorer.h"
@@ -413,6 +414,21 @@ TEST_F(ServeTornSwap, ArmedFaultIsInertWhileInvariantsDisabled) {
   ASSERT_TRUE(f.has_value());
   EXPECT_EQ(f->get().score, offline[0]);
   svc.shutdown();
+}
+
+TEST(ServePercentile, BatchedPercentilesMatchSinglePCalls) {
+  const std::vector<double> xs{9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0, 4.0, 6.0};
+  const auto pcts = serve::percentiles(xs, {0.0, 50.0, 95.0, 99.0, 100.0});
+  ASSERT_EQ(pcts.size(), 5u);
+  EXPECT_EQ(pcts[0], serve::percentile(xs, 0.0));
+  EXPECT_EQ(pcts[1], serve::percentile(xs, 50.0));
+  EXPECT_EQ(pcts[2], serve::percentile(xs, 95.0));
+  EXPECT_EQ(pcts[3], serve::percentile(xs, 99.0));
+  EXPECT_EQ(pcts[4], 9.0);
+  EXPECT_EQ(pcts[1], 5.0);  // nearest-rank median of 1..9
+
+  const auto empty = serve::percentiles({}, {50.0, 99.0});
+  EXPECT_EQ(empty, (std::vector<double>{0.0, 0.0}));
 }
 
 TEST_F(ServeTornSwap, CleanSnapshotVerifiesWithChecksArmed) {

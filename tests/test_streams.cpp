@@ -1,0 +1,305 @@
+// Stream/event/async-copy semantics of the simulated device: default-stream
+// programs stay bitwise identical to the legacy synchronous path,
+// independent streams overlap in modeled time, event and sync edges extend
+// the per-stream clocks, illegal waits fail loudly (unknown ids, deferred
+// deadlocks), and schedule-perturbation mode leaves race-free programs —
+// data and modeled clocks alike — untouched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "device/device_context.h"
+#include "device/device_memory.h"
+
+namespace gbdt {
+namespace {
+
+device::DeviceConfig small_config() {
+  device::DeviceConfig c = device::DeviceConfig::titan_x_pascal();
+  c.global_mem_bytes = 1 << 20;
+  return c;
+}
+
+/// Fills out[lo, lo+len) with v on `stream`; footprint-declared so the
+/// suite runs clean under GBDT_RACE_DETECT=1.
+void fill_async(device::Device& dev, int stream, std::span<float> out,
+                std::int64_t lo, std::int64_t len, float v) {
+  dev.launch_async("stream_test_fill", stream, device::grid_for(len, 32), 32,
+                   [out, lo, len, v](device::BlockCtx& b) {
+                     b.for_each_thread([&](std::int64_t i) {
+                       if (i < len) {
+                         out[static_cast<std::size_t>(lo + i)] = v;
+                       }
+                     });
+                     const std::int64_t tile_lo =
+                         std::min(b.block_idx() * b.block_dim(), len);
+                     const std::int64_t tile_n = std::min<std::int64_t>(
+                         b.block_dim(), len - tile_lo);
+                     b.writes(out, lo + tile_lo, tile_n);
+                     b.work(static_cast<std::uint64_t>(tile_n));
+                   });
+}
+
+TEST(Streams, DefaultStreamRouteMatchesLegacyLaunchBitwise) {
+  const std::int64_t n = 256;
+  device::Device legacy(small_config());
+  auto a = legacy.alloc<float>(static_cast<std::size_t>(n));
+  {
+    const auto sp = a.span();
+    legacy.launch("stream_test_fill", device::grid_for(n, 32), 32,
+                  [sp, n](device::BlockCtx& b) {
+                    b.for_each_thread([&](std::int64_t i) {
+                      if (i < n) sp[static_cast<std::size_t>(i)] =
+                          static_cast<float>(i);
+                    });
+                    b.writes_tile(sp, n);
+                    b.work(static_cast<std::uint64_t>(n));
+                  });
+  }
+  device::Device routed(small_config());
+  auto b2 = routed.alloc<float>(static_cast<std::size_t>(n));
+  {
+    const auto sp = b2.span();
+    routed.launch_async("stream_test_fill", device::kDefaultStream,
+                        device::grid_for(n, 32), 32,
+                        [sp, n](device::BlockCtx& b) {
+                          b.for_each_thread([&](std::int64_t i) {
+                            if (i < n) sp[static_cast<std::size_t>(i)] =
+                                static_cast<float>(i);
+                          });
+                          b.writes_tile(sp, n);
+                          b.work(static_cast<std::uint64_t>(n));
+                        });
+  }
+  const auto ha = legacy.to_host(a);
+  const auto hb = routed.to_host(b2);
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]) << i;
+  // Same ops, same modeled time, and a default-stream-only history never
+  // overlaps anything.
+  EXPECT_DOUBLE_EQ(legacy.elapsed_seconds(), routed.elapsed_seconds());
+  EXPECT_LT(routed.overlap_ratio(), 1e-12);
+}
+
+TEST(Streams, IndependentStreamsOverlapInModeledTime) {
+  device::Device dev(small_config());
+  const int s1 = dev.stream();
+  const int s2 = dev.stream();
+  const std::int64_t n = 4096;
+  auto a = dev.alloc<float>(static_cast<std::size_t>(n));
+  auto b = dev.alloc<float>(static_cast<std::size_t>(n));
+  fill_async(dev, s1, a.span(), 0, n, 1.f);
+  fill_async(dev, s2, b.span(), 0, n, 2.f);
+  dev.sync();
+  const auto& tl = dev.timeline();
+  // Two equal kernels on independent streams: the makespan is one kernel,
+  // the busy sum is two.
+  EXPECT_LT(tl.makespan_seconds, tl.total_seconds());
+  EXPECT_GT(dev.overlap_ratio(), 0.4);
+  ASSERT_GE(tl.streams.size(), 3u);
+  EXPECT_EQ(tl.streams[static_cast<std::size_t>(s1)].ops, 1u);
+  EXPECT_EQ(tl.streams[static_cast<std::size_t>(s2)].ops, 1u);
+}
+
+TEST(Streams, SameStreamIsFifoSerial) {
+  device::Device dev(small_config());
+  const int s = dev.stream();
+  const std::int64_t n = 4096;
+  auto a = dev.alloc<float>(static_cast<std::size_t>(n));
+  fill_async(dev, s, a.span(), 0, n, 1.f);
+  fill_async(dev, s, a.span(), 0, n, 2.f);
+  dev.sync();
+  // FIFO within a stream: no overlap, makespan equals the busy sum.
+  EXPECT_NEAR(dev.timeline().makespan_seconds, dev.timeline().total_seconds(),
+              1e-12 * dev.timeline().total_seconds());
+  const auto host = dev.to_host(a);
+  for (const float v : host) EXPECT_EQ(v, 2.f);
+}
+
+TEST(Streams, DefaultStreamBlocksEveryOtherStream) {
+  device::Device dev(small_config());
+  const int s1 = dev.stream();
+  const int s2 = dev.stream();
+  const std::int64_t n = 4096;
+  auto a = dev.alloc<float>(static_cast<std::size_t>(n));
+  auto b = dev.alloc<float>(static_cast<std::size_t>(n));
+  auto c = dev.alloc<float>(static_cast<std::size_t>(n));
+  fill_async(dev, s1, a.span(), 0, n, 1.f);
+  // Legacy blocking stream: joins every stream clock first, propagates its
+  // end to all of them after.
+  fill_async(dev, device::kDefaultStream, b.span(), 0, n, 2.f);
+  fill_async(dev, s2, c.span(), 0, n, 3.f);
+  dev.sync();
+  EXPECT_NEAR(dev.timeline().makespan_seconds, dev.timeline().total_seconds(),
+              1e-12 * dev.timeline().total_seconds());
+  EXPECT_LT(dev.overlap_ratio(), 1e-9);
+}
+
+TEST(Streams, EventEdgeSerializesTheWaitingStream) {
+  device::Device dev(small_config());
+  const int s1 = dev.stream();
+  const int s2 = dev.stream();
+  const std::int64_t n = 4096;
+  auto a = dev.alloc<float>(static_cast<std::size_t>(n));
+  auto b = dev.alloc<float>(static_cast<std::size_t>(n));
+  fill_async(dev, s1, a.span(), 0, n, 1.f);
+  const int done = dev.record_event(s1);
+  // hb: producer fill on s1 -> dependent fill on s2 (test chains the clocks)
+  dev.wait_event(s2, done);
+  fill_async(dev, s2, b.span(), 0, n, 2.f);
+  dev.sync();
+  // The event chains the two kernels end-to-start: serial makespan even
+  // though they sit on different streams.
+  EXPECT_NEAR(dev.timeline().makespan_seconds, dev.timeline().total_seconds(),
+              1e-12 * dev.timeline().total_seconds());
+}
+
+TEST(Streams, HostSyncOrdersLaterEnqueues) {
+  device::Device dev(small_config());
+  const int s1 = dev.stream();
+  const int s2 = dev.stream();
+  const std::int64_t n = 4096;
+  auto a = dev.alloc<float>(static_cast<std::size_t>(n));
+  auto b = dev.alloc<float>(static_cast<std::size_t>(n));
+  fill_async(dev, s1, a.span(), 0, n, 1.f);
+  dev.sync(s1);
+  fill_async(dev, s2, b.span(), 0, n, 2.f);
+  dev.sync();
+  EXPECT_NEAR(dev.timeline().makespan_seconds, dev.timeline().total_seconds(),
+              1e-12 * dev.timeline().total_seconds());
+  EXPECT_DOUBLE_EQ(dev.timeline().host_clock, dev.timeline().makespan_seconds);
+}
+
+TEST(Streams, AsyncCopiesRoundtripWithEventOrdering) {
+  device::Device dev(small_config());
+  const int s_copy = dev.stream();
+  const int s_compute = dev.stream();
+  const std::int64_t n = 512;
+  auto buf = dev.alloc<float>(static_cast<std::size_t>(n));
+  std::vector<float> host_in(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < host_in.size(); ++i) {
+    host_in[i] = static_cast<float>(i);
+  }
+  dev.copy_to_device_async("stream_test_upload", s_copy,
+                           std::span<const float>(host_in), buf);
+  const int uploaded = dev.record_event(s_copy);
+  // hb: upload(s_copy) -> increment kernel(s_compute)
+  dev.wait_event(s_compute, uploaded);
+  const auto sp = buf.span();
+  dev.launch_async("stream_test_increment", s_compute,
+                   device::grid_for(n, 32), 32,
+                   [sp, n](device::BlockCtx& b) {
+                     b.for_each_thread([&](std::int64_t i) {
+                       if (i < n) sp[static_cast<std::size_t>(i)] += 1.f;
+                     });
+                     b.writes_tile(sp, n);
+                     b.reads_tile(sp, n);
+                   });
+  std::vector<float> host_out(static_cast<std::size_t>(n));
+  dev.copy_to_host_async("stream_test_download", s_compute, buf,
+                         std::span<float>(host_out));
+  dev.sync();
+  for (std::size_t i = 0; i < host_out.size(); ++i) {
+    EXPECT_EQ(host_out[i], static_cast<float>(i) + 1.f) << i;
+  }
+  // Labeled transfers land in the per-label transfer table.
+  const auto& tt = dev.timeline().stream_transfers;
+  ASSERT_EQ(tt.count("stream_test_upload"), 1u);
+  ASSERT_EQ(tt.count("stream_test_download"), 1u);
+  EXPECT_EQ(tt.at("stream_test_upload").bytes, sizeof(float) * host_in.size());
+}
+
+TEST(Streams, WaitOnUnknownEventThrows) {
+  device::Device dev(small_config());
+  const int s = dev.stream();
+  EXPECT_THROW(dev.wait_event(s, 12345), std::logic_error);
+  EXPECT_THROW(dev.wait_event(s, -1), std::logic_error);
+}
+
+TEST(Streams, OpsOnUnknownStreamThrow) {
+  device::Device dev(small_config());
+  EXPECT_THROW(dev.sync(42), std::logic_error);
+  EXPECT_THROW((void)dev.record_event(42), std::logic_error);
+}
+
+TEST(Streams, DeferredCrossWaitsCannotDeadlock) {
+  // record_event creates the event and enqueues its record op atomically, so
+  // every deferred wait's record sits earlier in program order — wait cycles
+  // are unconstructible through the public API and the drain's "stream
+  // deadlock" guard stays a defensive backstop.  The tightest legal
+  // cross-wait pattern must drain cleanly.
+  device::Device dev(small_config());
+  const int s1 = dev.stream();
+  const int s2 = dev.stream();
+  const std::int64_t n = 64;
+  auto a = dev.alloc<float>(static_cast<std::size_t>(n));
+  auto b = dev.alloc<float>(static_cast<std::size_t>(n));
+  dev.set_schedule_fuzz(7);
+  const int e1 = dev.record_event(s1);
+  const int e2 = dev.record_event(s2);
+  // hb: record(s2) -> fill(s1) (cross-wait pair, both directions)
+  dev.wait_event(s1, e2);
+  // hb: record(s1) -> fill(s2) (cross-wait pair, both directions)
+  dev.wait_event(s2, e1);
+  fill_async(dev, s1, a.span(), 0, n, 1.f);
+  fill_async(dev, s2, b.span(), 0, n, 2.f);
+  EXPECT_NO_THROW(dev.sync());
+  for (const float v : dev.to_host(a)) EXPECT_EQ(v, 1.f);
+  for (const float v : dev.to_host(b)) EXPECT_EQ(v, 2.f);
+  dev.clear_schedule_fuzz();
+}
+
+TEST(Streams, ScheduleFuzzKeepsDataAndClocksInvariant) {
+  std::vector<float> baseline;
+  double baseline_makespan = 0.0;
+  for (const std::uint64_t seed : {0ull, 1ull, 99ull, 123456789ull}) {
+    device::Device dev(small_config());
+    if (seed != 0) dev.set_schedule_fuzz(seed);
+    const int s_copy = dev.stream();
+    const int s_compute = dev.stream();
+    const std::int64_t n = 512;
+    auto buf = dev.alloc<float>(static_cast<std::size_t>(n));
+    auto out = dev.alloc<float>(static_cast<std::size_t>(n));
+    std::vector<float> host_in(static_cast<std::size_t>(n), 3.f);
+    dev.copy_to_device_async("stream_test_upload", s_copy,
+                             std::span<const float>(host_in), buf);
+    const int uploaded = dev.record_event(s_copy);
+    // hb: upload(s_copy) -> scale kernel(s_compute)
+    dev.wait_event(s_compute, uploaded);
+    const auto in_sp = buf.span();
+    const auto out_sp = out.span();
+    dev.launch_async("stream_test_scale", s_compute, device::grid_for(n, 32),
+                     32, [in_sp, out_sp, n](device::BlockCtx& b) {
+                       b.for_each_thread([&](std::int64_t i) {
+                         if (i < n) {
+                           out_sp[static_cast<std::size_t>(i)] =
+                               2.f * in_sp[static_cast<std::size_t>(i)];
+                         }
+                       });
+                       b.reads_tile(in_sp, n);
+                       b.writes_tile(out_sp, n);
+                     });
+    dev.sync();
+    const auto host = dev.to_host(out);
+    if (seed == 0) {
+      baseline = host;
+      baseline_makespan = dev.timeline().makespan_seconds;
+      continue;
+    }
+    // Race-free program: every legal interleaving yields bitwise-identical
+    // data, and the modeled clocks are DAG-determined, so the makespan is
+    // schedule-invariant too.
+    ASSERT_EQ(host.size(), baseline.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < host.size(); ++i) {
+      EXPECT_EQ(host[i], baseline[i]) << "seed " << seed << " elem " << i;
+    }
+    EXPECT_DOUBLE_EQ(dev.timeline().makespan_seconds, baseline_makespan)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gbdt

@@ -8,18 +8,21 @@
 #
 # The ASan+UBSan tree lives in build-asan/, the TSan tree in build-tsan/,
 # both next to the regular build/.  The TSan lane runs the unit, property,
-# bench_smoke, hist_smoke and serve_smoke labels (the concurrency-relevant
-# suites: every kernel launch exercises the thread pool, the bench smoke
-# drives the observability hooks — trace spans, metrics shards — from those
-# workers, the hist smoke hammers the privatized histogram build/merge
-# kernels whose block-disjoint partial tiles are exactly the kind of sharing
-# TSan would catch if they overlapped, and the serve smoke runs the serving
-# layer's producer/worker/hot-swap machinery — the request queue, the
-# engine shared_ptr swap and the per-shard device locks — under real
-# threads); audit-mode fault-injection tests run their racy kernels on
-# single-worker devices precisely so this lane stays clean.  The test_serve
-# hot-swap race test (N producers x M publishes) also lives in the unit
-# label, so both lanes cover it.
+# bench_smoke, hist_smoke, serve_smoke and race_smoke labels (the
+# concurrency-relevant suites: every kernel launch exercises the thread
+# pool, the bench smoke drives the observability hooks — trace spans,
+# metrics shards — from those workers, the hist smoke hammers the privatized
+# histogram build/merge kernels whose block-disjoint partial tiles are
+# exactly the kind of sharing TSan would catch if they overlapped, the serve
+# smoke runs the serving layer's producer/worker/hot-swap machinery — the
+# request queue, the engine shared_ptr swap and the per-shard device locks —
+# under real threads, and the race smoke runs the happens-before detector's
+# fault-injection triple plus the schedule-perturbation sweep of the
+# double-buffered out-of-core pipeline); audit-mode and race-mode
+# fault-injection tests run their racy kernels on single-worker devices
+# precisely so this lane stays clean.  The test_serve hot-swap race test
+# (N producers x M publishes) also lives in the unit label, so both lanes
+# cover it.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -36,7 +39,7 @@ if [[ "${mode}" == "thread" ]]; then
   if [[ $# -gt 0 ]]; then
     ctest --output-on-failure "$@"
   else
-    ctest --output-on-failure -L 'unit|property|bench_smoke|hist_smoke|serve_smoke'
+    ctest --output-on-failure -L 'unit|property|bench_smoke|hist_smoke|serve_smoke|race_smoke'
   fi
 else
   build_dir="${repo_root}/build-asan"

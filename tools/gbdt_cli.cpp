@@ -476,6 +476,7 @@ int cmd_serve(const Flags& f) {
   out->precision(9);
   for (double s : printed) *out << s << '\n';
 
+  const auto pcts = serve::percentiles(latency, {50.0, 95.0, 99.0});
   std::fprintf(stderr,
                "served %zu rows (%llu rejected) in %.3f s (%.0f rows/s), "
                "%llu batches, model v%llu\n"
@@ -485,9 +486,8 @@ int cmd_serve(const Flags& f) {
                static_cast<double>(scores.size()) / wall,
                static_cast<unsigned long long>(svc.batches()),
                static_cast<unsigned long long>(svc.current_snapshot()->version),
-               1e3 * serve::percentile(latency, 50.0),
-               1e3 * serve::percentile(latency, 95.0),
-               1e3 * serve::percentile(latency, 99.0), svc.modeled_seconds());
+               1e3 * pcts[0], 1e3 * pcts[1], 1e3 * pcts[2],
+               svc.modeled_seconds());
   return 0;
 }
 
@@ -553,6 +553,7 @@ int cmd_loadgen(const Flags& f) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  const auto pcts = serve::percentiles(latency, {50.0, 95.0, 99.0});
   std::printf(
       "loadgen: rate %.0f req/s (%s), %zu completed, %llu rejected, "
       "%.3f s wall (%.0f rows/s)\n"
@@ -561,9 +562,7 @@ int cmd_loadgen(const Flags& f) {
       rate, poisson ? "poisson" : "uniform", latency.size(),
       static_cast<unsigned long long>(rejected), wall,
       static_cast<double>(latency.size()) / wall,
-      1e3 * serve::percentile(latency, 50.0),
-      1e3 * serve::percentile(latency, 95.0),
-      1e3 * serve::percentile(latency, 99.0),
+      1e3 * pcts[0], 1e3 * pcts[1], 1e3 * pcts[2],
       static_cast<unsigned long long>(svc.batches()),
       svc.batches() > 0
           ? static_cast<double>(svc.completed()) /

@@ -19,6 +19,13 @@
 //   gbdt_fuzz --audit-fault                         # seeded overlapping-write
 //                                                   # fault; exits nonzero
 //                                                   # when the auditor fires
+//   gbdt_fuzz --race --cases 25                     # sweep with the
+//                                                   # happens-before race
+//                                                   # detector armed + stream
+//                                                   # schedule perturbation
+//   gbdt_fuzz --race-fault unordered_write          # seeded stream race;
+//                                                   # exits 1 when the
+//                                                   # detector fires
 //
 // Exit code 0: all cases pass.  1: at least one real discrepancy.  2: bad
 // usage.
@@ -31,6 +38,7 @@
 
 #include "analysis/access_audit.h"
 #include "analysis/fault_kernels.h"
+#include "analysis/hb_race.h"
 #include "testing/invariants.h"
 #include "testing/oracle.h"
 
@@ -54,6 +62,8 @@ struct Options {
   bool audit_fault = false;
   bool hist_only = false;
   bool serve_only = false;
+  bool race_only = false;
+  std::string race_fault;  // seeded stream-race fault name
 };
 
 void usage() {
@@ -80,7 +90,18 @@ void usage() {
          "  --audit-fault      run the seeded overlapping-write fault kernel\n"
          "                     under the auditor; exits 1 (with the report)\n"
          "                     when the auditor fires, 0 if it failed to\n"
-         "                     fire\n";
+         "                     fire\n"
+         "  --race             arm the happens-before race detector and run\n"
+         "                     the full oracle plus out-of-core stream legs:\n"
+         "                     the GBDT_SYNC_STREAMS hatch and seeded\n"
+         "                     schedule perturbations must be bitwise\n"
+         "                     identical to the async pipeline\n"
+         "  --race-fault NAME  run one seeded stream-race fault under the\n"
+         "                     detector; exits 1 (with the report) when it\n"
+         "                     fires, 0 if it failed to fire.  NAME is one\n"
+         "                     of unordered_write, missing_event_wait,\n"
+         "                     copy_overlaps_kernel, or event_wait_fixed\n"
+         "                     (the negative control: must NOT fire)\n";
 }
 
 std::uint64_t parse_u64(const char* s) {
@@ -139,6 +160,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.audit = true;
     } else if (a == "--audit-fault") {
       opt.audit_fault = true;
+    } else if (a == "--race") {
+      opt.race_only = true;
+    } else if (a == "--race-fault") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.race_fault = v;
     } else if (a == "--help" || a == "-h") {
       usage();
       std::exit(0);
@@ -175,6 +202,8 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
       opt.hist_only ? gbdt::testing::run_hist_oracle(c, opt.check_invariants)
       : opt.serve_only
           ? gbdt::testing::run_serve_oracle(c, opt.check_invariants)
+      : opt.race_only
+          ? gbdt::testing::run_race_oracle(c, opt.check_invariants)
           : run_oracle(c, opt.check_invariants);
   std::cout << "[" << index << "/" << total << "] "
             << (r.pass() ? "PASS" : "FAIL") << " " << c.describe();
@@ -191,10 +220,14 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
   // fails the same way.  --hist failures are reported unshrunk (the repro
   // line still replays exactly).
   if (opt.minimize && !opt.hist_only) {
+    const bool check = opt.check_invariants;
     if (opt.serve_only) {
-      const bool check = opt.check_invariants;
       repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
         return !gbdt::testing::run_serve_oracle(s, check).pass();
+      });
+    } else if (opt.race_only) {
+      repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
+        return !gbdt::testing::run_race_oracle(s, check).pass();
       });
     } else {
       repro = gbdt::testing::minimize_case(c, opt.check_invariants);
@@ -205,9 +238,15 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
       std::cout << "  minimized to: " << repro.describe() << "\n";
     }
   }
-  std::cout << "  repro: " << repro.repro_command()
-            << (opt.serve_only ? " --serve" : opt.hist_only ? " --hist" : "")
-            << "\n";
+  // Ready-to-paste replay: the mode and analysis flags must ride along or
+  // the repro runs a different (likely passing) configuration.
+  std::string flags = opt.serve_only ? " --serve"
+                      : opt.hist_only ? " --hist"
+                      : opt.race_only ? " --race"
+                                      : "";
+  if (opt.audit) flags += " --audit";
+  if (!opt.check_invariants) flags += " --no-invariants";
+  std::cout << "  repro: " << repro.repro_command() << flags << "\n";
   return false;
 }
 
@@ -324,6 +363,46 @@ int audit_fault() {
   return 0;
 }
 
+/// Seeded-fault check for the happens-before race detector: each stream
+/// mis-use must be detected (exit 1 with the two-op report — registered in
+/// CTest with WILL_FAIL so a silent pass fails the suite).  The
+/// event_wait_fixed variant is the negative control: correctly ordered, the
+/// detector must stay silent and the run exits 0.  Single-worker device:
+/// the faults perform their conflicting accesses for real, which serial
+/// execution keeps benign on the host while the ordering is still wrong.
+int race_fault(const std::string& name) {
+  gbdt::analysis::set_race_detect_enabled(true);
+  gbdt::device::set_stream_async_enabled(true);
+  gbdt::device::Device dev(gbdt::device::DeviceConfig::titan_x_pascal(),
+                           /*host_workers=*/1);
+  try {
+    if (name == "unordered_write") {
+      gbdt::analysis::run_race_unordered_write(dev);
+    } else if (name == "missing_event_wait") {
+      gbdt::analysis::run_race_missing_event_wait(dev);
+    } else if (name == "copy_overlaps_kernel") {
+      gbdt::analysis::run_race_copy_overlaps_kernel(dev);
+    } else if (name == "event_wait_fixed") {
+      gbdt::analysis::run_race_event_wait_fixed(dev);
+    } else {
+      std::cerr << "unknown --race-fault '" << name
+                << "' (try unordered_write, missing_event_wait, "
+                   "copy_overlaps_kernel, event_wait_fixed)\n";
+      return 2;
+    }
+  } catch (const gbdt::analysis::RaceViolation& e) {
+    std::cerr << "race-fault detected as intended:\n  " << e.what() << "\n";
+    return 1;
+  }
+  if (name == "event_wait_fixed") {
+    std::cerr << "race-fault: event-ordered program is race-free, as "
+                 "intended\n";
+    return 0;
+  }
+  std::cerr << "race-fault: detector did NOT fire on " << name << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,6 +413,7 @@ int main(int argc, char** argv) {
   }
   if (opt.audit) gbdt::analysis::set_audit_enabled(true);
   if (opt.audit_fault) return audit_fault();
+  if (!opt.race_fault.empty()) return race_fault(opt.race_fault);
   if (opt.self_test) return self_test();
 
   if (opt.seed) {

@@ -32,6 +32,13 @@
 //      `obs::ScopedSpan` with a `serve_`-prefixed literal, so request-path
 //      device work is separable from training in traces, metrics and audit
 //      reports.  Same no-exemption policy as rules 7/8.
+//  10. Stream-aware async ops: every `launch_async` / `copy_to_device_async`
+//      / `copy_to_host_async` call site labels itself with a `stream_`-
+//      prefixed literal (so multi-stream work is separable in traces and
+//      race reports), and every `wait_event` call carries a `// hb: <edge>`
+//      comment nearby naming the happens-before edge it establishes.  The
+//      device layer itself (device_context.h) and the race detector
+//      (hb_race.*) are exempt — they define the machinery.
 //
 // Comments and string literals are blanked (length-preserving) before any
 // rule other than the justification search runs, so prose never trips the
@@ -345,6 +352,58 @@ void check_file(const fs::path& path) {
       ++end;
     }
     check_region_mutations(file, raw, code, open, end);
+  }
+
+  // Rule 10: async op labels + wait_event justification.  The device layer
+  // and the race detector define the machinery and are exempt.
+  if (fname != "device_context.h" && fname != "hb_race.h" &&
+      fname != "hb_race.cpp") {
+    static const std::regex async_re(
+        R"([.>]\s*(launch_async|copy_to_device_async|copy_to_host_async)\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), async_re);
+         it != std::sregex_iterator(); ++it) {
+      const auto open = static_cast<std::size_t>(it->position(0)) +
+                        static_cast<std::size_t>(it->length(0)) - 1;
+      std::size_t a = open + 1;
+      while (a < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[a]))) {
+        ++a;
+      }
+      // Literal contents live in `raw` — strip() blanks them in `code`.
+      const bool labeled = a < code.size() && code[a] == '"' &&
+                           raw.compare(a + 1, 7, "stream_") == 0;
+      if (!labeled) {
+        report(file, line_of(code, open),
+               "`" + it->str(1) +
+                   "(` without a `stream_`-prefixed label as first argument");
+      }
+    }
+    static const std::regex wait_re(R"([.>]\s*wait_event\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), wait_re);
+         it != std::sregex_iterator(); ++it) {
+      const auto at = static_cast<std::size_t>(it->position(0));
+      // Justification window: a few lines above the call through the end of
+      // its line — a `// hb: <edge>` comment must name the edge this wait
+      // establishes.
+      std::size_t window_lo = at;
+      for (int back = 0; back < 6 && window_lo > 0; ++back) {
+        const std::size_t prev = raw.rfind('\n', window_lo - 1);
+        if (prev == std::string::npos) {
+          window_lo = 0;
+          break;
+        }
+        window_lo = prev;
+      }
+      std::size_t window_hi = raw.find('\n', at);
+      if (window_hi == std::string::npos) window_hi = raw.size();
+      if (raw.substr(window_lo, window_hi - window_lo).find("hb:") !=
+          std::string::npos) {
+        continue;
+      }
+      report(file, line_of(code, at),
+             "`wait_event` without a `// hb: <edge>` justification naming "
+             "the happens-before edge it establishes");
+    }
   }
 
   // Rule 6: ScopedSpan names are string literals (declaration site exempt).
