@@ -13,7 +13,8 @@
 namespace gbdt {
 
 CvResult cross_validate(device::Device& dev, const data::Dataset& ds,
-                        const GBDTParam& param, int k_folds, unsigned seed) {
+                        const GBDTParam& param, int k_folds, unsigned seed,
+                        int early_stopping_rounds) {
   if (k_folds < 2) throw std::invalid_argument("need >= 2 folds");
   if (ds.n_instances() < k_folds) {
     throw std::invalid_argument("fewer instances than folds");
@@ -37,7 +38,16 @@ CvResult cross_validate(device::Device& dev, const data::Dataset& ds,
       target.add_instance(ds.instance(i),
                           ds.labels()[static_cast<std::size_t>(i)]);
     }
-    auto [model, report] = GBDTModel::train(dev, train_set, param);
+    GBDTModel model;
+    if (early_stopping_rounds > 0) {
+      auto [m, report, history] = GBDTModel::train_with_validation(
+          dev, train_set, held_out, param, early_stopping_rounds);
+      model = std::move(m);
+      result.fold_best_iteration.push_back(history.best_iteration);
+    } else {
+      auto [m, report] = GBDTModel::train(dev, train_set, param);
+      model = std::move(m);
+    }
     // Score held-out rows with the device-resident predictor: the fold's
     // forest and rows are each uploaded exactly once.
     const DeviceForest forest(

@@ -12,6 +12,9 @@ namespace gbdt {
 struct CvResult {
   std::string metric_name;            // "rmse" or "error"
   std::vector<double> fold_metric;    // held-out metric per fold
+  /// Best boosting round per fold (only filled when early stopping ran;
+  /// -1 when a fold never improved).
+  std::vector<int> fold_best_iteration;
   double mean = 0.0;
   double stddev = 0.0;
 };
@@ -19,9 +22,15 @@ struct CvResult {
 /// Trains k models, each holding out one contiguous-shuffled fold, and
 /// reports the held-out metric (rmse for regression, error rate for the
 /// logistic loss).  Deterministic for a given seed.
+///
+/// When early_stopping_rounds > 0 each fold trains against its held-out
+/// fold as the validation split (honoring param.eval_freq), the fold's
+/// forest is truncated to its best iteration, and fold_best_iteration
+/// records where each fold stopped.
 [[nodiscard]] CvResult cross_validate(device::Device& dev,
                                       const data::Dataset& ds,
                                       const GBDTParam& param, int k_folds,
-                                      unsigned seed = 42);
+                                      unsigned seed = 42,
+                                      int early_stopping_rounds = 0);
 
 }  // namespace gbdt

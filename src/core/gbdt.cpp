@@ -7,8 +7,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/metrics.h"
 #include "core/predictor.h"
 #include "core/trainer_hist.h"
+#include "objective/early_stop.h"
 
 namespace gbdt {
 
@@ -34,17 +36,30 @@ GBDTModel::train_with_validation(device::Device& dev,
                                  const GBDTParam& param,
                                  int early_stopping_rounds) {
   const auto loss = make_loss(param.loss);
+  const bool ranking = param.objective == ObjectiveKind::kRanking;
   const bool classification = param.loss == LossKind::kLogistic;
+  if (ranking && !validation.has_queries()) {
+    throw std::invalid_argument(
+        "ranking validation needs query groups on the validation set");
+  }
 
   ValidationHistory history;
-  history.metric_name = classification ? "error" : "rmse";
+  history.metric_name = ranking
+                            ? "ndcg@" + std::to_string(param.ndcg_k)
+                            : classification ? "error" : "rmse";
 
-  // Incremental validation scores, updated after every trained tree.
+  // Incremental validation scores, updated after every trained tree (the
+  // per-tree update stays cheap even on skipped-evaluation rounds).
   std::vector<double> scores(static_cast<std::size_t>(validation.n_instances()),
                              param.base_score);
   std::vector<std::int32_t> attrs;
   std::vector<float> vals;
   auto metric_now = [&]() {
+    if (ranking) {
+      // NDCG depends only on the score ordering, so raw scores suffice.
+      return ndcg_at_k(scores, validation.labels(),
+                       validation.query_offsets(), param.ndcg_k);
+    }
     double bad = 0.0;
     for (std::int64_t i = 0; i < validation.n_instances(); ++i) {
       const double pred = loss->transform(scores[static_cast<std::size_t>(i)]);
@@ -59,8 +74,8 @@ GBDTModel::train_with_validation(device::Device& dev,
     return classification ? mean : std::sqrt(mean);
   };
 
-  int rounds_without_improvement = 0;
-  double best_metric = std::numeric_limits<double>::infinity();
+  objective::EarlyStopper stopper(early_stopping_rounds, param.eval_freq,
+                                  /*higher_is_better=*/ranking);
 
   GpuGbdtTrainer trainer(dev, param);
   TrainReport report =
@@ -77,22 +92,17 @@ GBDTModel::train_with_validation(device::Device& dev,
           scores[static_cast<std::size_t>(i)] += tree.predict(
               attrs.data(), vals.data(), static_cast<std::int64_t>(row.size()));
         }
+        if (!stopper.should_eval(t, param.n_trees)) return true;
         const double m = metric_now();
         history.metric.push_back(m);
-        if (m < best_metric) {
-          best_metric = m;
-          history.best_iteration = t;
-          rounds_without_improvement = 0;
-        } else {
-          ++rounds_without_improvement;
-        }
-        if (early_stopping_rounds > 0 &&
-            rounds_without_improvement >= early_stopping_rounds) {
+        history.eval_iteration.push_back(t);
+        if (stopper.record(t, m)) {
           history.stopped_early = true;
           return false;
         }
         return true;
       });
+  history.best_iteration = stopper.best_iteration();
 
   std::vector<Tree> forest = report.trees;
   if (history.stopped_early && history.best_iteration >= 0) {

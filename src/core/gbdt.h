@@ -21,10 +21,13 @@ enum class ImportanceKind {
   kSplitCount,  // number of splits using the feature
 };
 
-/// Per-tree validation metric trace from train_with_validation.
+/// Validation metric trace from train_with_validation.  With the default
+/// eval_freq = 1 every trained tree is scored; larger eval_freq scores every
+/// eval_freq-th tree (plus the last), and eval_iteration records which.
 struct ValidationHistory {
-  std::string metric_name;            // "rmse" or "error"
-  std::vector<double> metric;         // one entry per trained tree
+  std::string metric_name;            // "rmse", "error", or "ndcg@k"
+  std::vector<double> metric;         // one entry per evaluated round
+  std::vector<int> eval_iteration;    // tree index of each evaluated round
   int best_iteration = -1;            // tree index with the best metric
   bool stopped_early = false;
 };
@@ -43,11 +46,12 @@ class GBDTModel {
   [[nodiscard]] static std::pair<GBDTModel, TrainReport> train(
       device::Device& dev, const data::Dataset& ds, const GBDTParam& param);
 
-  /// Trains while tracking a validation metric after every tree (rmse for
-  /// regression, error rate for logistic loss).  When
-  /// early_stopping_rounds > 0, boosting stops once the metric has not
-  /// improved for that many consecutive trees and the forest is truncated
-  /// to the best iteration.
+  /// Trains while tracking a validation metric (rmse for regression, error
+  /// rate for logistic loss, NDCG@k for the ranking objective — the
+  /// validation set then needs query offsets).  param.eval_freq controls how
+  /// often the metric is scored.  When early_stopping_rounds > 0, boosting
+  /// stops once the metric has not improved for that many consecutive
+  /// evaluations and the forest is truncated to the best iteration.
   [[nodiscard]] static std::tuple<GBDTModel, TrainReport, ValidationHistory>
   train_with_validation(device::Device& dev, const data::Dataset& train_set,
                         const data::Dataset& validation,

@@ -1,6 +1,8 @@
-// Evaluation metrics used in the paper's experiments.
+// Evaluation metrics used in the paper's experiments, plus the ranking /
+// classification metrics of the objective layer (NDCG@k, AUC).
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 namespace gbdt {
@@ -12,5 +14,21 @@ namespace gbdt {
 /// Binary classification error rate with a 0.5 threshold on predictions.
 [[nodiscard]] double error_rate(std::span<const double> pred,
                                 std::span<const float> label);
+
+/// Mean NDCG@k over query groups delimited by `query_offsets` (size
+/// n_queries + 1, covering [0, n)).  Documents are ranked by score
+/// descending, ties broken by the lower index (deterministic); gains are
+/// 2^label - 1.  A query whose ideal DCG is zero (all labels zero)
+/// contributes a perfect 1.0.
+[[nodiscard]] double ndcg_at_k(std::span<const double> pred,
+                               std::span<const float> label,
+                               std::span<const std::int64_t> query_offsets,
+                               int k);
+
+/// Area under the ROC curve of scores against binary labels (label >= 0.5 is
+/// positive), with the standard average-rank treatment of tied scores.
+/// Degenerate inputs (all-positive or all-negative labels) return 0.5.
+[[nodiscard]] double auc(std::span<const double> pred,
+                         std::span<const float> label);
 
 }  // namespace gbdt

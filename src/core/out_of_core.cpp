@@ -9,6 +9,7 @@
 #include "data/csc_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "objective/objective.h"
 #include "primitives/reduce.h"
 #include "primitives/transform.h"
 #include "testing/invariants.h"
@@ -201,6 +202,7 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
   detail::TrainState st(dev_, param_, *loss_);
   st.n_inst = n_inst;
   st.n_attr = n_attr;
+  objective::RoundDriver round_driver(dev_, param_, ds);
   auto d_labels = dev_.to_device<float>(ds.labels());
   st.grad = dev_.alloc<double>(static_cast<std::size_t>(n_inst));
   st.hess = dev_.alloc<double>(static_cast<std::size_t>(n_inst));
@@ -216,7 +218,7 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
     {
       obs::ScopedSpan span("gradient_compute");
       if (t > 0) detail::update_predictions_smart(st, report.trees.back());
-      detail::compute_gradients(st, d_labels);
+      round_driver.begin_round(st, d_labels, t);
       prim::fill(dev_, st.node_of, std::int32_t{0});
       root.tree_node = 0;
       root.sum_g = prim::reduce_sum<double>(dev_, st.grad, "ooc_root_sum_g");
@@ -485,6 +487,13 @@ OutOfCoreReport OutOfCoreTrainer::train(const data::Dataset& ds) {
         // ascending attribute order; strict > keeps the lowest attribute on
         // ties, like the in-core argmax).
         for (std::int64_t col = 0; col < n_cols; ++col) {
+          // Columns outside this tree's feature bag yield no splits (host
+          // glue over the simulated device: the mask byte read mirrors the
+          // scalar winner reads below).
+          if (!st.feature_mask.empty() &&
+              st.feature_mask[static_cast<std::size_t>(c.attr_lo + col)] == 0) {
+            continue;
+          }
           for (std::int64_t s = 0; s < n_slots; ++s) {
             const ColumnBest& cb =
                 d_best[static_cast<std::size_t>(col * n_slots + s)];

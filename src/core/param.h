@@ -11,6 +11,12 @@ enum class LossKind {
   kLogistic,      // binary cross-entropy on logits
 };
 
+/// Who produces the per-round gradients (src/objective/).
+enum class ObjectiveKind {
+  kPointwise,  // per-instance Loss derivatives (regression / binary)
+  kRanking,    // pairwise LambdaMART gradients over query groups
+};
+
 /// Hyper-parameters of Algorithm 1 plus the GPU-specific knobs.  The `use_*`
 /// toggles switch the paper's individual optimizations off for the Figure 9
 /// ablation study; all default to the paper's configuration.
@@ -23,6 +29,24 @@ struct GBDTParam {
   double eta = 0.3;       // shrinkage applied to leaf weights
   double base_score = 0.0;
   LossKind loss = LossKind::kSquaredError;
+
+  // ---- objective / sampling layer (src/objective/) -----------------------
+  /// Gradient producer.  kRanking needs query groups on the Dataset.
+  ObjectiveKind objective = ObjectiveKind::kPointwise;
+  /// Cutoff k of the NDCG@k eval metric and the LambdaMART |dNDCG| weights.
+  int ndcg_k = 10;
+  /// Per-tree row subsampling ratio in (0, 1]; 1.0 = every row visible
+  /// (the no-sampling escape hatch: the SamplingPlan compiles out).
+  double subsample = 1.0;
+  /// Feature bag size per tree: 0 = all features, -1 = floor(sqrt(F)),
+  /// n > 0 = exactly n features.
+  std::int64_t feature_bag = 0;
+  /// Seed of the per-tree sampling draws (splitmix64 sub-streams), shared by
+  /// every trainer path so sampled forests are bitwise-reproducible.
+  std::uint64_t sampling_seed = 42;
+  /// Validation-metric cadence for early stopping: evaluate every
+  /// `eval_freq` trees (the last tree is always evaluated).
+  int eval_freq = 1;
 
   // ---- GPU-GBDT technique knobs -----------------------------------------
   /// R: compress with RLE when dimensionality/cardinality exceeds this.

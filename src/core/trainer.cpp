@@ -8,6 +8,7 @@
 #include "data/csc_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "objective/objective.h"
 #include "primitives/reduce.h"
 #include "primitives/segmented.h"
 #include "primitives/transform.h"
@@ -421,6 +422,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
   }
 
   // ---- persistent per-instance state -------------------------------------
+  objective::RoundDriver round_driver(dev_, param_, ds);
   auto d_labels = dev_.to_device<float>(ds.labels());
   st.grad = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
   st.hess = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
@@ -455,7 +457,7 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
           update_predictions_naive(st, report.trees.back());
         }
       }
-      compute_gradients(st, d_labels);
+      round_driver.begin_round(st, d_labels, t);
     }
 
     {

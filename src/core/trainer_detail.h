@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/loss.h"
@@ -130,6 +131,13 @@ struct TrainState {
   device::DeviceBuffer<double> hess;
   device::DeviceBuffer<float> y_pred;
   device::DeviceBuffer<std::int32_t> node_of;  // tree node id per instance
+
+  // ---- objective/sampling layer (src/objective/) -------------------------
+  /// Current tree's feature bag (shard-local attribute ids in the multi-GPU
+  /// path), installed by objective::RoundDriver::begin_round.  Empty = all
+  /// attributes visible; the gain kernels then take the exact pre-sampling
+  /// code path, so the disabled configuration stays bitwise-identical.
+  std::span<const std::uint8_t> feature_mask;
 
   // ---- naive-gradient mode (SmartGD off) ---------------------------------
   device::DeviceBuffer<std::int64_t> csr_offsets;

@@ -34,6 +34,7 @@
 #include "core/trainer_detail.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "objective/objective.h"
 #include "primitives/fused_split.h"
 #include "primitives/reduce.h"
 #include "primitives/segmented.h"
@@ -255,6 +256,7 @@ TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
   }
 
   // ---- persistent per-instance state --------------------------------------
+  objective::RoundDriver round_driver(dev_, param_, ds);
   auto d_labels = dev_.to_device<float>(ds.labels());
   st.grad = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
   st.hess = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
@@ -272,7 +274,7 @@ TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
       PhaseScope phase(dev_, report.modeled.gradients);
       obs::ScopedSpan span("gradient_compute");
       if (t > 0) detail::update_predictions_smart(st, report.trees.back());
-      detail::compute_gradients(st, d_labels);
+      round_driver.begin_round(st, d_labels, t);
     }
 
     // Quantize this tree's gradients so histogram accumulation is exact
@@ -405,10 +407,11 @@ TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
         auto sc = scan.span();
         auto tot = seg_tot.span();
         auto sq = d_slotq.span();
+        const auto fm = st.feature_mask;
         prim::fused_gain_argmax(
             dev_, seg_offsets, best_seg_val, best_seg_idx, best_seg_dir,
             st.segs_per_block(n_seg),
-            [hc, sc, tot, sq, n_attr, inv_g, inv_h, lambda](
+            [hc, sc, tot, sq, fm, n_attr, inv_g, inv_h, lambda](
                 device::BlockCtx& b, std::int64_t s, std::int64_t e,
                 std::int64_t seg_lo, std::int64_t /*seg_hi*/) {
               const auto u = static_cast<std::size_t>(e);
@@ -419,7 +422,13 @@ TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
                 // Segment-invariant loads, once per segment.
                 b.reads(tot, s);
                 b.reads(sq, s / n_attr);
+                if (!fm.empty()) b.reads(fm, s % n_attr);
                 b.mem_irregular(1);
+              }
+              // Attributes outside this tree's feature bag yield no splits
+              // (mask, not compaction: the segment layout is untouched).
+              if (!fm.empty() && fm[static_cast<std::size_t>(s % n_attr)] == 0) {
+                return prim::GainDir{};
               }
               // Empty bins carry no boundary (mirrors the CPU baseline's
               // skip); a zero-gain suppressed cell loses to any real split.

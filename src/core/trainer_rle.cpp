@@ -163,10 +163,11 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
     auto scan = ghl.span();
     auto tot = seg_tot.span();
     auto stats = tables.stats.span();
+    const auto fm = st.feature_mask;
     prim::fused_gain_argmax(
         dev, st.run_seg_offsets, best_seg_val, best_seg_idx, best_seg_dir,
         st.segs_per_block(n_seg),
-        [starts, scan, tot, stats, n_attr, lambda](
+        [starts, scan, tot, stats, fm, n_attr, lambda](
             BlockCtx& b, std::int64_t s, std::int64_t r, std::int64_t run_lo,
             std::int64_t run_hi) {
           const auto u = static_cast<std::size_t>(r);
@@ -183,8 +184,14 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
             b.reads(stats, s / n_attr);
             b.reads(starts, run_lo);
             b.reads(starts, run_hi);
+            if (!fm.empty()) b.reads(fm, s % n_attr);
             b.mem_coalesced(16);
             b.mem_irregular(1);
+          }
+          // Attributes outside this tree's feature bag yield no splits
+          // (mask, not compaction: the run layout is untouched).
+          if (!fm.empty() && fm[static_cast<std::size_t>(s % n_attr)] == 0) {
+            return prim::GainDir{};
           }
           const std::int64_t elem_lo =
               starts[static_cast<std::size_t>(run_lo)];
@@ -231,12 +238,21 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
     auto stats = tables.stats.span();
     auto gn = gains.span();
     auto dr = dirs.span();
+    const auto fm = st.feature_mask;
     dev.launch("rle_compute_gains", device::grid_for(n_runs, kBlockDim),
                kBlockDim, [&](BlockCtx& b) {
                  b.for_each_thread([&](std::int64_t r) {
                    if (r >= n_runs) return;
                    const auto u = static_cast<std::size_t>(r);
                    const auto seg = static_cast<std::size_t>(k[u]);
+                   // Attributes outside this tree's feature bag yield no
+                   // splits (mask, not compaction).
+                   if (!fm.empty() &&
+                       fm[seg % static_cast<std::size_t>(n_attr)] == 0) {
+                     gn[u] = 0.0;
+                     dr[u] = 0;
+                     return;
+                   }
                    const std::int64_t run_lo = roff[seg];
                    const std::int64_t run_hi = roff[seg + 1];
                    const std::int64_t elem_lo =
@@ -282,6 +298,9 @@ std::vector<BestSplit> find_splits_rle(TrainState& st) {
                  b.reads_tile(scan, n_runs);
                  b.writes_tile(gn, n_runs);
                  b.writes_tile(dr, n_runs);
+                 if (!fm.empty()) {
+                   b.reads(fm, 0, static_cast<std::int64_t>(fm.size()));
+                 }
                  const auto m = elems_in_block(b, n_runs);
                  b.mem_coalesced(m * 49);
                  b.mem_irregular(m);  // seg-table lookups

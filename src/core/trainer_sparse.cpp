@@ -162,10 +162,11 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
     auto scan = ghl.span();
     auto tot = seg_tot.span();
     auto stats = tables.stats.span();
+    const auto fm = st.feature_mask;
     prim::fused_gain_argmax(
         dev, st.seg_offsets, best_seg_val, best_seg_idx, best_seg_dir,
         st.segs_per_block(n_seg),
-        [v, scan, tot, stats, n_attr, lambda](
+        [v, scan, tot, stats, fm, n_attr, lambda](
             BlockCtx& b, std::int64_t s, std::int64_t e, std::int64_t seg_lo,
             std::int64_t seg_hi) {
           const auto u = static_cast<std::size_t>(e);
@@ -179,7 +180,13 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
             // kernel's edge over the per-element unfused gains kernel.
             b.reads(tot, s);
             b.reads(stats, s / n_attr);
+            if (!fm.empty()) b.reads(fm, s % n_attr);
             b.mem_irregular(1);
+          }
+          // Attributes outside this tree's feature bag yield no splits
+          // (mask, not compaction: the segment layout is untouched).
+          if (!fm.empty() && fm[static_cast<std::size_t>(s % n_attr)] == 0) {
+            return prim::GainDir{};
           }
           // Duplicate suppression (paper Section III-B step ii): a zero gain
           // loses to any positive candidate, exactly like the zeroed entries
@@ -234,6 +241,7 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
     auto stats = tables.stats.span();
     auto gn = gains.span();
     auto dr = dirs.span();
+    const auto fm = st.feature_mask;
     dev.launch("compute_gains", device::grid_for(n, kBlockDim), kBlockDim,
                [&](BlockCtx& b) {
                  b.for_each_thread([&](std::int64_t e) {
@@ -242,6 +250,14 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
                    const auto seg = static_cast<std::size_t>(k[u]);
                    const std::int64_t seg_lo = off[seg];
                    const std::int64_t seg_hi = off[seg + 1];
+                   // Attributes outside this tree's feature bag yield no
+                   // splits (mask, not compaction).
+                   if (!fm.empty() &&
+                       fm[seg % static_cast<std::size_t>(n_attr)] == 0) {
+                     gn[u] = 0.0;
+                     dr[u] = 0;
+                     return;
+                   }
                    // Duplicate suppression (paper Section III-B step ii).
                    if (e + 1 < seg_hi && v[u + 1] == v[u]) {
                      gn[u] = 0.0;
@@ -290,6 +306,9 @@ std::vector<BestSplit> find_splits_sparse(TrainState& st) {
                  b.reads_tile(scan, n);
                  b.writes_tile(gn, n);
                  b.writes_tile(dr, n);
+                 if (!fm.empty()) {
+                   b.reads(fm, 0, static_cast<std::int64_t>(fm.size()));
+                 }
                  const auto m = elems_in_block(b, n);
                  b.mem_coalesced(m * 41);  // v, v+1, keys, gl, hl, gains, dir
                  b.mem_irregular(m / 2);   // seg/slot table lookups

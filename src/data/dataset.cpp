@@ -1,6 +1,7 @@
 #include "data/dataset.h"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace gbdt::data {
@@ -44,6 +45,43 @@ std::pair<Dataset, Dataset> Dataset::split_at(std::int64_t head) const {
   for (std::int64_t i = 0; i < n_instances(); ++i) {
     (i < head ? a : b).add_instance(instance(i), labels_[static_cast<std::size_t>(i)]);
   }
+  return {std::move(a), std::move(b)};
+}
+
+void Dataset::set_query_offsets(std::vector<std::int64_t> offsets) {
+  if (offsets.size() < 2 || offsets.front() != 0 ||
+      offsets.back() != n_instances()) {
+    throw std::invalid_argument(
+        "query offsets must start at 0 and end at n_instances");
+  }
+  for (std::size_t q = 1; q < offsets.size(); ++q) {
+    if (offsets[q] <= offsets[q - 1]) {
+      throw std::invalid_argument("query offsets must be strictly increasing");
+    }
+  }
+  query_offsets_ = std::move(offsets);
+}
+
+std::pair<Dataset, Dataset> Dataset::split_queries_at(
+    std::int64_t head_queries) const {
+  if (!has_queries()) {
+    throw std::logic_error("split_queries_at needs query offsets");
+  }
+  if (head_queries < 0 || head_queries > n_queries()) {
+    throw std::invalid_argument("head_queries out of range");
+  }
+  const std::int64_t head_rows =
+      query_offsets_[static_cast<std::size_t>(head_queries)];
+  auto [a, b] = split_at(head_rows);
+  std::vector<std::int64_t> qa(query_offsets_.begin(),
+                               query_offsets_.begin() + head_queries + 1);
+  std::vector<std::int64_t> qb;
+  for (std::size_t q = static_cast<std::size_t>(head_queries);
+       q < query_offsets_.size(); ++q) {
+    qb.push_back(query_offsets_[q] - head_rows);
+  }
+  if (head_queries > 0) a.set_query_offsets(std::move(qa));
+  if (head_queries < n_queries()) b.set_query_offsets(std::move(qb));
   return {std::move(a), std::move(b)};
 }
 

@@ -63,11 +63,34 @@ class Dataset {
   /// another (train/test split helper; instances keep their order).
   [[nodiscard]] std::pair<Dataset, Dataset> split_at(std::int64_t head) const;
 
+  // ---- query groups (learning-to-rank) ------------------------------------
+  /// Installs query-group boundaries: offsets[0] = 0, offsets.back() =
+  /// n_instances(), strictly increasing.  Instances of one query must be
+  /// contiguous (the LightGBM .query convention).  Throws
+  /// std::invalid_argument on malformed offsets.
+  void set_query_offsets(std::vector<std::int64_t> offsets);
+
+  [[nodiscard]] bool has_queries() const { return !query_offsets_.empty(); }
+  [[nodiscard]] const std::vector<std::int64_t>& query_offsets() const {
+    return query_offsets_;
+  }
+  [[nodiscard]] std::int64_t n_queries() const {
+    return query_offsets_.empty()
+               ? 0
+               : static_cast<std::int64_t>(query_offsets_.size()) - 1;
+  }
+
+  /// Splits off the first `head_queries` query groups into one dataset and
+  /// the rest into another; both halves keep (rebased) query offsets.
+  [[nodiscard]] std::pair<Dataset, Dataset> split_queries_at(
+      std::int64_t head_queries) const;
+
  private:
   std::int64_t n_attributes_ = 0;
   std::vector<std::int64_t> row_offsets_{0};
   std::vector<Entry> entries_;
   std::vector<float> labels_;
+  std::vector<std::int64_t> query_offsets_;  // empty = no query structure
 };
 
 }  // namespace gbdt::data

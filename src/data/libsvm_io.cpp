@@ -86,4 +86,33 @@ void write_libsvm_file(const Dataset& ds, const std::string& path) {
   write_libsvm(ds, out);
 }
 
+void read_query_file(Dataset& ds, std::istream& in) {
+  std::vector<std::int64_t> offsets{0};
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ss(line);
+    std::int64_t count = 0;
+    if (!(ss >> count)) continue;  // blank line
+    if (count < 1) fail(line_no, "query group size must be >= 1");
+    offsets.push_back(offsets.back() + count);
+  }
+  if (offsets.back() != ds.n_instances()) {
+    throw std::runtime_error(
+        "query file covers " + std::to_string(offsets.back()) +
+        " instances but the dataset has " + std::to_string(ds.n_instances()));
+  }
+  ds.set_query_offsets(std::move(offsets));
+}
+
+void read_query_file(Dataset& ds, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  read_query_file(ds, in);
+}
+
 }  // namespace gbdt::data

@@ -18,4 +18,10 @@ namespace gbdt::data {
 void write_libsvm(const Dataset& ds, std::ostream& out);
 void write_libsvm_file(const Dataset& ds, const std::string& path);
 
+/// Reads a LightGBM-style query file (one integer per line: the number of
+/// consecutive instances belonging to each query) and installs the resulting
+/// offsets on `ds`.  Counts must be positive and sum to ds.n_instances().
+void read_query_file(Dataset& ds, std::istream& in);
+void read_query_file(Dataset& ds, const std::string& path);
+
 }  // namespace gbdt::data

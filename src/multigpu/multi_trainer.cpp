@@ -8,6 +8,7 @@
 #include "data/csc_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "objective/objective.h"
 #include "primitives/reduce.h"
 
 namespace gbdt::multigpu {
@@ -170,6 +171,17 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
   std::vector<std::int32_t> pre_update_node;  // node_of snapshot per level
   std::vector<std::int32_t> owner_of_node;    // winning shard per tree node
 
+  // One RoundDriver per shard: gradients are replicated (every shard holds
+  // the full row set), the feature bag is drawn from the global attribute
+  // space and remapped to each shard's local ids — so the allreduced winner
+  // matches what a single device with the same bag would pick.
+  std::vector<std::unique_ptr<objective::RoundDriver>> drivers;
+  drivers.reserve(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    drivers.push_back(std::make_unique<objective::RoundDriver>(
+        *shards[static_cast<std::size_t>(k)].dev, param, ds, K, k));
+  }
+
   for (int t = 0; t < param.n_trees; ++t) {
     {
       obs::ScopedSpan span("gradient_compute");
@@ -178,7 +190,8 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
       for (int k = 0; k < K; ++k) {
         auto& st = *shards[static_cast<std::size_t>(k)].state;
         if (t > 0) detail::update_predictions_smart(st, report.trees.back());
-        detail::compute_gradients(st, labels[static_cast<std::size_t>(k)]);
+        drivers[static_cast<std::size_t>(k)]->begin_round(
+            st, labels[static_cast<std::size_t>(k)], t);
         detail::reset_working_layout(st);
       }
     }

@@ -1,0 +1,68 @@
+// Validation-driven early stopping, metric-direction aware.
+//
+// The stopper is pure host-side bookkeeping shared by train_with_validation
+// and cross_validate: it decides *which* boosting rounds get scored
+// (eval_freq) and *when* to stop (patience evaluations without improvement),
+// and remembers the best iteration so the caller can truncate the forest
+// back to it.
+#pragma once
+
+#include <limits>
+
+namespace gbdt::objective {
+
+class EarlyStopper {
+ public:
+  /// patience: stop after this many *evaluations* without improvement
+  /// (0 = never stop, just track the best iteration).
+  /// eval_freq: score every eval_freq-th tree (the last tree of the budget
+  /// is always scored, so the final model is never unevaluated).
+  /// higher_is_better: metric direction (true for NDCG/AUC, false for
+  /// rmse/error).
+  EarlyStopper(int patience, int eval_freq = 1, bool higher_is_better = false)
+      : patience_(patience), eval_freq_(eval_freq < 1 ? 1 : eval_freq),
+        higher_(higher_is_better),
+        best_metric_(higher_is_better
+                         ? -std::numeric_limits<double>::infinity()
+                         : std::numeric_limits<double>::infinity()) {}
+
+  /// Should tree `tree_index` (0-based) of an `n_trees` budget be scored?
+  [[nodiscard]] bool should_eval(int tree_index, int n_trees) const {
+    return (tree_index + 1) % eval_freq_ == 0 || tree_index == n_trees - 1;
+  }
+
+  /// Records the metric of an evaluated round; returns true when training
+  /// should stop now.
+  bool record(int tree_index, double metric) {
+    const bool improved = higher_ ? metric > best_metric_
+                                  : metric < best_metric_;
+    if (improved) {
+      best_metric_ = metric;
+      best_iteration_ = tree_index;
+      evals_without_improvement_ = 0;
+    } else {
+      ++evals_without_improvement_;
+    }
+    if (patience_ > 0 && evals_without_improvement_ >= patience_) {
+      stopped_ = true;
+    }
+    return stopped_;
+  }
+
+  [[nodiscard]] int best_iteration() const { return best_iteration_; }
+  [[nodiscard]] double best_metric() const { return best_metric_; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] int eval_freq() const { return eval_freq_; }
+  [[nodiscard]] bool higher_is_better() const { return higher_; }
+
+ private:
+  int patience_;
+  int eval_freq_;
+  bool higher_;
+  double best_metric_;
+  int best_iteration_ = -1;
+  int evals_without_improvement_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace gbdt::objective

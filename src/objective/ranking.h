@@ -1,0 +1,51 @@
+// Pairwise LambdaMART gradients over query groups (learning-to-rank).
+//
+// For every within-query document pair (i, j) with label_i > label_j the
+// pairwise logistic loss l = log(1 + exp(-sigma * (s_i - s_j))) contributes
+//
+//   rho    = 1 / (1 + exp(sigma * (s_i - s_j)))
+//   lambda = sigma * rho * |dNDCG_ij|
+//   g_i -= lambda          g_j += lambda
+//   h_i += sigma^2 * rho * (1 - rho) * |dNDCG_ij|   (h_j likewise)
+//
+// where |dNDCG_ij| is the NDCG@k change of swapping the pair's positions in
+// the ranking induced by the current scores:
+//
+//   |2^y_i - 2^y_j| * |disc(pos_i) - disc(pos_j)| / idealDCG@k,
+//   disc(p) = 1 / log2(p + 2) for p < k, else 0.
+//
+// Within a query the lambda gradients sum to zero, so a feature that is
+// constant inside every query produces (near-)zero split gains — the
+// property that makes the ranking objective ignore query-level bias features
+// a pointwise squared error happily splits on.
+#pragma once
+
+#include <cstdint>
+
+#include "objective/objective.h"
+
+namespace gbdt::objective {
+
+/// One thread per query: queries partition the instance range, so the
+/// per-query gradient writes are block-disjoint by construction.
+class RankingObjective final : public Objective {
+ public:
+  /// Uploads the dataset's query offsets once.  Throws
+  /// std::invalid_argument when the dataset has no (or malformed) groups.
+  RankingObjective(device::Device& dev, const GBDTParam& param,
+                   const data::Dataset& ds);
+
+  void gradients(detail::TrainState& st,
+                 const device::DeviceBuffer<float>& labels) override;
+  [[nodiscard]] const char* name() const override { return "lambdarank"; }
+
+  [[nodiscard]] std::int64_t n_queries() const { return n_queries_; }
+
+ private:
+  device::Device& dev_;
+  int ndcg_k_;
+  std::int64_t n_queries_ = 0;
+  device::DeviceBuffer<std::int64_t> d_query_offsets_;
+};
+
+}  // namespace gbdt::objective

@@ -1,0 +1,96 @@
+#include "objective/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gbdt::objective {
+
+std::int64_t resolve_feature_bag(std::int64_t feature_bag,
+                                 std::int64_t n_attr) {
+  if (feature_bag == 0) return n_attr;
+  if (feature_bag < 0) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::floor(std::sqrt(static_cast<double>(n_attr)))));
+  }
+  return std::min(feature_bag, n_attr);
+}
+
+SamplingPlan SamplingPlan::make(const GBDTParam& param, int tree_index,
+                                std::int64_t n_inst, std::int64_t n_attr) {
+  if (!(param.subsample > 0.0) || param.subsample > 1.0) {
+    throw std::invalid_argument("subsample must be in (0, 1]");
+  }
+  SamplingPlan plan;
+  plan.sampled_rows_ = n_inst;
+
+  // Each draw kind gets its own sub-stream so adding one knob never
+  // perturbs the other's sequence for the same (seed, tree).
+  const std::uint64_t base =
+      param.sampling_seed + 0x51ed2701u * static_cast<std::uint64_t>(
+                                              tree_index + 1);
+
+  if (param.subsample < 1.0) {
+    // Bernoulli row mask with a deterministic keep-at-least-one fallback so
+    // a tiny dataset never trains on an all-zero gradient vector.
+    std::uint64_t s = base ^ 0x726f777384u;  // "rows" stream
+    const auto threshold = static_cast<std::uint64_t>(
+        param.subsample * 18446744073709551615.0);  // 2^64 - 1
+    plan.row_mask_.assign(static_cast<std::size_t>(n_inst), 0);
+    plan.sampled_rows_ = 0;
+    for (std::int64_t i = 0; i < n_inst; ++i) {
+      if (splitmix64(s) <= threshold) {
+        plan.row_mask_[static_cast<std::size_t>(i)] = 1;
+        ++plan.sampled_rows_;
+      }
+    }
+    if (plan.sampled_rows_ == 0) {
+      plan.row_mask_[static_cast<std::size_t>(splitmix64(s) %
+                                              static_cast<std::uint64_t>(
+                                                  n_inst))] = 1;
+      plan.sampled_rows_ = 1;
+    }
+  }
+
+  const std::int64_t bag = resolve_feature_bag(param.feature_bag, n_attr);
+  if (bag < n_attr) {
+    // Fisher-Yates over the attribute ids, first `bag` form the tree's bag.
+    std::uint64_t s = base ^ 0x666561747384u;  // "feats" stream
+    std::vector<std::int64_t> perm(static_cast<std::size_t>(n_attr));
+    for (std::int64_t a = 0; a < n_attr; ++a) {
+      perm[static_cast<std::size_t>(a)] = a;
+    }
+    for (std::int64_t a = 0; a < bag; ++a) {
+      const auto j = a + static_cast<std::int64_t>(
+                             splitmix64(s) %
+                             static_cast<std::uint64_t>(n_attr - a));
+      std::swap(perm[static_cast<std::size_t>(a)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+    plan.feature_mask_.assign(static_cast<std::size_t>(n_attr), 0);
+    for (std::int64_t a = 0; a < bag; ++a) {
+      plan.feature_mask_[static_cast<std::size_t>(
+          perm[static_cast<std::size_t>(a)])] = 1;
+    }
+  }
+  return plan;
+}
+
+std::vector<std::uint8_t> SamplingPlan::shard_feature_mask(
+    int n_shards, int shard_index) const {
+  if (feature_mask_.empty()) return {};
+  const auto n_attr = static_cast<std::int64_t>(feature_mask_.size());
+  // ceil((F - k) / K) local attributes on shard k; local a maps to global
+  // a * K + k (the inverse of global a -> shard a % K, local a / K).
+  std::vector<std::uint8_t> local;
+  local.reserve(static_cast<std::size_t>(
+      (n_attr + (n_shards - 1 - shard_index)) / n_shards));
+  for (std::int64_t a = shard_index; a < n_attr;
+       a += static_cast<std::int64_t>(n_shards)) {
+    local.push_back(feature_mask_[static_cast<std::size_t>(a)]);
+  }
+  return local;
+}
+
+}  // namespace gbdt::objective

@@ -1,0 +1,84 @@
+// Seeded per-tree sampling plans: row subsampling + feature bagging.
+//
+// A SamplingPlan is drawn on the host from (sampling_seed, tree_index) with
+// splitmix64 sub-streams, so every trainer path (exact, sparse, RLE, hist,
+// out-of-core, multi-GPU) sees the identical draw and sampled forests are
+// bitwise-reproducible for a fixed seed.
+//
+// The plan is realized as *masks*, not compacted copies: the row mask zeroes
+// the unsampled rows' gradients (their contribution to every gain, leaf
+// weight and root sum vanishes since g = h = 0, while segment layouts and
+// instance counts stay structural), and the feature mask suppresses the
+// masked attributes' split candidates inside the existing gain kernels.
+// Compaction would change the working-layout segment structure and
+// partition kernels of all five trainer paths; masks leave them untouched,
+// which is also what keeps the disabled path bitwise-identical (an empty
+// mask span means the gain kernels execute the exact pre-sampling code).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/param.h"
+
+namespace gbdt::objective {
+
+/// splitmix64 finalizer: the repo-wide seeded sub-stream derivation.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Resolves the feature_bag knob against the attribute count: 0 = all,
+/// -1 = floor(sqrt(F)) (clamped to >= 1), n > 0 = min(n, F).
+[[nodiscard]] std::int64_t resolve_feature_bag(std::int64_t feature_bag,
+                                               std::int64_t n_attr);
+
+/// One boosting round's visibility draw.  Host-side; the RoundDriver uploads
+/// the masks and launches the gradient-masking kernel.
+class SamplingPlan {
+ public:
+  /// Draws round `tree_index`'s masks.  Deterministic in
+  /// (param.sampling_seed, tree_index, n_inst, n_attr).
+  [[nodiscard]] static SamplingPlan make(const GBDTParam& param,
+                                         int tree_index, std::int64_t n_inst,
+                                         std::int64_t n_attr);
+
+  /// Full visibility: no masks exist and no kernels run (the escape hatch
+  /// that keeps subsample=1.0 / feature_bag=all bitwise-identical to the
+  /// pre-sampling trainer).
+  [[nodiscard]] bool trivial() const {
+    return row_mask_.empty() && feature_mask_.empty();
+  }
+  [[nodiscard]] bool rows_masked() const { return !row_mask_.empty(); }
+  [[nodiscard]] bool features_masked() const {
+    return !feature_mask_.empty();
+  }
+
+  /// Per-row visibility (1 = sampled), size n_inst; empty when subsample=1.
+  [[nodiscard]] const std::vector<std::uint8_t>& row_mask() const {
+    return row_mask_;
+  }
+  /// Per-attribute visibility (1 = in the bag), size n_attr; empty when the
+  /// bag is the full feature set.
+  [[nodiscard]] const std::vector<std::uint8_t>& feature_mask() const {
+    return feature_mask_;
+  }
+
+  /// Shard-local view of the feature mask for the multi-GPU attribute
+  /// sharding (global attribute a lives on shard a % n_shards as local
+  /// a / n_shards).  Empty when features are unmasked.
+  [[nodiscard]] std::vector<std::uint8_t> shard_feature_mask(
+      int n_shards, int shard_index) const;
+
+  [[nodiscard]] std::int64_t sampled_rows() const { return sampled_rows_; }
+
+ private:
+  std::vector<std::uint8_t> row_mask_;
+  std::vector<std::uint8_t> feature_mask_;
+  std::int64_t sampled_rows_ = 0;
+};
+
+}  // namespace gbdt::objective

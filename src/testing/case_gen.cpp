@@ -57,6 +57,14 @@ FuzzCase FuzzCase::from_seed(std::uint64_t seed) {
   // Drawn last so the histogram knob never perturbs the replay of fields
   // earlier cases already depended on.
   c.n_bins = 1 << static_cast<unsigned>(pick(s, 3, 8));  // 8..256
+  // Objective/sampling knobs, appended after n_bins for the same
+  // replay-stability reason.
+  c.subsample = pick(s, 0, 1) == 0 ? 1.0 : 0.5 + 0.45 * pick_unit(s);
+  c.feature_bag =
+      pick(s, 0, 2) == 0 ? 0 : (pick(s, 0, 1) == 0 ? -1
+                                                   : pick(s, 1, c.n_attributes));
+  c.sampling_seed = splitmix64(s);
+  c.query_size = static_cast<int>(pick(s, 5, 16));
   return c;
 }
 
@@ -99,7 +107,8 @@ std::string FuzzCase::describe() const {
      << " loss=" << (loss == LossKind::kSquaredError ? "l2" : "logistic")
      << " gpus=" << n_gpus << " chunk=" << ooc_chunk_bytes
      << (ooc_stream_compressed ? " ooc-rle" : " ooc-raw")
-     << " bins=" << n_bins;
+     << " bins=" << n_bins << " subsample=" << subsample
+     << " bag=" << feature_bag << " qsize=" << query_size;
   return os.str();
 }
 

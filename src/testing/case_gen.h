@@ -46,6 +46,14 @@ struct FuzzCase {
   bool ooc_stream_compressed = true;
   int n_bins = 64;                 // histogram-trainer leg bin budget
 
+  // Objective/sampling knobs (gbdt_fuzz --objective legs).  Defaults are the
+  // disabled configuration; base_param() never sets them, so the other
+  // oracles keep training exactly the pre-objective-layer configuration.
+  double subsample = 1.0;
+  std::int64_t feature_bag = 0;       // 0 = all, -1 = sqrt, n > 0 = explicit
+  std::uint64_t sampling_seed = 42;
+  int query_size = 10;                // mean docs per query, ranking leg
+
   [[nodiscard]] static FuzzCase from_seed(std::uint64_t seed);
 
   /// The synthetic dataset spec of this case (generation seed derived from

@@ -40,7 +40,8 @@ struct LegOutput {
 /// equality (the sparse GPU leg); otherwise exact gain ties broken
 /// differently are tolerated when the forests fit identically.
 void compare_leg(LegResult& leg, const LegOutput& ref, const LegOutput& got,
-                 double tol, const std::vector<float>& labels) {
+                 double tol, const std::vector<float>& labels,
+                 double fit_tol = 1e-3) {
   if (got.trees.size() != ref.trees.size()) {
     leg.detail = "forest size " + std::to_string(got.trees.size()) +
                  " != reference " + std::to_string(ref.trees.size());
@@ -74,7 +75,7 @@ void compare_leg(LegResult& leg, const LegOutput& ref, const LegOutput& got,
   // Tie-break divergence: accept only functional equivalence.
   const double ref_fit = rmse(ref.scores, labels);
   const double got_fit = rmse(got.scores, labels);
-  if (tol > 0.0 && std::abs(ref_fit - got_fit) <= 1e-3 * (1.0 + ref_fit)) {
+  if (tol > 0.0 && std::abs(ref_fit - got_fit) <= fit_tol * (1.0 + ref_fit)) {
     leg.tie_equivalent = true;
     leg.detail += " (exact-gain tie, fits agree: " + std::to_string(ref_fit) +
                   " vs " + std::to_string(got_fit) + ")";
@@ -88,14 +89,15 @@ void compare_leg(LegResult& leg, const LegOutput& ref, const LegOutput& got,
 /// failed LegResult instead of propagating.
 LegResult run_leg(const std::string& name,
                   const std::function<LegOutput()>& body, const LegOutput& ref,
-                  double tol, const std::vector<float>& labels) {
+                  double tol, const std::vector<float>& labels,
+                  double fit_tol = 1e-3) {
   LegResult leg;
   leg.name = name;
   leg.ran = true;
   try {
     const LegOutput got = body();
     leg.rle_ratio = got.rle_ratio;
-    compare_leg(leg, ref, got, tol, labels);
+    compare_leg(leg, ref, got, tol, labels, fit_tol);
   } catch (const InvariantViolation& e) {
     leg.invariant_violation = true;
     leg.detail = e.what();
@@ -174,6 +176,95 @@ LegOutput reference_leg(const data::Dataset& ds, const GBDTParam& base) {
   ref.trees = std::move(r.trees);
   ref.scores = std::move(r.train_scores);
   return ref;
+}
+
+/// Seeded query-grouped ranking data for the ranking_beats_pointwise leg.
+/// Attribute 0 is a query-constant bias feature whose level also shifts
+/// every label in the query; attribute 1 carries the within-query relevance
+/// signal; the rest is noise.  Squared error spends its split budget
+/// explaining the bias (it dominates the label variance) while LambdaMART
+/// ignores it (within-query lambda sums are zero), so under a tight tree
+/// budget the ranking objective orders held-out queries strictly better.
+data::Dataset make_ranking_dataset(const FuzzCase& c,
+                                   std::int64_t n_queries) {
+  std::uint64_t s = c.seed ^ 0x72616e6b64617461ull;  // "rankdata" stream
+  auto unit = [&s] {
+    return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+  };
+  data::Dataset ds(4);
+  std::vector<std::int64_t> offsets{0};
+  std::vector<data::Entry> row;
+  for (std::int64_t q = 0; q < n_queries; ++q) {
+    // 16 bias levels at weight 4: the bias contributes ~64x the label
+    // variance of the relevance signal, and resolving 16 levels costs 4
+    // full tree levels — more than the leg's depth budget — so squared
+    // error keeps chasing the bias residual on every tree.
+    const std::int64_t m = static_cast<std::int64_t>(c.query_size) +
+                           static_cast<std::int64_t>(splitmix64(s) % 5);
+    const auto bias_level = static_cast<int>(splitmix64(s) % 16);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const auto rel = static_cast<int>(splitmix64(s) % 8);
+      row.assign({{0, static_cast<float>(bias_level)},
+                  {1, static_cast<float>(rel + 0.9 * unit())},
+                  {2, static_cast<float>(8.0 * unit())},
+                  {3, static_cast<float>(8.0 * unit())}});
+      ds.add_instance(row, static_cast<float>(rel + 4 * bias_level));
+    }
+    offsets.push_back(offsets.back() + m);
+  }
+  ds.set_query_offsets(std::move(offsets));
+  return ds;
+}
+
+/// The ranking_beats_pointwise leg: identical data, identical tree budget,
+/// only the objective differs; held-out NDCG@10 decides.
+LegResult ranking_leg(const FuzzCase& c) {
+  LegResult leg;
+  leg.name = "ranking_beats_pointwise";
+  leg.ran = true;
+  try {
+    const std::int64_t n_train_q = 24;
+    const std::int64_t n_valid_q = 12;
+    const auto full = make_ranking_dataset(c, n_train_q + n_valid_q);
+    const auto [train_set, valid] = full.split_queries_at(n_train_q);
+
+    GBDTParam pointwise;
+    pointwise.depth = 3;
+    pointwise.n_trees = 3;
+    pointwise.lambda = 1.0;
+    pointwise.loss = LossKind::kSquaredError;
+    pointwise.use_rle = false;
+    pointwise.force_rle = false;
+
+    GBDTParam rank = pointwise;
+    rank.objective = ObjectiveKind::kRanking;
+    rank.ndcg_k = 10;
+
+    Device rank_dev(DeviceConfig::titan_x_pascal());
+    const auto rank_model = GBDTModel::train(rank_dev, train_set, rank).first;
+    Device point_dev(DeviceConfig::titan_x_pascal());
+    const auto point_model =
+        GBDTModel::train(point_dev, train_set, pointwise).first;
+
+    const double rank_ndcg =
+        ndcg_at_k(rank_model.predict(valid), valid.labels(),
+                  valid.query_offsets(), 10);
+    const double point_ndcg =
+        ndcg_at_k(point_model.predict(valid), valid.labels(),
+                  valid.query_offsets(), 10);
+    leg.exact = rank_ndcg > point_ndcg;
+    if (!leg.exact) {
+      leg.detail = "held-out ndcg@10: lambdarank " +
+                   std::to_string(rank_ndcg) + " does not beat pointwise " +
+                   std::to_string(point_ndcg);
+    }
+  } catch (const InvariantViolation& e) {
+    leg.invariant_violation = true;
+    leg.detail = e.what();
+  } catch (const std::exception& e) {
+    leg.detail = std::string("ranking leg threw: ") + e.what();
+  }
+  return leg;
 }
 
 }  // namespace
@@ -469,6 +560,172 @@ OracleResult run_serve_oracle(const FuzzCase& c, bool check_invariants) {
     skipped.detail = "skipped: single-tree forest";
     result.legs.push_back(std::move(skipped));
   }
+
+  set_invariants_enabled(was_enabled);
+  return result;
+}
+
+OracleResult run_objective_oracle(const FuzzCase& c, bool check_invariants) {
+  OracleResult result;
+  result.c = c;
+
+  const bool was_enabled = invariants_enabled();
+  set_invariants_enabled(check_invariants);
+
+  const auto ds = data::generate(c.dataset_spec());
+  const GBDTParam base = c.base_param();
+
+  // Sampled configuration under test: force both masks live so the
+  // determinism legs always exercise the sampling machinery, even when the
+  // case drew the disabled knobs.
+  GBDTParam sampled = base;
+  sampled.subsample = c.subsample < 1.0 ? c.subsample : 0.7;
+  sampled.feature_bag = c.feature_bag != 0 ? c.feature_bag : -1;
+  sampled.sampling_seed = c.sampling_seed;
+
+  auto sparse_run = [&](const GBDTParam& p) {
+    Device dev(DeviceConfig::titan_x_pascal());
+    auto r = GpuGbdtTrainer(dev, p).train(ds);
+    return LegOutput{std::move(r.trees), std::move(r.train_scores), 1.0};
+  };
+
+  // Leg: subsample=1.0 + feature_bag=all is the trivially-degenerate plan —
+  // it must compile out entirely, whatever the sampling seed.
+  {
+    bool have_plain = false;
+    LegOutput plain;
+    try {
+      plain = sparse_run(base);
+      have_plain = true;
+    } catch (const std::exception& e) {
+      LegResult leg;
+      leg.name = "trivial_plan_bitwise";
+      leg.ran = true;
+      leg.detail = std::string("baseline trainer threw: ") + e.what();
+      result.legs.push_back(std::move(leg));
+    }
+    if (have_plain) {
+      GBDTParam degenerate = base;
+      degenerate.subsample = 1.0;
+      degenerate.feature_bag = 0;
+      degenerate.sampling_seed = c.sampling_seed;
+      result.legs.push_back(
+          run_leg("trivial_plan_bitwise",
+                  [&] { return sparse_run(degenerate); }, plain, 0.0,
+                  ds.labels()));
+    }
+  }
+
+  // Sampled baseline: the sparse path's forest under the case's masks.
+  bool have_sampled = false;
+  LegOutput sampled_ref;
+  try {
+    sampled_ref = sparse_run(sampled);
+    have_sampled = true;
+  } catch (const std::exception& e) {
+    LegResult leg;
+    leg.name = "sampled_baseline";
+    leg.ran = true;
+    leg.detail = std::string("sampled trainer threw: ") + e.what();
+    result.legs.push_back(std::move(leg));
+  }
+
+  if (have_sampled) {
+    // Same seed, fresh device: the forest must replay bit for bit.
+    result.legs.push_back(run_leg("sampled_replay_bitwise",
+                                  [&] { return sparse_run(sampled); },
+                                  sampled_ref, 0.0, ds.labels()));
+
+    // The masks are drawn on the host, so every trainer path must see the
+    // identical plan.  Masked rows carry zero gradients, which turns whole
+    // threshold ranges into exact-gain plateaus; the paths enumerate split
+    // candidates in different orders, so tie-break divergence is much more
+    // frequent than in the unsampled oracle and the functional-equivalence
+    // band is widened to 1e-2 accordingly.
+    constexpr double kSampledFitTol = 1e-2;
+    result.legs.push_back(run_leg(
+        "sampled_rle_vs_sparse",
+        [&] {
+          GBDTParam p = sampled;
+          p.use_rle = true;
+          p.force_rle = true;
+          return sparse_run(p);
+        },
+        sampled_ref, 1e-7, ds.labels(), kSampledFitTol));
+
+    const int n_gpus =
+        static_cast<int>(std::min<std::int64_t>(c.n_gpus, c.n_attributes));
+    if (n_gpus >= 2) {
+      result.legs.push_back(run_leg(
+          "sampled_multigpu_x" + std::to_string(n_gpus),
+          [&] {
+            multigpu::MultiGpuTrainer trainer(DeviceConfig::titan_x_pascal(),
+                                              n_gpus, sampled);
+            auto r = trainer.train(ds);
+            return LegOutput{std::move(r.trees), std::move(r.train_scores),
+                             1.0};
+          },
+          sampled_ref, 1e-7, ds.labels(), kSampledFitTol));
+    }
+
+    result.legs.push_back(run_leg(
+        "sampled_ooc",
+        [&] {
+          Device dev(DeviceConfig::titan_x_pascal());
+          OutOfCoreTrainer trainer(dev, sampled, c.ooc_chunk_bytes,
+                                   c.ooc_stream_compressed);
+          auto r = trainer.train(ds);
+          return LegOutput{std::move(r.trees), std::move(r.train_scores), 1.0};
+        },
+        sampled_ref, 1e-7, ds.labels(), kSampledFitTol));
+
+    // The histogram trainer under the same masks: quality equivalence
+    // against the sampled exact path (same policy as hist_vs_exact).
+    {
+      LegResult leg;
+      leg.name = "sampled_hist";
+      leg.ran = true;
+      try {
+        GBDTParam p = sampled;
+        p.use_hist_trainer = true;
+        p.n_bins = c.n_bins;
+        Device dev(DeviceConfig::titan_x_pascal());
+        auto r = GpuHistTrainer(dev, p).train(ds);
+        if (r.trees.size() != sampled_ref.trees.size()) {
+          leg.detail = "forest size " + std::to_string(r.trees.size()) +
+                       " != sampled exact " +
+                       std::to_string(sampled_ref.trees.size());
+        } else {
+          bool depth_ok = true;
+          for (const auto& t : r.trees) {
+            if (t.depth() > c.depth) {
+              leg.detail = "tree depth " + std::to_string(t.depth()) +
+                           " exceeds the budget " + std::to_string(c.depth);
+              depth_ok = false;
+              break;
+            }
+          }
+          if (depth_ok) {
+            const double ref_fit = rmse(sampled_ref.scores, ds.labels());
+            const double got_fit = rmse(r.train_scores, ds.labels());
+            leg.quality_equivalent = got_fit <= ref_fit * 1.5 + 0.1;
+            if (!leg.quality_equivalent) {
+              leg.detail = "fit " + std::to_string(got_fit) +
+                           " vs sampled exact " + std::to_string(ref_fit);
+            }
+          }
+        }
+      } catch (const InvariantViolation& e) {
+        leg.invariant_violation = true;
+        leg.detail = e.what();
+      } catch (const std::exception& e) {
+        leg.detail = std::string("trainer threw: ") + e.what();
+      }
+      result.legs.push_back(std::move(leg));
+    }
+  }
+
+  result.legs.push_back(ranking_leg(c));
 
   set_invariants_enabled(was_enabled);
   return result;

@@ -97,6 +97,25 @@ struct OracleResult {
 [[nodiscard]] OracleResult run_serve_oracle(const FuzzCase& c,
                                             bool check_invariants = true);
 
+/// Objective/sampling oracle (`gbdt_fuzz --objective`): seeded-sampling
+/// determinism plus the ranking objective's quality claim.
+///  * trivial_plan_bitwise  — subsample=1.0 + feature_bag=all must be
+///    bitwise identical to the same case with no sampling fields set at all
+///    (the trivially-degenerate plan compiles out);
+///  * sampled_replay_bitwise — replaying a sampled run with the same
+///    sampling_seed must reproduce the forest bit for bit;
+///  * sampled_rle_vs_sparse / sampled_multigpu / sampled_ooc — the sampled
+///    forest must agree across trainer paths (the masks are drawn on the
+///    host, so every path sees the identical plan);
+///  * sampled_hist — the histogram trainer under the same masks must keep
+///    the tree budget and a training fit comparable to the sampled exact
+///    path (quality equivalence, like hist_vs_exact);
+///  * ranking_beats_pointwise — on seeded query-grouped data whose queries
+///    carry a query-constant bias feature, LambdaMART's held-out NDCG@10
+///    must beat the squared-error baseline trained on the same data.
+[[nodiscard]] OracleResult run_objective_oracle(const FuzzCase& c,
+                                                bool check_invariants = true);
+
 /// Race-detection oracle (`gbdt_fuzz --race`): the full trainer-path oracle
 /// with the happens-before race detector armed (a RaceViolation or
 /// AuditViolation inside any leg marks it as an invariant violation), plus

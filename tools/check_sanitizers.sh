@@ -8,7 +8,8 @@
 #
 # The ASan+UBSan tree lives in build-asan/, the TSan tree in build-tsan/,
 # both next to the regular build/.  The TSan lane runs the unit, property,
-# bench_smoke, hist_smoke, serve_smoke and race_smoke labels (the
+# bench_smoke, hist_smoke, serve_smoke, race_smoke and objective_smoke
+# labels (the
 # concurrency-relevant suites: every kernel launch exercises the thread
 # pool, the bench smoke drives the observability hooks — trace spans,
 # metrics shards — from those workers, the hist smoke hammers the privatized
@@ -16,9 +17,12 @@
 # exactly the kind of sharing TSan would catch if they overlapped, the serve
 # smoke runs the serving layer's producer/worker/hot-swap machinery — the
 # request queue, the engine shared_ptr swap and the per-shard device locks —
-# under real threads, and the race smoke runs the happens-before detector's
+# under real threads, the race smoke runs the happens-before detector's
 # fault-injection triple plus the schedule-perturbation sweep of the
-# double-buffered out-of-core pipeline); audit-mode and race-mode
+# double-buffered out-of-core pipeline, and the objective smoke trains
+# sampled and ranking cases through every trainer path — the gradient
+# masking and LambdaMART kernels run on the same worker pool); audit-mode
+# and race-mode
 # fault-injection tests run their racy kernels on single-worker devices
 # precisely so this lane stays clean.  The test_serve hot-swap race test
 # (N producers x M publishes) also lives in the unit label, so both lanes
@@ -39,7 +43,7 @@ if [[ "${mode}" == "thread" ]]; then
   if [[ $# -gt 0 ]]; then
     ctest --output-on-failure "$@"
   else
-    ctest --output-on-failure -L 'unit|property|bench_smoke|hist_smoke|serve_smoke|race_smoke'
+    ctest --output-on-failure -L 'unit|property|bench_smoke|hist_smoke|serve_smoke|race_smoke|objective_smoke'
   fi
 else
   build_dir="${repo_root}/build-asan"

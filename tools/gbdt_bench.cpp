@@ -51,6 +51,7 @@ constexpr BenchEntry kBenches[] = {
     {"out_of_core", "bench_out_of_core"},
     {"multigpu", "bench_multigpu"},
     {"serve", "bench_serve"},
+    {"objective", "bench_objective"},
 };
 
 struct SuiteOptions {

@@ -125,6 +125,36 @@ GBDTParam params_from(const Flags& f) {
     std::fprintf(stderr, "unknown loss '%s' (use l2|logistic)\n", loss.c_str());
     std::exit(2);
   }
+  const std::string objective = f.str("objective", "pointwise");
+  if (objective == "ranking") {
+    p.objective = ObjectiveKind::kRanking;
+  } else if (objective != "pointwise") {
+    std::fprintf(stderr, "unknown objective '%s' (use pointwise|ranking)\n",
+                 objective.c_str());
+    std::exit(2);
+  }
+  p.ndcg_k = static_cast<int>(f.integer("ndcg-k", p.ndcg_k));
+  p.subsample = f.num("subsample", p.subsample);
+  const std::string bag = f.str("feature-bag", "all");
+  if (bag == "all") {
+    p.feature_bag = 0;
+  } else if (bag == "sqrt") {
+    p.feature_bag = -1;
+  } else {
+    p.feature_bag = std::atoll(bag.c_str());
+    if (p.feature_bag <= 0) {
+      std::fprintf(stderr, "bad --feature-bag '%s' (use sqrt|all|N)\n",
+                   bag.c_str());
+      std::exit(2);
+    }
+  }
+  p.sampling_seed = static_cast<std::uint64_t>(
+      f.integer("sample-seed", static_cast<long>(p.sampling_seed)));
+  p.eval_freq = static_cast<int>(f.integer("eval-freq", p.eval_freq));
+  if (p.eval_freq < 1) {
+    std::fprintf(stderr, "--eval-freq must be >= 1\n");
+    std::exit(2);
+  }
   const std::string method = f.str("method", "exact");
   if (method == "hist") {
     p.use_hist_trainer = true;
@@ -164,14 +194,27 @@ void print_profile(const obs::ObsSession& session) {
 int cmd_train(const Flags& f) {
   const auto data_path = f.require("data");
   const auto model_path = f.require("model");
-  const auto ds = data::read_libsvm_file(data_path);
+  auto ds = data::read_libsvm_file(data_path);
   std::fprintf(stderr, "loaded %lld instances x %lld attributes from %s\n",
                static_cast<long long>(ds.n_instances()),
                static_cast<long long>(ds.n_attributes()), data_path.c_str());
 
   device::Device dev(device_by_name(f.str("device")));
   const auto param = params_from(f);
+  const auto query_path = f.str("query-file");
+  if (!query_path.empty()) {
+    data::read_query_file(ds, query_path);
+    std::fprintf(stderr, "loaded %lld query groups from %s\n",
+                 static_cast<long long>(ds.n_queries()), query_path.c_str());
+  }
+  if (param.objective == ObjectiveKind::kRanking && !ds.has_queries()) {
+    std::fprintf(stderr,
+                 "--objective=ranking needs query groups: pass "
+                 "--query-file=F (one docs-per-query count per line)\n");
+    return 2;
+  }
   const auto valid_path = f.str("valid");
+  const auto valid_query_path = f.str("valid-query-file");
   const int early = static_cast<int>(f.integer("early-stopping", 0));
   const bool profile = f.flag("profile");
   f.warn_unused();
@@ -187,15 +230,26 @@ int cmd_train(const Flags& f) {
                    "(per-tree validation hooks are exact-trainer only)\n");
       return 2;
     }
-    const auto valid = data::read_libsvm_file(valid_path);
+    auto valid = data::read_libsvm_file(valid_path);
+    if (!valid_query_path.empty()) data::read_query_file(valid, valid_query_path);
+    if (param.objective == ObjectiveKind::kRanking && !valid.has_queries()) {
+      std::fprintf(stderr,
+                   "--objective=ranking scores validation by NDCG: pass "
+                   "--valid-query-file=F\n");
+      return 2;
+    }
     auto [m, r, history] = GBDTModel::train_with_validation(
         dev, ds, valid, param, early);
     model = std::move(m);
     report = std::move(r);
+    double best_metric = history.metric.empty() ? 0.0 : history.metric[0];
+    for (std::size_t i = 0; i < history.eval_iteration.size(); ++i) {
+      if (history.eval_iteration[i] == history.best_iteration) {
+        best_metric = history.metric[i];
+      }
+    }
     std::fprintf(stderr, "validation %s: best %.6f at tree %d%s\n",
-                 history.metric_name.c_str(),
-                 history.metric[static_cast<std::size_t>(
-                     std::max(history.best_iteration, 0))],
+                 history.metric_name.c_str(), best_metric,
                  history.best_iteration,
                  history.stopped_early ? " (early stop)" : "");
   } else {
@@ -309,11 +363,16 @@ int cmd_cv(const Flags& f) {
   const auto seed = static_cast<unsigned>(f.integer("seed", 42));
   device::Device dev(device_by_name(f.str("device")));
   const auto param = params_from(f);
+  const int early = static_cast<int>(f.integer("early-stopping", 0));
   f.warn_unused();
-  const auto cv = cross_validate(dev, ds, param, folds, seed);
+  const auto cv = cross_validate(dev, ds, param, folds, seed, early);
   for (std::size_t k = 0; k < cv.fold_metric.size(); ++k) {
-    std::printf("fold %zu: %s = %.6f\n", k, cv.metric_name.c_str(),
+    std::printf("fold %zu: %s = %.6f", k, cv.metric_name.c_str(),
                 cv.fold_metric[k]);
+    if (k < cv.fold_best_iteration.size()) {
+      std::printf("  (best tree %d)", cv.fold_best_iteration[k]);
+    }
+    std::printf("\n");
   }
   std::printf("cv-%s: %.6f +/- %.6f (%d folds)\n", cv.metric_name.c_str(),
               cv.mean, cv.stddev, folds);
@@ -577,15 +636,20 @@ void usage() {
       "gbdt — GPU-GBDT command line (simulated device)\n"
       "\n"
       "subcommands:\n"
-      "  train   --data=F --model=F [--valid=F --early-stopping=K]\n"
+      "  train   --data=F --model=F [--valid=F --early-stopping=K\n"
+      "           --eval-freq=1]\n"
       "          [--trees=40 --depth=6 --eta=0.3 --lambda=1 --gamma=0\n"
       "           --loss=l2|logistic --device=titanx|p100|k20\n"
       "           --method=exact|hist --bins=64\n"
+      "           --objective=pointwise|ranking --query-file=F\n"
+      "           --valid-query-file=F --ndcg-k=10\n"
+      "           --subsample=1.0 --feature-bag=sqrt|all|N --sample-seed=42\n"
       "           --no-rle --force-rle --no-smartgd --no-setkey\n"
       "           --no-idxcomp --no-direct-rle --profile]\n"
       "  predict --data=F --model=F [--output=F --transform]\n"
       "  eval    --data=F --model=F\n"
-      "  cv      --data=F [--folds=5 --seed=42 + train hyper-params]\n"
+      "  cv      --data=F [--folds=5 --seed=42 --early-stopping=K\n"
+      "           + train hyper-params]\n"
       "  dump    --model=F [--tree=K]\n"
       "  importance --model=F [--kind=gain|cover|splits]\n"
       "  synth   --out=F (--paper=NAME [--scale=S] |\n"

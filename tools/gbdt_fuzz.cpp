@@ -13,6 +13,9 @@
 //   gbdt_fuzz --hist --cases 25                     # hist_vs_exact-only sweep
 //   gbdt_fuzz --serve --cases 25                    # serving-path sweep
 //                                                   # (serve_vs_batch oracle)
+//   gbdt_fuzz --objective --cases 25                # objective/sampling sweep
+//                                                   # (seeded-sampling
+//                                                   # determinism + ranking)
 //   gbdt_fuzz --self-test                           # fault-injection check
 //   gbdt_fuzz --cases 50 --audit                    # sweep with the kernel
 //                                                   # access auditor armed
@@ -63,6 +66,7 @@ struct Options {
   bool hist_only = false;
   bool serve_only = false;
   bool race_only = false;
+  bool objective_only = false;
   std::string race_fault;  // seeded stream-race fault name
 };
 
@@ -81,6 +85,11 @@ void usage() {
          "  --serve            route cases through the serving path instead:\n"
          "                     micro-batched, sharded and single-row scoring\n"
          "                     must match the offline predictor bit for bit\n"
+         "  --objective        objective/sampling sweep: trivial sampling\n"
+         "                     plans must be bitwise inert, seeded sampled\n"
+         "                     runs must replay bit for bit and agree across\n"
+         "                     trainer paths, and LambdaMART must beat the\n"
+         "                     squared-error baseline on held-out NDCG@10\n"
          "  --no-invariants    do not arm in-trainer invariant checks\n"
          "  --no-minimize      report failures without shrinking them\n"
          "  --self-test        verify the invariant checker catches injected\n"
@@ -150,6 +159,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.hist_only = true;
     } else if (a == "--serve") {
       opt.serve_only = true;
+    } else if (a == "--objective") {
+      opt.objective_only = true;
     } else if (a == "--no-invariants") {
       opt.check_invariants = false;
     } else if (a == "--no-minimize") {
@@ -202,6 +213,8 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
       opt.hist_only ? gbdt::testing::run_hist_oracle(c, opt.check_invariants)
       : opt.serve_only
           ? gbdt::testing::run_serve_oracle(c, opt.check_invariants)
+      : opt.objective_only
+          ? gbdt::testing::run_objective_oracle(c, opt.check_invariants)
       : opt.race_only
           ? gbdt::testing::run_race_oracle(c, opt.check_invariants)
           : run_oracle(c, opt.check_invariants);
@@ -225,6 +238,10 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
       repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
         return !gbdt::testing::run_serve_oracle(s, check).pass();
       });
+    } else if (opt.objective_only) {
+      repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
+        return !gbdt::testing::run_objective_oracle(s, check).pass();
+      });
     } else if (opt.race_only) {
       repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
         return !gbdt::testing::run_race_oracle(s, check).pass();
@@ -240,10 +257,11 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
   }
   // Ready-to-paste replay: the mode and analysis flags must ride along or
   // the repro runs a different (likely passing) configuration.
-  std::string flags = opt.serve_only ? " --serve"
-                      : opt.hist_only ? " --hist"
-                      : opt.race_only ? " --race"
-                                      : "";
+  std::string flags = opt.serve_only       ? " --serve"
+                      : opt.hist_only      ? " --hist"
+                      : opt.objective_only ? " --objective"
+                      : opt.race_only      ? " --race"
+                                           : "";
   if (opt.audit) flags += " --audit";
   if (!opt.check_invariants) flags += " --no-invariants";
   std::cout << "  repro: " << repro.repro_command() << flags << "\n";

@@ -39,6 +39,15 @@
 //      comment nearby naming the happens-before edge it establishes.  The
 //      device layer itself (device_context.h) and the race detector
 //      (hb_race.*) are exempt — they define the machinery.
+//  11. The objective/sampling layer (src/objective/) labels every launch
+//      with an `obj_`- or `sample_`-prefixed literal and names every
+//      `obs::ScopedSpan` with an `objective_` or `sampling_` prefix, so
+//      gradient production and mask work stay separable in traces and
+//      audit reports.  The layer also bans unseeded randomness sources
+//      (`std::random_device`, `rand`, `srand`, `random_shuffle`,
+//      `time(nullptr)`): every draw must derive from
+//      GBDTParam::sampling_seed via splitmix64, or sampled forests stop
+//      being bitwise-reproducible across trainer paths.
 //
 // Comments and string literals are blanked (length-preserving) before any
 // rule other than the justification search runs, so prose never trips the
@@ -343,6 +352,15 @@ void check_file(const fs::path& path) {
       report(file, line_of(code, open),
              "src/serve/ launch label without `serve_` prefix");
     }
+    // Rule 11: objective-layer launches keep the contract with `obj_` /
+    // `sample_` (gradient kernels vs. mask kernels).
+    if (file.find("/objective/") != std::string::npos && labeled &&
+        code[a] == '"' && raw.compare(a + 1, 4, "obj_") != 0 &&
+        raw.compare(a + 1, 7, "sample_") != 0) {
+      report(file, line_of(code, open),
+             "src/objective/ launch label without `obj_` or `sample_` "
+             "prefix");
+    }
     // Region end: matching close paren.
     int depth = 1;
     std::size_t end = open + 1;
@@ -406,6 +424,19 @@ void check_file(const fs::path& path) {
     }
   }
 
+  // Rule 11: no unseeded randomness in the objective/sampling layer — the
+  // masks must replay bitwise from GBDTParam::sampling_seed alone.
+  if (file.find("/objective/") != std::string::npos) {
+    static const std::regex rng_re(
+        R"(\brandom_device\b|\brand\s*\(|\bsrand\s*\(|\brandom_shuffle\b|\btime\s*\(\s*nullptr\s*\))");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), rng_re);
+         it != std::sregex_iterator(); ++it) {
+      report(file, line_of(code, static_cast<std::size_t>(it->position(0))),
+             "unseeded randomness in src/objective/ — derive every draw "
+             "from GBDTParam::sampling_seed via splitmix64");
+    }
+  }
+
   // Rule 6: ScopedSpan names are string literals (declaration site exempt).
   if (fname != "trace.h" && fname != "trace.cpp") {
     static const std::regex span_re(R"(\bScopedSpan\b)");
@@ -439,6 +470,14 @@ void check_file(const fs::path& path) {
             raw.compare(j + 1, 6, "serve_") != 0) {
           report(file, line_of(code, j),
                  "src/serve/ ScopedSpan name without `serve_` prefix");
+        }
+        // Rule 11: objective-layer spans carry `objective_` / `sampling_`.
+        if (file.find("/objective/") != std::string::npos &&
+            raw.compare(j + 1, 10, "objective_") != 0 &&
+            raw.compare(j + 1, 9, "sampling_") != 0) {
+          report(file, line_of(code, j),
+                 "src/objective/ ScopedSpan name without `objective_` or "
+                 "`sampling_` prefix");
         }
         continue;
       }
