@@ -158,6 +158,15 @@ class BenchCase {
 
   void metric(const char* key, double value) { metrics_[key] = value; }
 
+  /// Drops the case without appending it to the report — for configurations
+  /// that turn out infeasible at the current scale (e.g. a histogram arena
+  /// that would not fit device memory).
+  void skip() {
+    if (sink_ == nullptr) return;
+    session_.deactivate();
+    sink_ = nullptr;
+  }
+
   void close() {
     if (sink_ == nullptr) return;
     const double wall =

@@ -1,0 +1,208 @@
+#include "core/autotune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+#include "device/cost_model.h"
+#include "device/kernel_stats.h"
+#include "primitives/partition.h"
+#include "primitives/segmented.h"
+
+namespace gbdt::autotune {
+
+namespace {
+
+/// Only move off the paper's defaults for a predicted win beyond the
+/// uniform-segment modeling slack.
+constexpr double kMinWin = 0.03;
+
+std::int64_t nodes_at_level(int level, std::int64_t n_instances) {
+  const std::int64_t full =
+      level >= 62 ? n_instances : std::int64_t{1} << level;
+  return std::min(full, std::max<std::int64_t>(n_instances, 1));
+}
+
+/// Modeled seconds of one set_keys launch, mirroring the kernel's own
+/// accounting (prim::set_keys) under a uniform-segment assumption.
+double set_keys_seconds(const device::CostModel& cm, std::int64_t n_seg,
+                        std::int64_t n_elems, std::int64_t segs_per_block) {
+  if (n_seg <= 0 || n_elems <= 0) return 0.0;
+  segs_per_block = std::max<std::int64_t>(1, segs_per_block);
+  device::KernelStats s;
+  s.thread_work = static_cast<std::uint64_t>(n_elems);
+  s.blocks = static_cast<std::uint64_t>((n_seg + segs_per_block - 1) /
+                                        segs_per_block);
+  s.max_block_work = static_cast<std::uint64_t>(
+      (n_elems * segs_per_block + n_seg - 1) / n_seg);
+  s.coalesced_bytes =
+      static_cast<std::uint64_t>(n_elems) * sizeof(std::int32_t) +
+      static_cast<std::uint64_t>(n_seg) * sizeof(std::int64_t);
+  return cm.kernel_seconds(s);
+}
+
+/// Sum of one tree's set_keys launches (one per level; segment count doubles
+/// with depth, elements stay put).
+double tree_set_keys_seconds(const device::CostModel& cm,
+                             const ProblemShape& shape,
+                             const GBDTParam& param, bool custom,
+                             std::int64_t c) {
+  double total = 0.0;
+  for (int l = 0; l < param.depth; ++l) {
+    const std::int64_t nodes = nodes_at_level(l, shape.n_instances);
+    const std::int64_t n_seg = nodes * shape.n_attributes;
+    const std::int64_t elems =
+        param.use_hist_trainer ? n_seg * param.n_bins : shape.n_entries;
+    const std::int64_t spb =
+        custom ? prim::auto_segs_per_block(n_seg, cm.config().num_sms, c) : 1;
+    total += set_keys_seconds(cm, n_seg, elems, spb);
+  }
+  return total;
+}
+
+/// Modeled seconds of the deepest level's order-preserving partition under
+/// the given workload policy (the pass count is the real plan's).
+double partition_seconds(const device::CostModel& cm,
+                         const ProblemShape& shape, const GBDTParam& param,
+                         bool customized) {
+  const std::int64_t nodes =
+      nodes_at_level(param.depth - 1, shape.n_instances);
+  const std::int64_t n_parts = std::max<std::int64_t>(2 * nodes, 1);
+  const std::int64_t moved =
+      param.use_hist_trainer ? shape.n_instances : shape.n_entries;
+  if (moved <= 0) return 0.0;
+  const prim::PartitionPlan plan = prim::plan_partition(
+      moved, n_parts, param.partition_counter_budget, customized);
+  device::KernelStats s;
+  s.thread_work = static_cast<std::uint64_t>(moved);
+  // part id read + scatter index write, plus zero/scan of the counters.
+  s.coalesced_bytes =
+      static_cast<std::uint64_t>(moved) *
+          (sizeof(std::int32_t) + sizeof(std::int64_t)) +
+      2 * static_cast<std::uint64_t>(plan.counter_bytes);
+  s.blocks = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, plan.n_threads / 256));
+  s.max_block_work = static_cast<std::uint64_t>(256 * plan.workload);
+  return static_cast<double>(plan.passes) * cm.kernel_seconds(s);
+}
+
+}  // namespace
+
+ProblemShape problem_shape(const data::Dataset& ds) {
+  return {ds.n_instances(), ds.n_attributes(), ds.n_entries()};
+}
+
+TuningReport tune(const device::DeviceConfig& cfg, const ProblemShape& shape,
+                  const GBDTParam& param) {
+  const device::CostModel cm(cfg);
+  TuningReport t;
+
+  // ---- SetKey constant C ---------------------------------------------------
+  t.candidates.push_back(
+      {0, false,
+       tree_set_keys_seconds(cm, shape, param, /*custom=*/false, 0)});
+  for (const std::int64_t c : {std::int64_t{1}, std::int64_t{10},
+                               std::int64_t{100}, std::int64_t{250},
+                               std::int64_t{500}, std::int64_t{1000},
+                               std::int64_t{2000}, std::int64_t{4000}}) {
+    t.candidates.push_back(
+        {c, true, tree_set_keys_seconds(cm, shape, param, /*custom=*/true, c)});
+  }
+  const auto is_default = [](const SetKeyCandidate& c) {
+    return c.use_custom_setkey && c.setkey_c == 1000;
+  };
+  const auto def = std::find_if(t.candidates.begin(), t.candidates.end(),
+                                is_default);
+  const auto best = std::min_element(
+      t.candidates.begin(), t.candidates.end(),
+      [](const SetKeyCandidate& a, const SetKeyCandidate& b) {
+        return a.find_split_seconds < b.find_split_seconds;
+      });
+  t.baseline_find_split_seconds = def->find_split_seconds;
+  if (best->find_split_seconds <
+      def->find_split_seconds * (1.0 - kMinWin)) {
+    t.setkey_c = best->use_custom_setkey ? best->setkey_c : param.setkey_c;
+    t.use_custom_setkey = best->use_custom_setkey;
+    t.tuned_find_split_seconds = best->find_split_seconds;
+  } else {
+    t.setkey_c = 1000;
+    t.use_custom_setkey = true;
+    t.tuned_find_split_seconds = def->find_split_seconds;
+  }
+
+  // ---- IdxComp workload policy --------------------------------------------
+  t.partition_custom_seconds =
+      partition_seconds(cm, shape, param, /*customized=*/true);
+  t.partition_naive_seconds =
+      partition_seconds(cm, shape, param, /*customized=*/false);
+  t.use_custom_idxcomp_workload =
+      t.partition_custom_seconds <=
+      t.partition_naive_seconds * (1.0 + kMinWin);
+
+  // ---- out-of-core chunk size ---------------------------------------------
+  {
+    // CSC shard per entry: 4 B value + 8 B instance id.
+    const double data_bytes = static_cast<double>(shape.n_entries) * 12.0;
+    const double link_bw = cfg.pcie_bandwidth_gbps * 1e9;
+    const double per_chunk =
+        cfg.pcie_latency_us * 1e-6 + cfg.kernel_launch_us * 1e-6;
+    double best_secs = 0.0;
+    std::size_t best_chunk = 0;
+    for (const std::size_t mib : {16u, 32u, 64u, 128u, 256u}) {
+      const std::size_t chunk = std::size_t{mib} << 20;
+      const double n_chunks =
+          std::max(1.0, std::ceil(data_bytes / static_cast<double>(chunk)));
+      // Pipelined stream: total wire time + pipeline fill + per-chunk costs.
+      const double secs = data_bytes / link_bw +
+                          static_cast<double>(chunk) / link_bw +
+                          n_chunks * per_chunk;
+      t.ooc_candidates.emplace_back(chunk, secs);
+      if (best_chunk == 0 || secs < best_secs) {
+        best_secs = secs;
+        best_chunk = chunk;
+      }
+    }
+    const std::size_t def_chunk = std::size_t{64} << 20;
+    double def_secs = best_secs;
+    for (const auto& [chunk, secs] : t.ooc_candidates) {
+      if (chunk == def_chunk) def_secs = secs;
+    }
+    t.ooc_chunk_bytes =
+        best_secs < def_secs * (1.0 - kMinWin) ? best_chunk : def_chunk;
+  }
+
+  // ---- fused find-split ----------------------------------------------------
+  // Fusion removes the scan-totals round trip (write + read of 16 B per
+  // element per level); it can only win, so the knob stays on — the saving
+  // is reported for the profile.
+  {
+    double saving = 0.0;
+    const double bw = cfg.mem_bandwidth_gbps * 1e9;
+    for (int l = 0; l < param.depth; ++l) {
+      const std::int64_t nodes = nodes_at_level(l, shape.n_instances);
+      const std::int64_t elems =
+          param.use_hist_trainer ? nodes * shape.n_attributes * param.n_bins
+                                 : shape.n_entries;
+      saving += 2.0 * static_cast<double>(elems) * 16.0 / bw;
+    }
+    t.fused_saving_seconds = saving;
+    t.fused_find = true;
+  }
+  return t;
+}
+
+void apply(const TuningReport& t, GBDTParam& p) {
+  p.setkey_c = t.setkey_c;
+  p.use_custom_setkey = t.use_custom_setkey;
+  p.use_custom_idxcomp_workload = t.use_custom_idxcomp_workload;
+}
+
+bool autotune_forced() {
+  const char* v = std::getenv("GBDT_AUTOTUNE");
+  if (v == nullptr) return false;
+  const std::string_view s(v);
+  return s == "1" || s == "on" || s == "ON" || s == "true" || s == "TRUE";
+}
+
+}  // namespace gbdt::autotune

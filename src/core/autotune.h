@@ -1,0 +1,101 @@
+// Cost-model-guided autotuning of the trainer's performance knobs.
+//
+// The paper fixes its tuning constants globally (Customized SetKey C = 1000,
+// IdxComp counter budget 2^30, 64 MiB out-of-core chunks) and reports they
+// work well on its four datasets.  The simulated device makes the better
+// experiment cheap: every kernel's modeled time is an analytical function of
+// counted work (device/cost_model.h), so the tuner can *predict* each
+// candidate configuration's find-split seconds from the dataset shape alone
+// — no trial training runs — and pick the argmin before training starts.
+//
+// Search space (one pass, all closed-form):
+//   * SetKey segs-per-block constant C over {1, 10, 100, 250, 500, 1000,
+//     2000, 4000} plus the formula disabled (one block per segment).  The
+//     synthesized KernelStats mirror prim::set_keys' accounting exactly
+//     under a uniform-segment assumption.
+//   * Customized IdxComp workload on/off, costed through the real
+//     prim::plan_partition pass structure (the naive fixed workload pays a
+//     multi-pass penalty when the counters blow the budget).
+//   * Out-of-core chunk size over {16, 32, 64, 128, 256} MiB (pipeline-fill
+//     vs per-chunk-overhead trade-off).
+//   * Fused find-split on/off (the fusion only removes intermediate
+//     traffic, so the model always confirms it on).
+//
+// The default (paper) configuration is only abandoned when a candidate
+// predicts at least a 3% win — the uniform-segment assumption is not worth
+// betting on for less — so `--autotune` can never lose to the paper's fixed
+// C = 1000 by more than model noise, and bench_smoke gates exactly that.
+//
+// The chosen knobs are applied onto the GBDTParam the trainers copy into
+// TrainState, so every downstream segs_per_block / plan_partition call sees
+// the tuned values; the full candidate sweep is kept in the report for the
+// CLI `--profile` tuning block and EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/param.h"
+#include "data/dataset.h"
+#include "device/device_config.h"
+
+namespace gbdt::autotune {
+
+/// One evaluated SetKey configuration.
+struct SetKeyCandidate {
+  std::int64_t setkey_c = 0;  // meaningful when use_custom_setkey
+  bool use_custom_setkey = true;
+  /// Predicted modeled seconds of all set_keys launches of one tree.
+  double find_split_seconds = 0.0;
+};
+
+/// Everything the tuner decided plus the evidence it decided on.
+struct TuningReport {
+  // ---- chosen configuration ----------------------------------------------
+  std::int64_t setkey_c = 1000;
+  bool use_custom_setkey = true;
+  bool use_custom_idxcomp_workload = true;
+  std::size_t ooc_chunk_bytes = std::size_t{64} << 20;
+  bool fused_find = true;
+
+  // ---- predictions --------------------------------------------------------
+  /// Paper default (C = 1000, custom formula on), for the acceptance gate.
+  double baseline_find_split_seconds = 0.0;
+  /// The chosen SetKey configuration (<= baseline by construction).
+  double tuned_find_split_seconds = 0.0;
+  double partition_custom_seconds = 0.0;
+  double partition_naive_seconds = 0.0;
+  /// Intermediate traffic the fused find-split avoids per tree.
+  double fused_saving_seconds = 0.0;
+
+  // ---- full sweeps (for --profile and EXPERIMENTS.md) ---------------------
+  std::vector<SetKeyCandidate> candidates;
+  std::vector<std::pair<std::size_t, double>> ooc_candidates;
+};
+
+/// The dataset statistics the predictions depend on.
+struct ProblemShape {
+  std::int64_t n_instances = 0;
+  std::int64_t n_attributes = 0;
+  std::int64_t n_entries = 0;
+};
+
+[[nodiscard]] ProblemShape problem_shape(const data::Dataset& ds);
+
+/// Evaluates the whole search space against the analytical cost model.
+/// Pure: no device is touched, no training happens.
+[[nodiscard]] TuningReport tune(const device::DeviceConfig& cfg,
+                                const ProblemShape& shape,
+                                const GBDTParam& param);
+
+/// Writes the chosen knobs into `p` (which the trainers then cache in
+/// TrainState).  The out-of-core chunk size is advisory — it is consumed by
+/// the out-of-core driver's options, not by GBDTParam.
+void apply(const TuningReport& t, GBDTParam& p);
+
+/// True when GBDT_AUTOTUNE=1: tune even when param.autotune is unset.
+[[nodiscard]] bool autotune_forced();
+
+}  // namespace gbdt::autotune

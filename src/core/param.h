@@ -77,6 +77,11 @@ struct GBDTParam {
   /// xgbst-gpu layout).  Used by the dense baseline, not by GPU-GBDT.
   bool dense_layout = false;
 
+  /// Search setkey_c / idxcomp-workload / out-of-core chunking against the
+  /// analytical device cost model at train start and apply the winners
+  /// (src/core/autotune.h).  GBDT_AUTOTUNE=1 forces it on.
+  bool autotune = false;
+
   // ---- histogram-method knobs -------------------------------------------
   /// Train with the device-side histogram trainer (quantized feature bins +
   /// per-node gradient histograms with the subtraction trick) instead of the

@@ -382,6 +382,13 @@ TrainReport GpuGbdtTrainer::train(const data::Dataset& ds,
   TrainReport report;
   report.base_score = param_.base_score;
 
+  if (param_.autotune || autotune::autotune_forced()) {
+    report.tuning =
+        autotune::tune(dev_.config(), autotune::problem_shape(ds), param_);
+    autotune::apply(report.tuning, param_);
+    report.tuned = true;
+  }
+
   TrainState st(dev_, param_, *loss_);
   st.n_inst = ds.n_instances();
   st.n_attr = ds.n_attributes();

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/autotune.h"
 #include "core/loss.h"
 #include "core/param.h"
 #include "core/tree.h"
@@ -43,6 +44,10 @@ struct TrainReport {
   std::size_t peak_device_bytes = 0;
   /// Final raw training scores (base_score + sum of leaf weights).
   std::vector<double> train_scores;
+  /// Set when param.autotune (or GBDT_AUTOTUNE=1) ran the cost-model tuner
+  /// before training; `tuning` then holds the chosen knobs and sweeps.
+  bool tuned = false;
+  autotune::TuningReport tuning;
 };
 
 class GpuGbdtTrainer {

@@ -20,6 +20,11 @@
 //
 // All per-level scratch comes from the TrainState workspace arena; the only
 // steady-state device allocations are the persistent per-instance buffers.
+//
+// The steps live in HistGrower so the multi-GPU trainer can drive K growers
+// in lockstep, merging histograms between build and subtract; the
+// single-device train() below sequences them back-to-back, preserving the
+// pre-refactor kernel order and span structure exactly.
 #include "core/trainer_hist.h"
 
 #include <algorithm>
@@ -73,117 +78,32 @@ void finalize_leaf(TrainState& st, const ActiveNode& node) {
   tn.sum_h = node.sum_h;
 }
 
-/// One level's accumulation plan: which nodes get their histogram built
-/// directly (the smaller sibling of each pair, or every slot on the first
-/// level) and which are derived by subtraction.
-struct AccumPlan {
-  std::vector<std::int32_t> accum_of_node;  // tree-node id -> accum index
-  std::vector<std::int32_t> dest_slot;      // accum index -> level slot
-  std::vector<std::int32_t> der_parent;     // per derived: parent slot (prev level)
-  std::vector<std::int32_t> der_sibling;    // per derived: accumulated sibling slot
-  std::vector<std::int32_t> der_derived;    // per derived: slot to fill
-};
-
-AccumPlan make_accum_plan(const TrainState& st,
-                          const std::vector<std::int32_t>& pair_parent_slot) {
-  AccumPlan plan;
-  plan.accum_of_node.assign(
-      static_cast<std::size_t>(st.current_tree_nodes()), -1);
-  if (pair_parent_slot.empty()) {
-    // First level (or no parent histograms): accumulate every slot.
-    for (std::size_t s = 0; s < st.active.size(); ++s) {
-      plan.accum_of_node[static_cast<std::size_t>(st.active[s].tree_node)] =
-          static_cast<std::int32_t>(plan.dest_slot.size());
-      plan.dest_slot.push_back(static_cast<std::int32_t>(s));
-    }
-    return plan;
-  }
-  // Deeper levels: active nodes arrive in sibling pairs (slots 2k, 2k+1);
-  // accumulate the smaller child, derive the other from the parent.
-  for (std::size_t k = 0; k < pair_parent_slot.size(); ++k) {
-    const std::size_t l = 2 * k;
-    const std::size_t r = 2 * k + 1;
-    const std::size_t small =
-        st.active[l].count <= st.active[r].count ? l : r;
-    const std::size_t big = small == l ? r : l;
-    plan.accum_of_node[static_cast<std::size_t>(st.active[small].tree_node)] =
-        static_cast<std::int32_t>(plan.dest_slot.size());
-    plan.dest_slot.push_back(static_cast<std::int32_t>(small));
-    plan.der_parent.push_back(pair_parent_slot[k]);
-    plan.der_sibling.push_back(static_cast<std::int32_t>(small));
-    plan.der_derived.push_back(static_cast<std::int32_t>(big));
-  }
-  return plan;
-}
-
-/// Bitwise self-check of the subtraction trick: re-accumulates every derived
-/// slot directly and compares cell-by-cell.  Runs only under
-/// GBDT_CHECK_INVARIANTS; with break_hist_subtraction armed it corrupts one
-/// derived cell first, so the check must throw.
-void verify_subtraction(TrainState& st, const BinnedMatrix& binned,
-                        const device::DeviceBuffer<std::int64_t>& qg,
-                        const device::DeviceBuffer<std::int64_t>& qh,
-                        device::ArenaBuffer<hist::QGH>& hist_cur,
-                        const AccumPlan& plan, int n_bins) {
-  const std::int64_t cps = st.n_attr * n_bins;
-  if (testing::fault_injection().break_hist_subtraction) {
-    // Test-only corruption, injected host-side (not a modeled access).
-    hist_cur[static_cast<std::size_t>(plan.der_derived[0]) *
-             static_cast<std::size_t>(cps)]
-        .g += 1;
-  }
-  const std::size_t n_derived = plan.der_derived.size();
-  std::vector<std::int32_t> chk_accum(
-      static_cast<std::size_t>(st.current_tree_nodes()), -1);
-  std::vector<std::int32_t> chk_dest(n_derived);
-  for (std::size_t k = 0; k < n_derived; ++k) {
-    chk_accum[static_cast<std::size_t>(
-        st.active[static_cast<std::size_t>(plan.der_derived[k])].tree_node)] =
-        static_cast<std::int32_t>(k);
-    chk_dest[k] = static_cast<std::int32_t>(k);
-  }
-  auto d_accum = detail::upload_pooled(st.dev, st.arena, chk_accum);
-  auto d_dest = detail::upload_pooled(st.dev, st.arena, chk_dest);
-  auto direct = st.arena.alloc<hist::QGH>(n_derived * static_cast<std::size_t>(cps));
-  hist::build_histograms(st.dev, st.arena, binned.row_offsets.span(),
-                         binned.entry_attr.span(), binned.entry_bin.span(),
-                         qg.span(), qh.span(), st.node_of.span(),
-                         d_accum.span(), d_dest.span(), st.n_attr, n_bins,
-                         direct.span());
-  for (std::size_t k = 0; k < n_derived; ++k) {
-    const auto slot = static_cast<std::size_t>(plan.der_derived[k]);
-    for (std::int64_t c = 0; c < cps; ++c) {
-      const auto cu = static_cast<std::size_t>(c);
-      const hist::QGH sub = hist_cur[slot * static_cast<std::size_t>(cps) + cu];
-      const hist::QGH acc = direct[k * static_cast<std::size_t>(cps) + cu];
-      if (!(sub == acc)) {
-        throw testing::InvariantViolation(
-            "hist_subtract: derived histogram differs from direct "
-            "accumulation (slot " +
-            std::to_string(slot) + ", attr " + std::to_string(c / n_bins) +
-            ", bin " + std::to_string(c % n_bins) + ")");
-      }
-    }
-  }
-}
-
 }  // namespace
 
+std::vector<hist::BinCuts> build_hist_cuts(const data::Dataset& ds,
+                                           int n_bins) {
+  // Per-attribute value columns (present entries only), then quantile cuts.
+  std::vector<std::vector<float>> columns(
+      static_cast<std::size_t>(ds.n_attributes()));
+  for (const data::Entry& e : ds.entries()) {
+    columns[static_cast<std::size_t>(e.attr)].push_back(e.value);
+  }
+  std::vector<hist::BinCuts> cuts;
+  cuts.reserve(columns.size());
+  for (auto& col : columns) {
+    cuts.push_back(hist::build_cuts(std::move(col), n_bins));
+  }
+  return cuts;
+}
+
 BinnedMatrix build_binned_matrix(Device& dev, const data::Dataset& ds,
-                                 int n_bins) {
+                                 int n_bins,
+                                 const std::vector<hist::BinCuts>& cuts) {
   BinnedMatrix m;
   m.n_inst = ds.n_instances();
   m.n_attr = ds.n_attributes();
   m.n_bins = n_bins;
-  // Per-attribute value columns (present entries only), then quantile cuts.
-  std::vector<std::vector<float>> columns(static_cast<std::size_t>(m.n_attr));
-  for (const data::Entry& e : ds.entries()) {
-    columns[static_cast<std::size_t>(e.attr)].push_back(e.value);
-  }
-  m.cuts.reserve(columns.size());
-  for (auto& col : columns) {
-    m.cuts.push_back(hist::build_cuts(std::move(col), n_bins));
-  }
+  m.cuts = cuts;
   // Rewrite the entry stream as (attr, bin) pairs and upload.
   const auto& entries = ds.entries();
   std::vector<std::int32_t> attr(entries.size());
@@ -199,6 +119,436 @@ BinnedMatrix build_binned_matrix(Device& dev, const data::Dataset& ds,
   m.entry_bin = dev.to_device<std::uint16_t>(bin);
   return m;
 }
+
+BinnedMatrix build_binned_matrix(Device& dev, const data::Dataset& ds,
+                                 int n_bins) {
+  return build_binned_matrix(dev, ds, n_bins, build_hist_cuts(ds, n_bins));
+}
+
+// ---------------------------------------------------------------------------
+// HistGrower
+// ---------------------------------------------------------------------------
+
+HistGrower::HistGrower(Device& dev, const GBDTParam& param, TrainState& st,
+                       const BinnedMatrix& binned, bool distributed)
+    : dev_(dev), param_(param), st_(st), binned_(binned),
+      distributed_(distributed), n_bins_(param.n_bins),
+      cps_(st.n_attr * param.n_bins),
+      abs_scratch_(dev.alloc<double>(static_cast<std::size_t>(st.n_inst))),
+      qg_(dev.alloc<std::int64_t>(static_cast<std::size_t>(st.n_inst))),
+      qh_(dev.alloc<std::int64_t>(static_cast<std::size_t>(st.n_inst))) {}
+
+HistGrower::AbsMax HistGrower::local_abs_max() {
+  AbsMax m;
+  prim::transform(
+      dev_, st_.grad, abs_scratch_, [](double v) { return std::abs(v); },
+      "hist_abs");
+  m.g = prim::arg_max<double>(dev_, abs_scratch_, "hist_max_abs").value;
+  prim::transform(
+      dev_, st_.hess, abs_scratch_, [](double v) { return std::abs(v); },
+      "hist_abs");
+  m.h = prim::arg_max<double>(dev_, abs_scratch_, "hist_max_abs").value;
+  return m;
+}
+
+hist::QGH HistGrower::quantize(double max_abs_g, double max_abs_h,
+                               std::int64_t global_n) {
+  quant_g_ = hist::make_grad_quant(max_abs_g, global_n);
+  quant_h_ = hist::make_grad_quant(max_abs_h, global_n);
+  const double sg = quant_g_.scale;
+  const double sh = quant_h_.scale;
+  prim::transform(
+      dev_, st_.grad, qg_, [sg](double v) { return std::llround(v * sg); },
+      "hist_quantize_g");
+  prim::transform(
+      dev_, st_.hess, qh_, [sh](double v) { return std::llround(v * sh); },
+      "hist_quantize_h");
+  return hist::QGH{
+      prim::reduce_sum<std::int64_t>(dev_, qg_, "hist_root_sum_g"),
+      prim::reduce_sum<std::int64_t>(dev_, qh_, "hist_root_sum_h"),
+      st_.n_inst};
+}
+
+void HistGrower::begin_tree(Tree& tree, const hist::QGH& global_root) {
+  prim::fill(dev_, st_.node_of, std::int32_t{0});
+  st_.tree = &tree;
+  ActiveNode root;
+  root.tree_node = 0;
+  root.sum_g = static_cast<double>(global_root.g) * quant_g_.inv;
+  root.sum_h = static_cast<double>(global_root.h) * quant_h_.inv;
+  root.count = global_root.cnt;
+  st_.active.assign(1, root);
+  slotq_.assign(1, global_root);
+  hist_prev_ = device::ArenaBuffer<hist::QGH>{};
+  pair_parent_slot_.clear();
+}
+
+void HistGrower::make_accum_plan() {
+  AccumPlan& plan = accum_;
+  plan.accum_of_node.assign(
+      static_cast<std::size_t>(st_.current_tree_nodes()), -1);
+  plan.dest_slot.clear();
+  plan.der_parent.clear();
+  plan.der_sibling.clear();
+  plan.der_derived.clear();
+  if (pair_parent_slot_.empty()) {
+    // First level (or no parent histograms): accumulate every slot.
+    for (std::size_t s = 0; s < st_.active.size(); ++s) {
+      plan.accum_of_node[static_cast<std::size_t>(st_.active[s].tree_node)] =
+          static_cast<std::int32_t>(plan.dest_slot.size());
+      plan.dest_slot.push_back(static_cast<std::int32_t>(s));
+    }
+    return;
+  }
+  // Deeper levels: active nodes arrive in sibling pairs (slots 2k, 2k+1);
+  // accumulate the smaller child, derive the other from the parent.  Counts
+  // are global in the multi-GPU path, so every shard picks the same sibling.
+  for (std::size_t k = 0; k < pair_parent_slot_.size(); ++k) {
+    const std::size_t l = 2 * k;
+    const std::size_t r = 2 * k + 1;
+    const std::size_t small =
+        st_.active[l].count <= st_.active[r].count ? l : r;
+    const std::size_t big = small == l ? r : l;
+    plan.accum_of_node[static_cast<std::size_t>(st_.active[small].tree_node)] =
+        static_cast<std::int32_t>(plan.dest_slot.size());
+    plan.dest_slot.push_back(static_cast<std::int32_t>(small));
+    plan.der_parent.push_back(pair_parent_slot_[k]);
+    plan.der_sibling.push_back(static_cast<std::int32_t>(small));
+    plan.der_derived.push_back(static_cast<std::int32_t>(big));
+  }
+}
+
+void HistGrower::plan_level() {
+  if (!distributed_) {
+    static obs::Counter& levels_grown =
+        obs::Registry::global().counter("gbdt_levels_grown_total");
+    levels_grown.inc();
+  }
+  hist_cur_ = st_.arena.alloc<hist::QGH>(
+      static_cast<std::size_t>(st_.n_active() * cps_));
+  make_accum_plan();
+}
+
+void HistGrower::build_level() {
+  auto d_accum = detail::upload_pooled(dev_, st_.arena, accum_.accum_of_node);
+  auto d_dest = detail::upload_pooled(dev_, st_.arena, accum_.dest_slot);
+  hist::build_histograms(dev_, st_.arena, binned_.row_offsets.span(),
+                         binned_.entry_attr.span(), binned_.entry_bin.span(),
+                         qg_.span(), qh_.span(), st_.node_of.span(),
+                         d_accum.span(), d_dest.span(), st_.n_attr, n_bins_,
+                         hist_cur_.span());
+}
+
+std::vector<std::span<hist::QGH>> HistGrower::accumulated_slots() {
+  std::vector<std::span<hist::QGH>> out;
+  out.reserve(accum_.dest_slot.size());
+  auto hc = hist_cur_.span();
+  for (const std::int32_t slot : accum_.dest_slot) {
+    out.push_back(hc.subspan(
+        static_cast<std::size_t>(slot) * static_cast<std::size_t>(cps_),
+        static_cast<std::size_t>(cps_)));
+  }
+  return out;
+}
+
+bool HistGrower::has_derived() const { return !accum_.der_derived.empty(); }
+
+void HistGrower::subtract_level() {
+  if (!distributed_) {
+    static obs::Counter& subtractions =
+        obs::Registry::global().counter("gbdt_hist_subtractions_total");
+    subtractions.inc(accum_.der_derived.size());
+  }
+  auto d_parent = detail::upload_pooled(dev_, st_.arena, accum_.der_parent);
+  auto d_sibling = detail::upload_pooled(dev_, st_.arena, accum_.der_sibling);
+  auto d_derived = detail::upload_pooled(dev_, st_.arena, accum_.der_derived);
+  hist::subtract_histograms(dev_, hist_prev_.span(), hist_cur_.span(),
+                            d_parent.span(), d_sibling.span(),
+                            d_derived.span(), cps_);
+}
+
+/// Bitwise self-check of the subtraction trick: re-accumulates every derived
+/// slot directly and compares cell-by-cell.  Runs only under
+/// GBDT_CHECK_INVARIANTS on single-device growers (distributed shards hold
+/// globally merged histograms a local re-accumulation cannot reproduce; the
+/// fuzz oracle's bitwise mgpu_hist_vs_single leg covers that path); with
+/// break_hist_subtraction armed it corrupts one derived cell first, so the
+/// check must throw.
+void HistGrower::maybe_verify_subtraction() {
+  if (distributed_ || !testing::invariants_enabled()) return;
+  if (accum_.der_derived.empty()) return;
+  if (testing::fault_injection().break_hist_subtraction) {
+    // Test-only corruption, injected host-side (not a modeled access).
+    hist_cur_[static_cast<std::size_t>(accum_.der_derived[0]) *
+              static_cast<std::size_t>(cps_)]
+        .g += 1;
+  }
+  const std::size_t n_derived = accum_.der_derived.size();
+  std::vector<std::int32_t> chk_accum(
+      static_cast<std::size_t>(st_.current_tree_nodes()), -1);
+  std::vector<std::int32_t> chk_dest(n_derived);
+  for (std::size_t k = 0; k < n_derived; ++k) {
+    chk_accum[static_cast<std::size_t>(
+        st_.active[static_cast<std::size_t>(accum_.der_derived[k])]
+            .tree_node)] = static_cast<std::int32_t>(k);
+    chk_dest[k] = static_cast<std::int32_t>(k);
+  }
+  auto d_accum = detail::upload_pooled(st_.dev, st_.arena, chk_accum);
+  auto d_dest = detail::upload_pooled(st_.dev, st_.arena, chk_dest);
+  auto direct =
+      st_.arena.alloc<hist::QGH>(n_derived * static_cast<std::size_t>(cps_));
+  hist::build_histograms(st_.dev, st_.arena, binned_.row_offsets.span(),
+                         binned_.entry_attr.span(), binned_.entry_bin.span(),
+                         qg_.span(), qh_.span(), st_.node_of.span(),
+                         d_accum.span(), d_dest.span(), st_.n_attr, n_bins_,
+                         direct.span());
+  for (std::size_t k = 0; k < n_derived; ++k) {
+    const auto slot = static_cast<std::size_t>(accum_.der_derived[k]);
+    for (std::int64_t c = 0; c < cps_; ++c) {
+      const auto cu = static_cast<std::size_t>(c);
+      const hist::QGH sub =
+          hist_cur_[slot * static_cast<std::size_t>(cps_) + cu];
+      const hist::QGH acc = direct[k * static_cast<std::size_t>(cps_) + cu];
+      if (!(sub == acc)) {
+        throw testing::InvariantViolation(
+            "hist_subtract: derived histogram differs from direct "
+            "accumulation (slot " +
+            std::to_string(slot) + ", attr " + std::to_string(c / n_bins_) +
+            ", bin " + std::to_string(c % n_bins_) + ")");
+      }
+    }
+  }
+}
+
+void HistGrower::prepare_offsets() {
+  seg_offsets_ = detail::device_node_offsets(st_, st_.n_seg(), n_bins_);
+  st_.keys = st_.arena.alloc<std::int32_t>(
+      static_cast<std::size_t>(st_.n_active() * cps_));
+}
+
+void HistGrower::run_set_keys(int stream) {
+  prim::set_keys(dev_, seg_offsets_, st_.keys,
+                 st_.segs_per_block(st_.n_seg()), stream);
+}
+
+void HistGrower::find_level() {
+  const std::int64_t n_slots = st_.n_active();
+  const std::int64_t n_seg = st_.n_seg();
+  best_.assign(static_cast<std::size_t>(n_slots), detail::BestSplit{});
+  child_q_.assign(static_cast<std::size_t>(2 * n_slots), hist::QGH{});
+  auto scan =
+      st_.arena.alloc<hist::QGH>(static_cast<std::size_t>(n_slots * cps_));
+  auto seg_tot = st_.arena.alloc<hist::QGH>(static_cast<std::size_t>(n_seg));
+  auto hc = hist_cur_.span();
+  prim::fused_gather_scan_totals(
+      dev_, st_.arena, st_.keys, scan, seg_tot,
+      [hc](device::BlockCtx& b, std::int64_t i) {
+        b.reads(hc, i);
+        b.mem_coalesced(sizeof(hist::QGH));
+        return hc[static_cast<std::size_t>(i)];
+      },
+      "hist_scan");
+  auto d_slotq = detail::upload_pooled(dev_, st_.arena, slotq_);
+  auto best_seg_val = st_.arena.alloc<double>(static_cast<std::size_t>(n_seg));
+  auto best_seg_idx =
+      st_.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
+  auto best_seg_dir =
+      st_.arena.alloc<std::uint8_t>(static_cast<std::size_t>(n_seg));
+  const double inv_g = quant_g_.inv;
+  const double inv_h = quant_h_.inv;
+  const double lambda = param_.lambda;
+  const std::int64_t n_attr = st_.n_attr;
+  const int n_bins = n_bins_;
+  auto sc = scan.span();
+  auto tot = seg_tot.span();
+  auto sq = d_slotq.span();
+  const auto fm = st_.feature_mask;
+  prim::fused_gain_argmax(
+      dev_, seg_offsets_, best_seg_val, best_seg_idx, best_seg_dir,
+      st_.segs_per_block(n_seg),
+      [hc, sc, tot, sq, fm, n_attr, inv_g, inv_h, lambda](
+          device::BlockCtx& b, std::int64_t s, std::int64_t e,
+          std::int64_t seg_lo, std::int64_t /*seg_hi*/) {
+        const auto u = static_cast<std::size_t>(e);
+        b.reads(hc, e);
+        b.reads(sc, e);
+        b.mem_coalesced(2 * sizeof(hist::QGH));
+        if (e == seg_lo) {
+          // Segment-invariant loads, once per segment.
+          b.reads(tot, s);
+          b.reads(sq, s / n_attr);
+          if (!fm.empty()) b.reads(fm, s % n_attr);
+          b.mem_irregular(1);
+        }
+        // Attributes outside this tree's feature bag yield no splits
+        // (mask, not compaction: the segment layout is untouched).
+        if (!fm.empty() && fm[static_cast<std::size_t>(s % n_attr)] == 0) {
+          return prim::GainDir{};
+        }
+        // Empty bins carry no boundary (mirrors the CPU baseline's
+        // skip); a zero-gain suppressed cell loses to any real split.
+        if (hc[u].cnt == 0) return prim::GainDir{};
+        const hist::QGH node = sq[static_cast<std::size_t>(s / n_attr)];
+        const hist::QGH pres = tot[static_cast<std::size_t>(s)];
+        const hist::QGH left = sc[u];
+        const std::int64_t miss = node.cnt - pres.cnt;
+        b.flop(24);
+        double gain_r = 0.0;  // missing values to the right child
+        if (left.cnt > 0 && node.cnt - left.cnt > 0) {
+          gain_r = split_gain(
+              static_cast<double>(left.g) * inv_g,
+              static_cast<double>(left.h) * inv_h,
+              static_cast<double>(node.g - left.g) * inv_g,
+              static_cast<double>(node.h - left.h) * inv_h, lambda);
+        }
+        double gain_l = 0.0;  // missing values folded into the left
+        if (miss > 0 && pres.cnt - left.cnt > 0) {
+          const std::int64_t lg = left.g + (node.g - pres.g);
+          const std::int64_t lh = left.h + (node.h - pres.h);
+          gain_l = split_gain(static_cast<double>(lg) * inv_g,
+                              static_cast<double>(lh) * inv_h,
+                              static_cast<double>(node.g - lg) * inv_g,
+                              static_cast<double>(node.h - lh) * inv_h,
+                              lambda);
+        }
+        if (gain_l > gain_r) return prim::GainDir{gain_l, 1};
+        return prim::GainDir{gain_r, 0};
+      },
+      "hist_gain_argmax");
+  auto node_offs = detail::device_node_offsets(st_, n_slots, st_.n_attr);
+  auto best_node_val =
+      st_.arena.alloc<double>(static_cast<std::size_t>(n_slots));
+  auto best_node_idx =
+      st_.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_slots));
+  prim::segmented_arg_max(dev_, best_seg_val, node_offs, best_node_val,
+                          best_node_idx, 1, "hist_node_best");
+
+  // Winner assembly: the scalar buffer reads below are host glue over the
+  // simulated device (same idiom as the exact trainer).  Inputs are the
+  // merged histograms and global slot stats, so every shard computes the
+  // same winners bit for bit.
+  for (std::int64_t s = 0; s < n_slots; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    const std::int64_t seg = best_node_idx[su];
+    if (seg < 0) continue;
+    const std::int64_t cell = best_seg_idx[static_cast<std::size_t>(seg)];
+    if (cell < 0) continue;
+    const double gain = best_node_val[su];
+    if (!(gain > 0.0)) continue;
+    const auto attr = static_cast<std::int32_t>(seg % st_.n_attr);
+    const std::int64_t bin = cell - seg * n_bins;
+    const bool dir = best_seg_dir[static_cast<std::size_t>(seg)] != 0;
+    hist::QGH lq = scan[static_cast<std::size_t>(cell)];
+    const hist::QGH pres = seg_tot[static_cast<std::size_t>(seg)];
+    const hist::QGH node = slotq_[su];
+    if (dir) lq += node - pres;  // missing values go left
+    const hist::QGH rq = node - lq;
+    auto& bs = best_[su];
+    bs.valid = true;
+    bs.gain = gain;
+    bs.attr = attr;
+    bs.split_value = binned_.cuts[static_cast<std::size_t>(attr)]
+                         .bin_low[static_cast<std::size_t>(bin)];
+    bs.default_left = dir;
+    bs.seg = seg;
+    bs.pos = bin;
+    bs.left = ActiveNode{-1, static_cast<double>(lq.g) * quant_g_.inv,
+                         static_cast<double>(lq.h) * quant_h_.inv, lq.cnt};
+    bs.right = ActiveNode{-1, static_cast<double>(rq.g) * quant_g_.inv,
+                          static_cast<double>(rq.h) * quant_h_.inv, rq.cnt};
+    child_q_[2 * su] = lq;
+    child_q_[2 * su + 1] = rq;
+  }
+}
+
+HistGrower::LevelDecision HistGrower::decide_level() {
+  // Host-side split decisions (Algorithm 1 lines 14-23).  Mutates the shared
+  // tree, so the multi-GPU trainer runs this on exactly one shard.
+  const std::int64_t n_slots = st_.n_active();
+  Tree& tree = *st_.tree;
+  LevelDecision d;
+  d.cmds.assign(static_cast<std::size_t>(n_slots), hist::HistSplitCmd{});
+  for (std::int64_t s = 0; s < n_slots; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    const ActiveNode& node = st_.active[su];
+    const detail::BestSplit& bs = best_[su];
+    auto& tn = tree.node(node.tree_node);
+    tn.n_instances = node.count;
+    tn.sum_g = node.sum_g;
+    tn.sum_h = node.sum_h;
+    if (bs.valid && bs.gain > param_.gamma) {
+      const auto [l, r] = tree.split(node.tree_node, bs.attr, bs.split_value,
+                                     bs.default_left, bs.gain);
+      d.cmds[su] = hist::HistSplitCmd{
+          bs.attr, static_cast<std::int32_t>(bs.pos), l, r,
+          static_cast<std::uint8_t>(bs.default_left ? 1 : 0)};
+      ActiveNode left = bs.left;
+      left.tree_node = l;
+      ActiveNode right = bs.right;
+      right.tree_node = r;
+      d.next_active.push_back(left);
+      d.next_active.push_back(right);
+      d.next_slotq.push_back(child_q_[2 * su]);
+      d.next_slotq.push_back(child_q_[2 * su + 1]);
+      d.next_pair_parent.push_back(static_cast<std::int32_t>(s));
+      d.expected_counts.emplace_back(l, left.count);
+      d.expected_counts.emplace_back(r, right.count);
+    } else {
+      finalize_leaf(st_, node);
+    }
+  }
+  return d;
+}
+
+void HistGrower::apply_level(const LevelDecision& d) {
+  // Release the offsets table first: with the back-to-back single-device
+  // sequence this reproduces the pre-refactor arena lifetimes exactly.
+  seg_offsets_ = device::ArenaBuffer<std::int64_t>{};
+  std::vector<std::int32_t> slot_of_node(
+      static_cast<std::size_t>(st_.tree->n_nodes()), -1);
+  for (std::size_t s = 0; s < st_.active.size(); ++s) {
+    slot_of_node[static_cast<std::size_t>(st_.active[s].tree_node)] =
+        static_cast<std::int32_t>(s);
+  }
+  auto d_slot = detail::upload_pooled(dev_, st_.arena, slot_of_node);
+  auto d_cmds = detail::upload_pooled(dev_, st_.arena, d.cmds);
+  hist::update_positions(dev_, binned_.row_offsets.span(),
+                         binned_.entry_attr.span(), binned_.entry_bin.span(),
+                         d_slot.span(), d_cmds.span(), st_.node_of.span());
+}
+
+void HistGrower::maybe_check_counts(const LevelDecision& d) {
+  if (distributed_ || !testing::invariants_enabled()) return;
+  testing::check_instance_counts(st_.node_of.span(), d.expected_counts,
+                                 "hist_split_node");
+}
+
+void HistGrower::advance_level(const LevelDecision& d) {
+  hist_prev_ = std::move(hist_cur_);
+  pair_parent_slot_ = d.next_pair_parent;
+  st_.active = d.next_active;
+  slotq_ = d.next_slotq;
+}
+
+void HistGrower::finish_tree() {
+  // Depth limit reached: remaining active nodes become leaves.  In the
+  // multi-GPU path only the deciding shard writes the shared tree; the
+  // stats are global on every shard, so the values are identical anyway.
+  for (const ActiveNode& node : st_.active) finalize_leaf(st_, node);
+  st_.active.clear();
+  hist_prev_ = device::ArenaBuffer<hist::QGH>{};
+  hist_cur_ = device::ArenaBuffer<hist::QGH>{};
+  pair_parent_slot_.clear();
+}
+
+void HistGrower::maybe_check_leaf_map(const data::Dataset& ds) {
+  if (distributed_ || !testing::invariants_enabled()) return;
+  testing::check_leaf_map(st_.node_of.span(), *st_.tree, ds, "hist_leaf_map");
+}
+
+// ---------------------------------------------------------------------------
+// GpuHistTrainer
+// ---------------------------------------------------------------------------
 
 GpuHistTrainer::GpuHistTrainer(Device& dev, GBDTParam param)
     : dev_(dev), param_(std::move(param)), loss_(make_loss(param_.loss)) {
@@ -216,12 +566,15 @@ TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
   obs::ScopedSpan train_span("train");
   static obs::Counter& trees_trained =
       obs::Registry::global().counter("gbdt_trees_trained_total");
-  static obs::Counter& levels_grown =
-      obs::Registry::global().counter("gbdt_levels_grown_total");
-  static obs::Counter& subtractions =
-      obs::Registry::global().counter("gbdt_hist_subtractions_total");
   TrainReport report;
   report.base_score = param_.base_score;
+
+  if (param_.autotune || autotune::autotune_forced()) {
+    report.tuning =
+        autotune::tune(dev_.config(), autotune::problem_shape(ds), param_);
+    autotune::apply(report.tuning, param_);
+    report.tuned = true;
+  }
 
   TrainState st(dev_, param_, *loss_);
   st.n_inst = ds.n_instances();
@@ -263,9 +616,7 @@ TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
   st.y_pred = dev_.alloc<float>(static_cast<std::size_t>(st.n_inst));
   st.node_of = dev_.alloc<std::int32_t>(static_cast<std::size_t>(st.n_inst));
   prim::fill(dev_, st.y_pred, static_cast<float>(param_.base_score));
-  auto abs_scratch = dev_.alloc<double>(static_cast<std::size_t>(st.n_inst));
-  auto qg = dev_.alloc<std::int64_t>(static_cast<std::size_t>(st.n_inst));
-  auto qh = dev_.alloc<std::int64_t>(static_cast<std::size_t>(st.n_inst));
+  HistGrower grower(dev_, param_, st, binned, /*distributed=*/false);
 
   // ---- boosting loop -------------------------------------------------------
   report.trees.reserve(static_cast<std::size_t>(param_.n_trees));
@@ -279,271 +630,44 @@ TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
 
     // Quantize this tree's gradients so histogram accumulation is exact
     // integer arithmetic (counted with the gradient phase).
-    hist::GradQuant quant_g;
-    hist::GradQuant quant_h;
     hist::QGH rootq;
     {
       PhaseScope phase(dev_, report.modeled.gradients);
       obs::ScopedSpan span("gradient_compute");
-      prim::transform(
-          dev_, st.grad, abs_scratch, [](double v) { return std::abs(v); },
-          "hist_abs");
-      quant_g = hist::make_grad_quant(
-          prim::arg_max<double>(dev_, abs_scratch, "hist_max_abs").value,
-          st.n_inst);
-      prim::transform(
-          dev_, st.hess, abs_scratch, [](double v) { return std::abs(v); },
-          "hist_abs");
-      quant_h = hist::make_grad_quant(
-          prim::arg_max<double>(dev_, abs_scratch, "hist_max_abs").value,
-          st.n_inst);
-      const double sg = quant_g.scale;
-      const double sh = quant_h.scale;
-      prim::transform(
-          dev_, st.grad, qg, [sg](double v) { return std::llround(v * sg); },
-          "hist_quantize_g");
-      prim::transform(
-          dev_, st.hess, qh, [sh](double v) { return std::llround(v * sh); },
-          "hist_quantize_h");
-      rootq = hist::QGH{
-          prim::reduce_sum<std::int64_t>(dev_, qg, "hist_root_sum_g"),
-          prim::reduce_sum<std::int64_t>(dev_, qh, "hist_root_sum_h"),
-          st.n_inst};
+      const HistGrower::AbsMax mx = grower.local_abs_max();
+      rootq = grower.quantize(mx.g, mx.h, st.n_inst);
     }
-    prim::fill(dev_, st.node_of, std::int32_t{0});
-
     report.trees.emplace_back();
     Tree& tree = report.trees.back();
-    st.tree = &tree;
-
-    ActiveNode root;
-    root.tree_node = 0;
-    root.sum_g = static_cast<double>(rootq.g) * quant_g.inv;
-    root.sum_h = static_cast<double>(rootq.h) * quant_h.inv;
-    root.count = st.n_inst;
-    st.active.assign(1, root);
-    std::vector<hist::QGH> slotq{rootq};  // per-slot quantized node stats
-
-    device::ArenaBuffer<hist::QGH> hist_prev;
-    // pair_parent_slot[k]: previous-level slot of the parent of the sibling
-    // pair occupying current slots (2k, 2k + 1).
-    std::vector<std::int32_t> pair_parent_slot;
+    grower.begin_tree(tree, rootq);
 
     for (int level = 0; level < param_.depth && !st.active.empty(); ++level) {
-      levels_grown.inc();
-      const std::int64_t n_slots = st.n_active();
-      const std::int64_t n_seg = st.n_seg();
-      auto hist_cur = st.arena.alloc<hist::QGH>(
-          static_cast<std::size_t>(n_slots * cps));
-
-      const AccumPlan accum = make_accum_plan(st, pair_parent_slot);
+      grower.plan_level();
       {
         PhaseScope phase(dev_, report.modeled.find_split);
         obs::ScopedSpan span("hist_build");
-        auto d_accum =
-            detail::upload_pooled(dev_, st.arena, accum.accum_of_node);
-        auto d_dest = detail::upload_pooled(dev_, st.arena, accum.dest_slot);
-        hist::build_histograms(dev_, st.arena, binned.row_offsets.span(),
-                               binned.entry_attr.span(),
-                               binned.entry_bin.span(), qg.span(), qh.span(),
-                               st.node_of.span(), d_accum.span(),
-                               d_dest.span(), st.n_attr, n_bins,
-                               hist_cur.span());
+        grower.build_level();
       }
-      if (!accum.der_derived.empty()) {
+      if (grower.has_derived()) {
         {
           PhaseScope phase(dev_, report.modeled.find_split);
           obs::ScopedSpan span("hist_subtract");
-          auto d_parent =
-              detail::upload_pooled(dev_, st.arena, accum.der_parent);
-          auto d_sibling =
-              detail::upload_pooled(dev_, st.arena, accum.der_sibling);
-          auto d_derived =
-              detail::upload_pooled(dev_, st.arena, accum.der_derived);
-          hist::subtract_histograms(dev_, hist_prev.span(), hist_cur.span(),
-                                    d_parent.span(), d_sibling.span(),
-                                    d_derived.span(), cps);
-          subtractions.inc(accum.der_derived.size());
+          grower.subtract_level();
         }
-        if (testing::invariants_enabled()) {
-          verify_subtraction(st, binned, qg, qh, hist_cur, accum, n_bins);
-        }
+        grower.maybe_verify_subtraction();
       }
 
       // ---- find the best bin boundary per node over the histograms --------
-      std::vector<detail::BestSplit> best(static_cast<std::size_t>(n_slots));
-      std::vector<hist::QGH> child_q(static_cast<std::size_t>(2 * n_slots));
       {
         PhaseScope phase(dev_, report.modeled.find_split);
         obs::ScopedSpan span("hist_find_split");
-        auto seg_offsets = detail::device_node_offsets(st, n_seg, n_bins);
-        st.keys = st.arena.alloc<std::int32_t>(
-            static_cast<std::size_t>(n_slots * cps));
-        prim::set_keys(dev_, seg_offsets, st.keys, st.segs_per_block(n_seg));
-        auto scan = st.arena.alloc<hist::QGH>(
-            static_cast<std::size_t>(n_slots * cps));
-        auto seg_tot =
-            st.arena.alloc<hist::QGH>(static_cast<std::size_t>(n_seg));
-        auto hc = hist_cur.span();
-        prim::fused_gather_scan_totals(
-            dev_, st.arena, st.keys, scan, seg_tot,
-            [hc](device::BlockCtx& b, std::int64_t i) {
-              b.reads(hc, i);
-              b.mem_coalesced(sizeof(hist::QGH));
-              return hc[static_cast<std::size_t>(i)];
-            },
-            "hist_scan");
-        auto d_slotq = detail::upload_pooled(dev_, st.arena, slotq);
-        auto best_seg_val =
-            st.arena.alloc<double>(static_cast<std::size_t>(n_seg));
-        auto best_seg_idx =
-            st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_seg));
-        auto best_seg_dir =
-            st.arena.alloc<std::uint8_t>(static_cast<std::size_t>(n_seg));
-        const double inv_g = quant_g.inv;
-        const double inv_h = quant_h.inv;
-        const double lambda = param_.lambda;
-        const std::int64_t n_attr = st.n_attr;
-        auto sc = scan.span();
-        auto tot = seg_tot.span();
-        auto sq = d_slotq.span();
-        const auto fm = st.feature_mask;
-        prim::fused_gain_argmax(
-            dev_, seg_offsets, best_seg_val, best_seg_idx, best_seg_dir,
-            st.segs_per_block(n_seg),
-            [hc, sc, tot, sq, fm, n_attr, inv_g, inv_h, lambda](
-                device::BlockCtx& b, std::int64_t s, std::int64_t e,
-                std::int64_t seg_lo, std::int64_t /*seg_hi*/) {
-              const auto u = static_cast<std::size_t>(e);
-              b.reads(hc, e);
-              b.reads(sc, e);
-              b.mem_coalesced(2 * sizeof(hist::QGH));
-              if (e == seg_lo) {
-                // Segment-invariant loads, once per segment.
-                b.reads(tot, s);
-                b.reads(sq, s / n_attr);
-                if (!fm.empty()) b.reads(fm, s % n_attr);
-                b.mem_irregular(1);
-              }
-              // Attributes outside this tree's feature bag yield no splits
-              // (mask, not compaction: the segment layout is untouched).
-              if (!fm.empty() && fm[static_cast<std::size_t>(s % n_attr)] == 0) {
-                return prim::GainDir{};
-              }
-              // Empty bins carry no boundary (mirrors the CPU baseline's
-              // skip); a zero-gain suppressed cell loses to any real split.
-              if (hc[u].cnt == 0) return prim::GainDir{};
-              const hist::QGH node = sq[static_cast<std::size_t>(s / n_attr)];
-              const hist::QGH pres = tot[static_cast<std::size_t>(s)];
-              const hist::QGH left = sc[u];
-              const std::int64_t miss = node.cnt - pres.cnt;
-              b.flop(24);
-              double gain_r = 0.0;  // missing values to the right child
-              if (left.cnt > 0 && node.cnt - left.cnt > 0) {
-                gain_r = split_gain(
-                    static_cast<double>(left.g) * inv_g,
-                    static_cast<double>(left.h) * inv_h,
-                    static_cast<double>(node.g - left.g) * inv_g,
-                    static_cast<double>(node.h - left.h) * inv_h, lambda);
-              }
-              double gain_l = 0.0;  // missing values folded into the left
-              if (miss > 0 && pres.cnt - left.cnt > 0) {
-                const std::int64_t lg = left.g + (node.g - pres.g);
-                const std::int64_t lh = left.h + (node.h - pres.h);
-                gain_l = split_gain(static_cast<double>(lg) * inv_g,
-                                    static_cast<double>(lh) * inv_h,
-                                    static_cast<double>(node.g - lg) * inv_g,
-                                    static_cast<double>(node.h - lh) * inv_h,
-                                    lambda);
-              }
-              if (gain_l > gain_r) return prim::GainDir{gain_l, 1};
-              return prim::GainDir{gain_r, 0};
-            },
-            "hist_gain_argmax");
-        auto node_offs = detail::device_node_offsets(st, n_slots, st.n_attr);
-        auto best_node_val =
-            st.arena.alloc<double>(static_cast<std::size_t>(n_slots));
-        auto best_node_idx =
-            st.arena.alloc<std::int64_t>(static_cast<std::size_t>(n_slots));
-        prim::segmented_arg_max(dev_, best_seg_val, node_offs, best_node_val,
-                                best_node_idx, 1, "hist_node_best");
-
-        // Winner assembly: the scalar buffer reads below are host glue over
-        // the simulated device (same idiom as the exact trainer).
-        for (std::int64_t s = 0; s < n_slots; ++s) {
-          const auto su = static_cast<std::size_t>(s);
-          const std::int64_t seg = best_node_idx[su];
-          if (seg < 0) continue;
-          const std::int64_t cell =
-              best_seg_idx[static_cast<std::size_t>(seg)];
-          if (cell < 0) continue;
-          const double gain = best_node_val[su];
-          if (!(gain > 0.0)) continue;
-          const auto attr = static_cast<std::int32_t>(seg % st.n_attr);
-          const std::int64_t bin = cell - seg * n_bins;
-          const bool dir = best_seg_dir[static_cast<std::size_t>(seg)] != 0;
-          hist::QGH lq = scan[static_cast<std::size_t>(cell)];
-          const hist::QGH pres = seg_tot[static_cast<std::size_t>(seg)];
-          const hist::QGH node = slotq[su];
-          if (dir) lq += node - pres;  // missing values go left
-          const hist::QGH rq = node - lq;
-          auto& bs = best[su];
-          bs.valid = true;
-          bs.gain = gain;
-          bs.attr = attr;
-          bs.split_value = binned.cuts[static_cast<std::size_t>(attr)]
-                               .bin_low[static_cast<std::size_t>(bin)];
-          bs.default_left = dir;
-          bs.seg = seg;
-          bs.pos = bin;
-          bs.left = ActiveNode{-1, static_cast<double>(lq.g) * quant_g.inv,
-                               static_cast<double>(lq.h) * quant_h.inv,
-                               lq.cnt};
-          bs.right = ActiveNode{-1, static_cast<double>(rq.g) * quant_g.inv,
-                                static_cast<double>(rq.h) * quant_h.inv,
-                                rq.cnt};
-          child_q[2 * su] = lq;
-          child_q[2 * su + 1] = rq;
-        }
+        grower.prepare_offsets();
+        grower.run_set_keys();
+        grower.find_level();
       }
 
-      // ---- host-side split decisions (Algorithm 1 lines 14-23) ------------
-      std::vector<hist::HistSplitCmd> cmds(static_cast<std::size_t>(n_slots));
-      std::vector<ActiveNode> next_active;
-      std::vector<hist::QGH> next_slotq;
-      std::vector<std::int32_t> next_pair_parent;
-      std::vector<std::pair<std::int32_t, std::int64_t>> expected_counts;
-      for (std::int64_t s = 0; s < n_slots; ++s) {
-        const auto su = static_cast<std::size_t>(s);
-        const ActiveNode& node = st.active[su];
-        const detail::BestSplit& bs = best[su];
-        auto& tn = tree.node(node.tree_node);
-        tn.n_instances = node.count;
-        tn.sum_g = node.sum_g;
-        tn.sum_h = node.sum_h;
-        if (bs.valid && bs.gain > param_.gamma) {
-          const auto [l, r] = tree.split(node.tree_node, bs.attr,
-                                         bs.split_value, bs.default_left,
-                                         bs.gain);
-          cmds[su] = hist::HistSplitCmd{
-              bs.attr, static_cast<std::int32_t>(bs.pos), l, r,
-              static_cast<std::uint8_t>(bs.default_left ? 1 : 0)};
-          ActiveNode left = bs.left;
-          left.tree_node = l;
-          ActiveNode right = bs.right;
-          right.tree_node = r;
-          next_active.push_back(left);
-          next_active.push_back(right);
-          next_slotq.push_back(child_q[2 * su]);
-          next_slotq.push_back(child_q[2 * su + 1]);
-          next_pair_parent.push_back(static_cast<std::int32_t>(s));
-          expected_counts.emplace_back(l, left.count);
-          expected_counts.emplace_back(r, right.count);
-        } else {
-          finalize_leaf(st, node);
-        }
-      }
-      if (next_active.empty()) {
+      const HistGrower::LevelDecision decision = grower.decide_level();
+      if (decision.next_active.empty()) {
         st.active.clear();
         break;
       }
@@ -551,37 +675,14 @@ TrainReport GpuHistTrainer::train(const data::Dataset& ds) {
       {
         PhaseScope phase(dev_, report.modeled.split_node);
         obs::ScopedSpan span("hist_split_node");
-        std::vector<std::int32_t> slot_of_node(
-            static_cast<std::size_t>(tree.n_nodes()), -1);
-        for (std::size_t s = 0; s < st.active.size(); ++s) {
-          slot_of_node[static_cast<std::size_t>(st.active[s].tree_node)] =
-              static_cast<std::int32_t>(s);
-        }
-        auto d_slot = detail::upload_pooled(dev_, st.arena, slot_of_node);
-        auto d_cmds = detail::upload_pooled(dev_, st.arena, cmds);
-        hist::update_positions(dev_, binned.row_offsets.span(),
-                               binned.entry_attr.span(),
-                               binned.entry_bin.span(), d_slot.span(),
-                               d_cmds.span(), st.node_of.span());
+        grower.apply_level(decision);
       }
-      if (testing::invariants_enabled()) {
-        testing::check_instance_counts(st.node_of.span(), expected_counts,
-                                       "hist_split_node");
-      }
-
-      hist_prev = std::move(hist_cur);
-      pair_parent_slot = std::move(next_pair_parent);
-      st.active = std::move(next_active);
-      slotq = std::move(next_slotq);
+      grower.maybe_check_counts(decision);
+      grower.advance_level(decision);
     }
 
-    // Depth limit reached: remaining active nodes become leaves.
-    for (const ActiveNode& node : st.active) finalize_leaf(st, node);
-    st.active.clear();
-
-    if (testing::invariants_enabled()) {
-      testing::check_leaf_map(st.node_of.span(), tree, ds, "hist_leaf_map");
-    }
+    grower.finish_tree();
+    grower.maybe_check_leaf_map(ds);
     trees_trained.inc();
   }
 

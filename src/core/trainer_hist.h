@@ -16,15 +16,25 @@
 // the training itself is fully deterministic: gradients are quantized to
 // int64 fixed point, making histogram accumulation exact and the
 // histogram-subtraction trick bitwise-identical to direct accumulation.
+//
+// The per-tree/per-level machinery lives in HistGrower, a stepwise "grower"
+// the single-device trainer drives front to back and the multi-GPU trainer
+// drives in lockstep across K row shards — pausing between steps to
+// allreduce |g| maxima, quantized root sums, and the accumulated histogram
+// slots (histograms, not split candidates), after which every shard reaches
+// bitwise-identical split decisions with no further communication.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/loss.h"
 #include "core/param.h"
 #include "core/trainer.h"
+#include "core/trainer_detail.h"
 #include "data/dataset.h"
 #include "device/device_context.h"
 #include "primitives/histogram.h"
@@ -44,11 +54,148 @@ struct BinnedMatrix {
   int n_bins = 0;  // bin budget; cuts[a].bin_low.size() may be smaller
 };
 
+/// Host-side per-attribute quantile cuts of `ds` (the shared first step of
+/// both build_binned_matrix overloads; the multi-GPU row shards build cuts
+/// from the *full* dataset so their bin boundaries agree).
+[[nodiscard]] std::vector<hist::BinCuts> build_hist_cuts(
+    const data::Dataset& ds, int n_bins);
+
 /// Quantizes the dataset: builds per-attribute quantile cuts (hist::build_cuts)
 /// and uploads the bin-index entry stream (PCI-e accounted).
 [[nodiscard]] BinnedMatrix build_binned_matrix(device::Device& dev,
                                                const data::Dataset& ds,
                                                int n_bins);
+
+/// Same, against caller-supplied cuts (multi-GPU shards pass the global
+/// dataset's cuts and a row-sliced `ds`).
+[[nodiscard]] BinnedMatrix build_binned_matrix(
+    device::Device& dev, const data::Dataset& ds, int n_bins,
+    const std::vector<hist::BinCuts>& cuts);
+
+/// Stepwise histogram tree grower over one device (one row shard in the
+/// multi-GPU path).  The caller owns phase spans/timing scopes and sequences
+/// the steps; with `distributed` unset the sequence and kernel order are
+/// exactly the pre-refactor single-device trainer's.  `distributed` growers
+/// skip the single-device self-checks (subtraction verify, instance counts,
+/// leaf map — they assume the full row set) and the process-wide counters.
+///
+/// Per tree:   local_abs_max -> [max-allreduce] -> quantize ->
+///             [sum-allreduce] -> begin_tree
+/// Per level:  plan_level -> build_level -> [histogram allreduce over
+///             accumulated_slots, overlapping run_set_keys on a side
+///             stream] -> subtract_level -> find_level -> decide_level
+///             (one shard; identical inputs everywhere) -> apply_level ->
+///             advance_level
+class HistGrower {
+ public:
+  HistGrower(device::Device& dev, const GBDTParam& param,
+             detail::TrainState& st, const BinnedMatrix& binned,
+             bool distributed);
+
+  struct AbsMax {
+    double g = 0.0;
+    double h = 0.0;
+  };
+  struct LevelDecision {
+    std::vector<hist::HistSplitCmd> cmds;
+    std::vector<detail::ActiveNode> next_active;
+    std::vector<hist::QGH> next_slotq;
+    std::vector<std::int32_t> next_pair_parent;
+    // (tree node, expected instance count) for the invariant check.
+    std::vector<std::pair<std::int32_t, std::int64_t>> expected_counts;
+  };
+
+  // ---- per tree -----------------------------------------------------------
+  /// Largest |gradient| / |hessian| over this shard's rows.
+  [[nodiscard]] AbsMax local_abs_max();
+  /// Fixes the quantization scales from the (globally reduced) maxima and
+  /// `global_n` rows, quantizes this shard's gradients, and returns the
+  /// shard-local quantized root sums.
+  [[nodiscard]] hist::QGH quantize(double max_abs_g, double max_abs_h,
+                                   std::int64_t global_n);
+  /// Resets the per-tree state around the (globally reduced) root stats.
+  void begin_tree(Tree& tree, const hist::QGH& global_root);
+
+  // ---- per level ----------------------------------------------------------
+  /// Allocates this level's histograms and picks the accumulate/derive split.
+  void plan_level();
+  /// Builds the accumulated slots' histograms over this shard's rows.
+  void build_level();
+  /// Spans of the accumulated (directly built) histogram slots — the
+  /// payloads the multi-GPU trainer allreduces before subtract_level.
+  [[nodiscard]] std::vector<std::span<hist::QGH>> accumulated_slots();
+  /// Derives the larger siblings by parent - sibling subtraction (bitwise
+  /// in int64, also across shards once the accumulated slots are global).
+  void subtract_level();
+  [[nodiscard]] bool has_derived() const;
+  /// Single-device bitwise self-check of the subtraction trick (invariants
+  /// mode only; distributed growers skip — the fuzz oracle's bitwise
+  /// mgpu_hist_vs_single leg subsumes it).
+  void maybe_verify_subtraction();
+  /// Uploads the segment-offset table and checks the key buffer out of the
+  /// arena (must precede any comm enqueue: it rides the default stream).
+  void prepare_offsets();
+  /// set_keys over the prepared offsets; `stream` lets the multi-GPU path
+  /// overlap it with the histogram allreduce.
+  void run_set_keys(int stream = device::kDefaultStream);
+  /// Fused scan + gain/argmax + host winner assembly over the (merged)
+  /// histograms.  Deterministic in its inputs, so shards agree bitwise.
+  void find_level();
+  /// Host-side split decisions; mutates the shared tree.  The multi-GPU
+  /// trainer runs it on one shard and distributes the (identical) result.
+  [[nodiscard]] LevelDecision decide_level();
+  /// update_positions over this shard's rows for the decided splits.
+  void apply_level(const LevelDecision& d);
+  /// Instance-count invariant (single-device only; counts are global).
+  void maybe_check_counts(const LevelDecision& d);
+  /// Rolls slot state forward to the decided children.
+  void advance_level(const LevelDecision& d);
+
+  // ---- per tree, end ------------------------------------------------------
+  /// Finalizes the still-active nodes as leaves and clears the level state.
+  void finish_tree();
+  /// Leaf-map invariant over `ds` (single-device only).
+  void maybe_check_leaf_map(const data::Dataset& ds);
+
+  [[nodiscard]] detail::TrainState& state() { return st_; }
+  [[nodiscard]] const std::vector<detail::BestSplit>& best() const {
+    return best_;
+  }
+
+ private:
+  struct AccumPlan {
+    std::vector<std::int32_t> accum_of_node;  // tree-node id -> accum index
+    std::vector<std::int32_t> dest_slot;      // accum index -> level slot
+    std::vector<std::int32_t> der_parent;     // per derived: parent slot
+    std::vector<std::int32_t> der_sibling;    // per derived: sibling slot
+    std::vector<std::int32_t> der_derived;    // per derived: slot to fill
+  };
+  void make_accum_plan();
+
+  device::Device& dev_;
+  const GBDTParam& param_;
+  detail::TrainState& st_;
+  const BinnedMatrix& binned_;
+  const bool distributed_;
+  const int n_bins_;
+  const std::int64_t cps_;  // cells per node slot = n_attr * n_bins
+
+  device::DeviceBuffer<double> abs_scratch_;
+  device::DeviceBuffer<std::int64_t> qg_;
+  device::DeviceBuffer<std::int64_t> qh_;
+  hist::GradQuant quant_g_;
+  hist::GradQuant quant_h_;
+
+  std::vector<hist::QGH> slotq_;  // per-slot quantized node stats (global)
+  device::ArenaBuffer<hist::QGH> hist_prev_;
+  device::ArenaBuffer<hist::QGH> hist_cur_;
+  std::vector<std::int32_t> pair_parent_slot_;
+  AccumPlan accum_;
+  device::ArenaBuffer<std::int64_t> seg_offsets_;
+  std::vector<detail::BestSplit> best_;
+  std::vector<hist::QGH> child_q_;
+  std::vector<hist::QGH> level_scan_;     // host copies for winner assembly
+};
 
 /// Histogram-method trainer on the simulated device.  Returns the same
 /// TrainReport as GpuGbdtTrainer (used_rle/rle_ratio stay at their

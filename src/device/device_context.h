@@ -491,6 +491,34 @@ class Device {
         }});
   }
 
+  // ---- modeled peer (inter-device) transfers ------------------------------
+
+  /// Models one inter-device transfer leg of `seconds` on `stream`.  Device
+  /// memory is host-visible in the simulation, so the wire carries no bits:
+  /// the caller moves the data itself and passes the modeled leg time it
+  /// computed from the interconnect (latency + bytes / bandwidth — PCI-e
+  /// switch or NVLink, see multigpu/allreduce.h).  `footprint` declares the
+  /// element intervals the leg reads (sender side) and/or writes (receiver
+  /// side) so the happens-before detector orders it against kernels and
+  /// copies touching the same spans; build it with
+  /// analysis::LaunchFootprint::record + take.
+  void peer_transfer_async(std::string_view name, int stream, double seconds,
+                           std::uint64_t bytes,
+                           analysis::LaunchFootprint::Map footprint = {}) {
+    check_stream(stream);
+    if (!defer_ || stream == kDefaultStream) {
+      if (defer_) drain_all();
+      exec_peer_transfer(stream, name, seconds, bytes, footprint);
+      return;
+    }
+    queues_[static_cast<std::size_t>(stream)].push_back(PendingOp{
+        stream, -1, PendingOp::Kind::kWork,
+        [this, stream, n = std::string(name), seconds, bytes,
+         f = std::move(footprint)]() mutable {
+          exec_peer_transfer(stream, n, seconds, bytes, f);
+        }});
+  }
+
  private:
   struct EventState {
     bool fired = false;
@@ -614,6 +642,32 @@ class Device {
     }
     std::copy_n(buf.data(), out.size(), out.begin());
     record_transfer(stream, name, out.size_bytes(), /*to_device=*/false);
+  }
+
+  void exec_peer_transfer(int stream, std::string_view name, double secs,
+                          std::uint64_t bytes,
+                          analysis::LaunchFootprint::Map& footprint) {
+    if (analysis::race_detect_enabled()) {
+      hb_.on_op(stream, name, "peer", std::move(footprint));
+    }
+    timeline_.transfer_seconds += secs;
+    ++timeline_.transfers;
+    // Peer bytes are neither H2D nor D2H: bytes_to_device/host stay PCI-e
+    // only; per-label aggregation lands in stream_transfers like any other
+    // labeled async transfer.
+    if (stream != kDefaultStream) {
+      auto it = timeline_.stream_transfers.find(name);
+      if (it == timeline_.stream_transfers.end()) {
+        it = timeline_.stream_transfers
+                 .emplace(std::string(name), TransferRecord{})
+                 .first;
+      }
+      ++it->second.count;
+      it->second.bytes += bytes;
+      it->second.seconds += secs;
+    }
+    note_op_time(stream, secs);
+    obs::on_transfer(bytes, secs);
   }
 
   void exec_record_event(int stream, int e) {

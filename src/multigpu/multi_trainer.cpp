@@ -1,36 +1,72 @@
 #include "multigpu/multi_trainer.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <span>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "core/autotune.h"
 #include "core/trainer_detail.h"
+#include "core/trainer_hist.h"
 #include "data/csc_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "objective/objective.h"
 #include "primitives/reduce.h"
+#include "primitives/transform.h"
 
 namespace gbdt::multigpu {
 
-using detail::ActiveNode;
-using detail::BestSplit;
-using detail::LevelPlan;
-using detail::TrainState;
+using gbdt::detail::ActiveNode;
+using gbdt::detail::BestSplit;
+using gbdt::detail::LevelPlan;
+using gbdt::detail::TrainState;
 using device::Device;
+
+const char* shard_mode_name(ShardMode m) {
+  switch (m) {
+    case ShardMode::kData:
+      return "data";
+    case ShardMode::kFeature:
+      return "feature";
+  }
+  return "?";
+}
+
+bool parse_shard_mode(std::string_view s, ShardMode& out) {
+  if (s == "data") {
+    out = ShardMode::kData;
+  } else if (s == "feature") {
+    out = ShardMode::kFeature;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace {
 
-/// One device + its attribute shard.
+/// One device + its shard of the training matrix.
 struct Shard {
   std::unique_ptr<Device> dev;
   std::unique_ptr<TrainState> state;
-  std::int64_t n_local_attrs = 0;
+  std::int64_t n_local_attrs = 0;  // exact mode: columns held locally
+  std::int64_t attr_lo = 0;        // feature mode: global id of local attr 0
+  std::int64_t row_lo = 0;         // hist mode: global row range [lo, hi)
+  std::int64_t row_hi = 0;
+  int comm_stream = device::kDefaultStream;
+  int compute_stream = device::kDefaultStream;
   double busy_seconds = 0.0;  // accumulated modeled time of this shard
 };
 
 /// Accumulates the max-over-shards modeled time of one parallel step into
-/// the critical path.
+/// the critical path.  Comm legs advance the per-device comm-stream clocks,
+/// so a step wrapping a collective prices communication through the same
+/// max — never double-counted as a separate additive term.
 class ParallelStep {
  public:
   explicit ParallelStep(std::vector<Shard>& shards, double& critical,
@@ -59,6 +95,40 @@ class ParallelStep {
   std::vector<double> before_;
 };
 
+/// Per-train communication tally, folded into the report at the end.
+struct CommStats {
+  double seconds = 0.0;
+  double allreduce_seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+
+  void add_collective(const AllreduceReport& r) {
+    seconds += r.seconds;
+    allreduce_seconds += r.seconds;
+    bytes += r.bytes;
+    messages += r.messages;
+  }
+};
+
+/// Fresh ShardLinks with a ready event recorded on each shard's default
+/// stream, so the collectives' comm legs wait for every kernel enqueued so
+/// far (hb edge; see allreduce.h detail::enqueue_leg).
+std::vector<ShardLink> make_links(std::vector<Shard>& shards) {
+  std::vector<ShardLink> links;
+  links.reserve(shards.size());
+  for (auto& sh : shards) {
+    links.push_back(ShardLink{sh.dev.get(), sh.comm_stream,
+                              sh.dev->record_event(device::kDefaultStream)});
+  }
+  return links;
+}
+
+hist::QGH qgh_sum(const hist::QGH& a, const hist::QGH& b) {
+  hist::QGH r = a;
+  r += b;
+  return r;
+}
+
 }  // namespace
 
 struct MultiGpuTrainer::Impl {
@@ -66,65 +136,105 @@ struct MultiGpuTrainer::Impl {
   int n_devices;
   GBDTParam param;
   Interconnect link;
+  MultiGpuOptions opts;
   std::unique_ptr<Loss> loss;
 
-  Impl(device::DeviceConfig c, int n, GBDTParam p, Interconnect l)
+  Impl(device::DeviceConfig c, int n, GBDTParam p, Interconnect l,
+       MultiGpuOptions o)
       : cfg(std::move(c)), n_devices(n), param(std::move(p)), link(l),
-        loss(make_loss(param.loss)) {
+        opts(o), loss(make_loss(param.loss)) {
     if (n_devices < 1) throw std::invalid_argument("need >= 1 device");
-    // The multi-GPU path shards by attribute over the sparse layout.
+    // The multi-GPU exact path shards by attribute over the sparse layout.
     param.use_rle = false;
     param.force_rle = false;
   }
 
-  void account_comm(MultiTrainReport& r, std::uint64_t bytes,
-                    int messages) const {
+  [[nodiscard]] MultiTrainReport train_exact(const data::Dataset& ds);
+  [[nodiscard]] MultiTrainReport train_hist(const data::Dataset& ds);
+
+  void finish_comm(MultiTrainReport& report, const CommStats& comm,
+                   const std::vector<Shard>& shards) const {
     static obs::Counter& comm_bytes_total =
         obs::Registry::global().counter("gbdt_mgpu_comm_bytes_total");
-    r.comm_bytes += bytes;
-    comm_bytes_total.inc(bytes);
-    const double secs = messages * link.latency_us * 1e-6 +
-                        static_cast<double>(bytes) / (link.bandwidth_gbps * 1e9);
-    r.comm_seconds += secs;
-    r.modeled_seconds += secs;
+    static obs::Gauge& overlap_gauge =
+        obs::Registry::global().gauge("gbdt_mgpu_comm_overlap_ratio");
+    comm_bytes_total.inc(comm.bytes);
+    report.comm_seconds = comm.seconds;
+    report.allreduce_seconds = comm.allreduce_seconds;
+    report.comm_bytes = comm.bytes;
+    report.comm_messages = comm.messages;
+    double overlap = 0.0;
+    for (const auto& sh : shards) {
+      overlap = std::max(overlap, sh.dev->overlap_ratio());
+    }
+    report.comm_overlap_ratio = overlap;
+    overlap_gauge.set(overlap);
   }
 };
 
 MultiGpuTrainer::MultiGpuTrainer(device::DeviceConfig cfg, int n_devices,
-                                 GBDTParam param, Interconnect link)
+                                 GBDTParam param, Interconnect link,
+                                 MultiGpuOptions opts)
     : impl_(std::make_unique<Impl>(std::move(cfg), n_devices, std::move(param),
-                                   link)) {}
+                                   link, opts)) {}
 
 MultiGpuTrainer::~MultiGpuTrainer() = default;
 
 int MultiGpuTrainer::n_devices() const { return impl_->n_devices; }
 
 MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
+  if (impl_->param.autotune || autotune::autotune_forced()) {
+    // Shards share one tuned configuration (they see the same shape).
+    autotune::apply(
+        autotune::tune(impl_->cfg, autotune::problem_shape(ds), impl_->param),
+        impl_->param);
+  }
+  return impl_->param.use_hist_trainer ? impl_->train_hist(ds)
+                                       : impl_->train_exact(ds);
+}
+
+// ---------------------------------------------------------------------------
+// Exact method: column shards (round-robin or contiguous ranges).
+// ---------------------------------------------------------------------------
+
+MultiTrainReport MultiGpuTrainer::Impl::train_exact(const data::Dataset& ds) {
   obs::ScopedSpan train_span("mgpu_train");
   const auto wall_start = std::chrono::steady_clock::now();
-  auto& impl = *impl_;
-  const GBDTParam& param = impl.param;
-  const int K = impl.n_devices;
+  const int K = n_devices;
   if (ds.n_instances() == 0) throw std::invalid_argument("empty dataset");
   if (K > ds.n_attributes()) {
     throw std::invalid_argument("more devices than attributes");
   }
   const std::int64_t n_inst = ds.n_instances();
+  const std::int64_t n_attr = ds.n_attributes();
+  const bool feature_sharded = opts.shard == ShardMode::kFeature;
+  const bool streams = device::stream_async_enabled();
 
   MultiTrainReport report;
   report.base_score = param.base_score;
   report.device_seconds.assign(static_cast<std::size_t>(K), 0.0);
+  CommStats comm;
 
-  // ---- build shards: attribute a lives on device a % K as local a / K ----
+  // ---- build shards --------------------------------------------------------
+  // kData: attribute a lives on device a % K as local a / K.
+  // kFeature: device k owns the contiguous range [F*k/K, F*(k+1)/K).
   std::vector<Shard> shards(static_cast<std::size_t>(K));
   {
     obs::ScopedSpan span("shard_build");
     for (int k = 0; k < K; ++k) {
       auto& sh = shards[static_cast<std::size_t>(k)];
-      sh.dev = std::make_unique<Device>(impl.cfg);
-      sh.n_local_attrs =
-          (ds.n_attributes() + (K - 1 - k)) / K;  // ceil((d - k) / K)
-      sh.state = std::make_unique<TrainState>(*sh.dev, param, *impl.loss);
+      sh.dev = std::make_unique<Device>(cfg);
+      sh.comm_stream =
+          streams ? sh.dev->stream() : device::kDefaultStream;
+      if (feature_sharded) {
+        const auto r = detail::chunk_range(
+            static_cast<std::size_t>(n_attr), K, k);
+        sh.attr_lo = static_cast<std::int64_t>(r.lo);
+        sh.n_local_attrs = static_cast<std::int64_t>(r.hi - r.lo);
+      } else {
+        sh.n_local_attrs = (n_attr + (K - 1 - k)) / K;  // ceil((d - k) / K)
+      }
+      sh.state = std::make_unique<TrainState>(*sh.dev, param, *loss);
       sh.state->n_inst = n_inst;
       sh.state->n_attr = sh.n_local_attrs;
     }
@@ -132,17 +242,24 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
     ParallelStep step(shards, report.modeled_seconds);
     std::vector<data::Entry> row;
     for (int k = 0; k < K; ++k) {
-      data::Dataset local(shards[static_cast<std::size_t>(k)].n_local_attrs);
+      auto& sh = shards[static_cast<std::size_t>(k)];
+      data::Dataset local(sh.n_local_attrs);
       for (std::int64_t i = 0; i < n_inst; ++i) {
         row.clear();
         for (const auto& e : ds.instance(i)) {
-          if (e.attr % K == k) row.push_back({e.attr / K, e.value});
+          if (feature_sharded) {
+            if (e.attr >= sh.attr_lo && e.attr < sh.attr_lo + sh.n_local_attrs) {
+              row.push_back(
+                  {static_cast<std::int32_t>(e.attr - sh.attr_lo), e.value});
+            }
+          } else if (e.attr % K == k) {
+            row.push_back({e.attr / K, e.value});
+          }
         }
         local.add_instance(row, ds.labels()[static_cast<std::size_t>(i)]);
       }
-      auto& st = *shards[static_cast<std::size_t>(k)].state;
-      auto csc = data::build_csc_device(*shards[static_cast<std::size_t>(k)].dev,
-                                        local);
+      auto& st = *sh.state;
+      auto csc = data::build_csc_device(*sh.dev, local);
       st.orig_values = std::move(csc.values);
       st.orig_inst = std::move(csc.inst_ids);
       st.orig_seg_offsets = std::move(csc.col_offsets);
@@ -168,8 +285,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
   }
 
   report.trees.reserve(static_cast<std::size_t>(param.n_trees));
-  std::vector<std::int32_t> pre_update_node;  // node_of snapshot per level
-  std::vector<std::int32_t> owner_of_node;    // winning shard per tree node
+  std::vector<std::int32_t> owner_of_node;  // winning shard per *child* node
 
   // One RoundDriver per shard: gradients are replicated (every shard holds
   // the full row set), the feature bag is drawn from the global attribute
@@ -179,8 +295,21 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
   drivers.reserve(static_cast<std::size_t>(K));
   for (int k = 0; k < K; ++k) {
     drivers.push_back(std::make_unique<objective::RoundDriver>(
-        *shards[static_cast<std::size_t>(k)].dev, param, ds, K, k));
+        *shards[static_cast<std::size_t>(k)].dev, param, ds, K, k,
+        feature_sharded ? objective::ShardAttrMap::kContiguous
+                        : objective::ShardAttrMap::kRoundRobin));
   }
+
+  // Maps a winning global attribute back to the shard that owns it.
+  const auto owner_of_attr = [&](std::int32_t attr) {
+    if (!feature_sharded) return static_cast<int>(attr % K);
+    int w = 0;
+    while (w + 1 < K &&
+           attr >= shards[static_cast<std::size_t>(w + 1)].attr_lo) {
+      ++w;
+    }
+    return w;
+  };
 
   for (int t = 0; t < param.n_trees; ++t) {
     {
@@ -189,10 +318,10 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
                         &report.device_seconds);
       for (int k = 0; k < K; ++k) {
         auto& st = *shards[static_cast<std::size_t>(k)].state;
-        if (t > 0) detail::update_predictions_smart(st, report.trees.back());
+        if (t > 0) gbdt::detail::update_predictions_smart(st, report.trees.back());
         drivers[static_cast<std::size_t>(k)]->begin_round(
             st, labels[static_cast<std::size_t>(k)], t);
-        detail::reset_working_layout(st);
+        gbdt::detail::reset_working_layout(st);
       }
     }
 
@@ -201,21 +330,37 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
 
     ActiveNode root;
     root.tree_node = 0;
+    std::vector<std::array<double, 2>> root_stats(
+        static_cast<std::size_t>(K));
     {
       ParallelStep step(shards, report.modeled_seconds,
                         &report.device_seconds);
-      // Root statistics computed on shard 0 (all shards agree bitwise).
-      auto& st0 = *shards[0].state;
-      root.sum_g = prim::reduce_sum<double>(*shards[0].dev, st0.grad,
-                                            "mgpu_root_sum_g");
-      root.sum_h = prim::reduce_sum<double>(*shards[0].dev, st0.hess,
-                                            "mgpu_root_sum_h");
+      // Every shard reduces its replicated gradients (bitwise-identical
+      // values), then the collective spreads/validates them — semantically a
+      // broadcast, expressed as an allreduce with max (idempotent here).
+      for (int k = 0; k < K; ++k) {
+        auto& sh = shards[static_cast<std::size_t>(k)];
+        root_stats[static_cast<std::size_t>(k)] = std::array<double, 2>{
+            prim::reduce_sum<double>(*sh.dev, sh.state->grad,
+                                     "mgpu_root_sum_g"),
+            prim::reduce_sum<double>(*sh.dev, sh.state->hess,
+                                     "mgpu_root_sum_h")};
+      }
     }
-    // Broadcast of the root stats: two doubles per peer.
     if (K > 1) {
-      impl.account_comm(report, static_cast<std::uint64_t>(K - 1) * 16,
-                        K - 1);
+      obs::ScopedSpan span("allreduce_merge");
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      auto links = make_links(shards);
+      std::vector<std::span<double>> payloads;
+      payloads.reserve(static_cast<std::size_t>(K));
+      for (auto& rs : root_stats) payloads.push_back(std::span<double>(rs));
+      comm.add_collective(allreduce<double>(
+          "comm_root", link, opts.algo, links, payloads,
+          [](double a, double b) { return std::max(a, b); }));
     }
+    root.sum_g = root_stats[0][0];
+    root.sum_h = root_stats[0][1];
     root.count = n_inst;
 
     std::vector<ActiveNode> active{root};
@@ -233,43 +378,53 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
                           &report.device_seconds);
         for (int k = 0; k < K; ++k) {
           local[static_cast<std::size_t>(k)] =
-              detail::find_splits_sparse(*shards[static_cast<std::size_t>(k)].state);
+              gbdt::detail::find_splits_sparse(*shards[static_cast<std::size_t>(k)].state);
         }
       }
 
-      // 2. Allreduce the candidates: the global winner per node is the
-      //    maximum gain, ties resolved to the lowest *global* attribute —
-      //    the same order a single device enumerates.
-      std::vector<BestSplit> best(active.size());
-      std::vector<std::int32_t> owner(active.size(), -1);
+      // 2. Allreduce the candidates: attribute ids are globalised first, so
+      //    the combine (max gain, ties to the lowest global attribute — the
+      //    same order a single device enumerates) is order-independent and
+      //    every algorithm converges on the same winner bit for bit.
+      std::vector<BestSplit> best;
+      std::vector<int> owner(active.size(), -1);
       {
         obs::ScopedSpan span("allreduce_merge");
-        if (K > 1) {
-          impl.account_comm(
-              report,
-              static_cast<std::uint64_t>(K) * active.size() * sizeof(BestSplit),
-              K);
-        }
-        for (std::size_t s = 0; s < active.size(); ++s) {
-          for (int k = 0; k < K; ++k) {
-            BestSplit cand = local[static_cast<std::size_t>(k)][s];
-            if (!cand.valid) continue;
-            cand.attr = static_cast<std::int32_t>(cand.attr) * K + k;  // global
-            const bool better =
-                !best[s].valid || cand.gain > best[s].gain ||
-                (cand.gain == best[s].gain && cand.attr < best[s].attr);
-            if (better) {
-              best[s] = cand;
-              owner[s] = k;
-            }
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        std::vector<std::vector<BestSplit>> cand(local);
+        for (int k = 0; k < K; ++k) {
+          auto& sh = shards[static_cast<std::size_t>(k)];
+          for (auto& c : cand[static_cast<std::size_t>(k)]) {
+            if (!c.valid) continue;
+            c.attr = feature_sharded
+                         ? static_cast<std::int32_t>(sh.attr_lo) + c.attr
+                         : c.attr * K + k;
           }
+        }
+        auto links = make_links(shards);
+        std::vector<std::span<BestSplit>> payloads;
+        payloads.reserve(static_cast<std::size_t>(K));
+        for (auto& c : cand) payloads.push_back(std::span<BestSplit>(c));
+        comm.add_collective(allreduce<BestSplit>(
+            "comm_cand", link, opts.algo, links, payloads,
+            [](const BestSplit& a, const BestSplit& b) {
+              if (!b.valid) return a;
+              if (!a.valid) return b;
+              if (b.gain > a.gain) return b;
+              if (b.gain == a.gain && b.attr < a.attr) return b;
+              return a;
+            }));
+        best = std::move(cand[0]);
+        for (std::size_t s = 0; s < active.size(); ++s) {
+          if (best[s].valid) owner[s] = owner_of_attr(best[s].attr);
         }
       }
 
       // 3. Host-side split decisions (same logic as the single-GPU loop).
       LevelPlan plan;
       plan.per_slot.resize(active.size());
-      owner_of_node.assign(static_cast<std::size_t>(tree.n_nodes()) + 2 * active.size(), -1);
+      std::vector<std::array<std::int32_t, 3>> child_owners;  // (l, r, owner)
       for (std::size_t s = 0; s < active.size(); ++s) {
         const ActiveNode& node = active[s];
         const BestSplit& b = best[s];
@@ -288,7 +443,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
           e.left_id = l;
           e.right_id = r;
           e.default_left = b.default_left;
-          owner_of_node[static_cast<std::size_t>(node.tree_node)] = owner[s];
+          child_owners.push_back({l, r, owner[s]});
           ActiveNode left = b.left;
           left.tree_node = l;
           ActiveNode right = b.right;
@@ -311,11 +466,15 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
         plan.next_slot_of_tree[static_cast<std::size_t>(
             plan.next_active[k2].tree_node)] = static_cast<std::int32_t>(k2);
       }
-
-      // Snapshot the pre-update node map (host glue for the merge below).
-      pre_update_node.assign(
-          shards[0].state->node_of.span().begin(),
-          shards[0].state->node_of.span().end());
+      // Authoritative-shard table keyed by the *new* child ids: both
+      // children inherit their slot's winning shard, so the post-split
+      // instance->node value alone selects the owner — no pre-split
+      // snapshot of the map is needed.
+      owner_of_node.assign(static_cast<std::size_t>(tree.n_nodes()), -1);
+      for (const auto& [l, r, w] : child_owners) {
+        owner_of_node[static_cast<std::size_t>(l)] = w;
+        owner_of_node[static_cast<std::size_t>(r)] = w;
+      }
 
       // 4. Mark instance sides: every shard applies the defaults; only the
       //    owner of a node's winning attribute knows the exact sides.
@@ -335,33 +494,92 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
         ParallelStep step(shards, report.modeled_seconds,
                           &report.device_seconds);
         for (int k = 0; k < K; ++k) {
-          detail::apply_mark_sides_sparse(
+          gbdt::detail::apply_mark_sides_sparse(
               *shards[static_cast<std::size_t>(k)].state,
               shard_plans[static_cast<std::size_t>(k)]);
         }
       }
 
       // 5. Synchronise node_of: instance i's authoritative value lives on
-      //    the shard owning its (old) node's winning attribute.  Modeled as
-      //    an allgather of the map (4 B x n_inst to and from each peer).
+      //    the shard owning its (new) node's winning attribute.  Each shard
+      //    receives one modeled leg per winning peer carrying that peer's
+      //    rows, then a device kernel gathers the rows in place.
       if (K > 1) {
         obs::ScopedSpan span("node_sync");
-        impl.account_comm(report,
-                          static_cast<std::uint64_t>(K - 1) * 2 *
-                              static_cast<std::uint64_t>(n_inst) * 4,
-                          2 * (K - 1));
-        auto merged = shards[0].state->node_of.span();
-        for (std::int64_t i = 0; i < n_inst; ++i) {
-          const auto u = static_cast<std::size_t>(i);
-          const std::int32_t w =
-              owner_of_node[static_cast<std::size_t>(pre_update_node[u])];
-          if (w > 0) {
-            merged[u] = shards[static_cast<std::size_t>(w)].state->node_of[u];
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        std::vector<std::uint64_t> rows_of_winner(
+            static_cast<std::size_t>(K), 0);
+        for (std::size_t s = 0; s < active.size(); ++s) {
+          if (plan.per_slot[s].split && owner[s] >= 0) {
+            rows_of_winner[static_cast<std::size_t>(owner[s])] +=
+                static_cast<std::uint64_t>(active[s].count);
           }
         }
-        for (int k = 1; k < K; ++k) {
-          auto dst = shards[static_cast<std::size_t>(k)].state->node_of.span();
-          std::copy(merged.begin(), merged.end(), dst.begin());
+        auto links = make_links(shards);
+        std::vector<double> shard_secs(static_cast<std::size_t>(K), 0.0);
+        for (int k = 0; k < K; ++k) {
+          const auto ku = static_cast<std::size_t>(k);
+          bool waited = false;
+          auto dst = shards[ku].state->node_of.span();
+          for (int w = 0; w < K; ++w) {
+            if (w == k || rows_of_winner[static_cast<std::size_t>(w)] == 0) {
+              continue;
+            }
+            const std::uint64_t bytes =
+                rows_of_winner[static_cast<std::size_t>(w)] *
+                sizeof(std::int32_t);
+            const double secs = link.leg_seconds(bytes);
+            detail::enqueue_leg(links[ku], waited, "stream_mgpu_node_sync",
+                                secs, bytes, dst, detail::ChunkRange{0, 0},
+                                detail::ChunkRange{0, dst.size()});
+            comm.bytes += bytes;
+            ++comm.messages;
+            shard_secs[ku] += secs;
+          }
+        }
+        comm.seconds +=
+            *std::max_element(shard_secs.begin(), shard_secs.end());
+        // Device-side masked gather replacing the old host-side O(K·n)
+        // merge loop: w = owner_of_node[node_of[i]] picks the shard whose
+        // mark_sides result is authoritative for row i.  Winner shards
+        // never rewrite their own rows, so cross-device kernel order is
+        // free — and the default stream joins each shard's comm legs.
+        std::vector<std::span<const std::int32_t>> peers(
+            static_cast<std::size_t>(K));
+        for (int w = 0; w < K; ++w) {
+          peers[static_cast<std::size_t>(w)] =
+              shards[static_cast<std::size_t>(w)].state->node_of.span();
+        }
+        for (int k = 0; k < K; ++k) {
+          auto& sh = shards[static_cast<std::size_t>(k)];
+          auto& st = *sh.state;
+          auto d_owner = gbdt::detail::upload_pooled(*sh.dev, st.arena,
+                                               owner_of_node);
+          auto nof = st.node_of.span();
+          auto own = d_owner.span();
+          const std::int64_t n = n_inst;
+          const int me = k;
+          sh.dev->launch(
+              "mgpu_node_merge", device::grid_for(n, prim::kBlockDim),
+              prim::kBlockDim, [&](device::BlockCtx& b) {
+                b.for_each_thread([&](std::int64_t i) {
+                  if (i >= n) return;
+                  const auto u = static_cast<std::size_t>(i);
+                  const std::int32_t c = nof[u];
+                  const int w = own[static_cast<std::size_t>(c)];
+                  if (w >= 0 && w != me) {
+                    nof[u] = peers[static_cast<std::size_t>(w)][u];
+                  }
+                });
+                b.reads_tile(nof, n);
+                b.writes_tile(nof, n);
+                b.reads(own, 0, static_cast<std::int64_t>(own.size()));
+                const std::uint64_t m = prim::elems_in_block(b, n);
+                b.work(m);
+                // own node read + peer gather + masked write
+                b.mem_coalesced(m * 3 * sizeof(std::int32_t));
+              });
         }
       }
 
@@ -371,7 +589,7 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
         ParallelStep step(shards, report.modeled_seconds,
                           &report.device_seconds);
         for (int k = 0; k < K; ++k) {
-          detail::apply_partition_sparse(
+          gbdt::detail::apply_partition_sparse(
               *shards[static_cast<std::size_t>(k)].state,
               shard_plans[static_cast<std::size_t>(k)]);
         }
@@ -398,12 +616,320 @@ MultiTrainReport MultiGpuTrainer::train(const data::Dataset& ds) {
     obs::ScopedSpan span("gradient_compute");
     ParallelStep step(shards, report.modeled_seconds, &report.device_seconds);
     for (int k = 0; k < K; ++k) {
-      detail::update_predictions_smart(*shards[static_cast<std::size_t>(k)].state,
+      gbdt::detail::update_predictions_smart(*shards[static_cast<std::size_t>(k)].state,
                                        report.trees.back());
     }
   }
   const auto final_pred = shards[0].dev->to_host(shards[0].state->y_pred);
   report.train_scores.assign(final_pred.begin(), final_pred.end());
+  finish_comm(report, comm, shards);
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram method: row shards, global cuts, per-level histogram allreduce.
+// ---------------------------------------------------------------------------
+
+MultiTrainReport MultiGpuTrainer::Impl::train_hist(const data::Dataset& ds) {
+  obs::ScopedSpan train_span("mgpu_train");
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int K = n_devices;
+  if (ds.n_instances() == 0) throw std::invalid_argument("empty dataset");
+  if (static_cast<std::int64_t>(K) > ds.n_instances()) {
+    throw std::invalid_argument("more devices than instances");
+  }
+  if (param.n_bins < 1 || param.n_bins > 4096) {
+    throw std::invalid_argument("n_bins must be in [1, 4096]");
+  }
+  if (param.subsample < 1.0 || param.feature_bag != 0) {
+    throw std::invalid_argument(
+        "multi-GPU hist: row/feature sampling is not supported (shards own "
+        "row ranges; a per-tree row mask would unbalance them)");
+  }
+  if (param.objective == ObjectiveKind::kRanking) {
+    throw std::invalid_argument(
+        "multi-GPU hist: ranking objectives need query groups spanning "
+        "shards; train single-device instead");
+  }
+  const std::int64_t n_inst = ds.n_instances();
+  const std::int64_t n_attr = ds.n_attributes();
+  const int n_bins = param.n_bins;
+  const std::int64_t cps = n_attr * n_bins;
+  const bool streams = device::stream_async_enabled();
+
+  MultiTrainReport report;
+  report.base_score = param.base_score;
+  report.device_seconds.assign(static_cast<std::size_t>(K), 0.0);
+  CommStats comm;
+
+  // ---- row shards binned against the *global* quantile cuts ---------------
+  std::vector<Shard> shards(static_cast<std::size_t>(K));
+  std::vector<BinnedMatrix> binned(static_cast<std::size_t>(K));
+  std::vector<device::DeviceBuffer<float>> labels(static_cast<std::size_t>(K));
+  {
+    obs::ScopedSpan span("shard_build");
+    const std::vector<hist::BinCuts> cuts = build_hist_cuts(ds, n_bins);
+    for (int k = 0; k < K; ++k) {
+      auto& sh = shards[static_cast<std::size_t>(k)];
+      sh.dev = std::make_unique<Device>(cfg);
+      if (streams) {
+        sh.comm_stream = sh.dev->stream();
+        sh.compute_stream = sh.dev->stream();
+      }
+      const auto r =
+          detail::chunk_range(static_cast<std::size_t>(n_inst), K, k);
+      sh.row_lo = static_cast<std::int64_t>(r.lo);
+      sh.row_hi = static_cast<std::int64_t>(r.hi);
+      sh.state = std::make_unique<TrainState>(*sh.dev, param, *loss);
+      sh.state->n_inst = sh.row_hi - sh.row_lo;
+      sh.state->n_attr = n_attr;
+    }
+    ParallelStep step(shards, report.modeled_seconds);
+    for (int k = 0; k < K; ++k) {
+      auto& sh = shards[static_cast<std::size_t>(k)];
+      data::Dataset local(n_attr);
+      std::vector<data::Entry> row;
+      for (std::int64_t i = sh.row_lo; i < sh.row_hi; ++i) {
+        const auto inst = ds.instance(i);
+        row.assign(inst.begin(), inst.end());
+        local.add_instance(row, ds.labels()[static_cast<std::size_t>(i)]);
+      }
+      binned[static_cast<std::size_t>(k)] =
+          build_binned_matrix(*sh.dev, local, n_bins, cuts);
+      labels[static_cast<std::size_t>(k)] =
+          sh.dev->to_device<float>(local.labels());
+      auto& st = *sh.state;
+      st.grad = sh.dev->alloc<double>(static_cast<std::size_t>(st.n_inst));
+      st.hess = sh.dev->alloc<double>(static_cast<std::size_t>(st.n_inst));
+      st.y_pred = sh.dev->alloc<float>(static_cast<std::size_t>(st.n_inst));
+      st.node_of =
+          sh.dev->alloc<std::int32_t>(static_cast<std::size_t>(st.n_inst));
+      prim::fill(*sh.dev, st.y_pred, static_cast<float>(param.base_score));
+    }
+  }
+  {
+    // Feasibility: same guard as the single-device hist trainer (histogram
+    // slots replicate per shard, so the bound is unchanged).
+    const double widest = std::ldexp(1.0, std::min(param.depth - 1, 24));
+    const double hist_bytes =
+        2.0 * widest * static_cast<double>(cps) * sizeof(hist::QGH);
+    if (hist_bytes > static_cast<double>(cfg.global_mem_bytes) / 4.0) {
+      throw std::invalid_argument(
+          "hist trainer: per-level histograms would exceed a quarter of "
+          "device memory; reduce depth or n_bins");
+    }
+  }
+
+  std::vector<HistGrower> growers;
+  growers.reserve(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    auto& sh = shards[static_cast<std::size_t>(k)];
+    growers.emplace_back(*sh.dev, param, *sh.state,
+                         binned[static_cast<std::size_t>(k)],
+                         /*distributed=*/true);
+  }
+
+  report.trees.reserve(static_cast<std::size_t>(param.n_trees));
+  for (int t = 0; t < param.n_trees; ++t) {
+    {
+      obs::ScopedSpan span("gradient_compute");
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      for (int k = 0; k < K; ++k) {
+        auto& st = *shards[static_cast<std::size_t>(k)].state;
+        if (t > 0) gbdt::detail::update_predictions_smart(st, report.trees.back());
+        gbdt::detail::compute_gradients(st, labels[static_cast<std::size_t>(k)]);
+      }
+    }
+
+    // Quantization scales must agree across shards: allreduce the |g|/|h|
+    // maxima (max) and the quantized root sums (+) so every shard holds the
+    // global values the single-device trainer would compute.
+    std::vector<std::array<double, 2>> maxima(static_cast<std::size_t>(K));
+    {
+      obs::ScopedSpan span("gradient_compute");
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      for (int k = 0; k < K; ++k) {
+        const auto mx = growers[static_cast<std::size_t>(k)].local_abs_max();
+        maxima[static_cast<std::size_t>(k)] = std::array<double, 2>{mx.g, mx.h};
+      }
+    }
+    if (K > 1) {
+      obs::ScopedSpan span("allreduce_merge");
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      auto links = make_links(shards);
+      std::vector<std::span<double>> payloads;
+      payloads.reserve(static_cast<std::size_t>(K));
+      for (auto& m : maxima) payloads.push_back(std::span<double>(m));
+      comm.add_collective(allreduce<double>(
+          "comm_absmax", link, opts.algo, links, payloads,
+          [](double a, double b) { return std::max(a, b); }));
+    }
+    std::vector<hist::QGH> rootq(static_cast<std::size_t>(K));
+    {
+      obs::ScopedSpan span("gradient_compute");
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      for (int k = 0; k < K; ++k) {
+        rootq[static_cast<std::size_t>(k)] =
+            growers[static_cast<std::size_t>(k)].quantize(
+                maxima[0][0], maxima[0][1], n_inst);
+      }
+    }
+    if (K > 1) {
+      obs::ScopedSpan span("allreduce_merge");
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      auto links = make_links(shards);
+      std::vector<std::span<hist::QGH>> payloads;
+      payloads.reserve(static_cast<std::size_t>(K));
+      for (auto& q : rootq) {
+        payloads.push_back(std::span<hist::QGH>(&q, 1));
+      }
+      comm.add_collective(allreduce<hist::QGH>("comm_rootq", link, opts.algo,
+                                               links, payloads, qgh_sum));
+    }
+
+    report.trees.emplace_back();
+    Tree& tree = report.trees.back();
+    {
+      ParallelStep step(shards, report.modeled_seconds,
+                        &report.device_seconds);
+      for (int k = 0; k < K; ++k) {
+        growers[static_cast<std::size_t>(k)].begin_tree(tree, rootq[0]);
+      }
+    }
+
+    auto& st0 = *shards[0].state;
+    for (int level = 0; level < param.depth && !st0.active.empty(); ++level) {
+      for (int k = 0; k < K; ++k) {
+        growers[static_cast<std::size_t>(k)].plan_level();
+      }
+      {
+        obs::ScopedSpan span("hist_build");
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        for (int k = 0; k < K; ++k) {
+          growers[static_cast<std::size_t>(k)].build_level();
+        }
+      }
+      // Segment offsets + key buffer ride the default stream and must be
+      // enqueued *before* the comm legs (a later default-stream op would
+      // serialise behind them).
+      {
+        obs::ScopedSpan span("hist_find_split");
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        for (int k = 0; k < K; ++k) {
+          growers[static_cast<std::size_t>(k)].prepare_offsets();
+        }
+      }
+      {
+        // Histogram allreduce (one collective per accumulated slot, payload
+        // = that slot's cps cells) overlapping the SetKey build: the comm
+        // legs ride each shard's comm stream behind an event recorded after
+        // hist_build, while set_keys runs on the compute stream — the race
+        // detector sees both schedules, the device clocks overlap them.
+        obs::ScopedSpan span("allreduce_merge");
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        if (K > 1) {
+          auto links = make_links(shards);
+          std::vector<std::vector<std::span<hist::QGH>>> slots(
+              static_cast<std::size_t>(K));
+          for (int k = 0; k < K; ++k) {
+            slots[static_cast<std::size_t>(k)] =
+                growers[static_cast<std::size_t>(k)].accumulated_slots();
+          }
+          AllreduceReport rep;
+          std::vector<std::span<hist::QGH>> payloads(
+              static_cast<std::size_t>(K));
+          for (std::size_t j = 0; j < slots[0].size(); ++j) {
+            for (int k = 0; k < K; ++k) {
+              payloads[static_cast<std::size_t>(k)] =
+                  slots[static_cast<std::size_t>(k)][j];
+            }
+            rep += allreduce<hist::QGH>("comm_hist", link, opts.algo, links,
+                                        payloads, qgh_sum);
+          }
+          comm.add_collective(rep);
+        }
+        for (int k = 0; k < K; ++k) {
+          growers[static_cast<std::size_t>(k)].run_set_keys(
+              shards[static_cast<std::size_t>(k)].compute_stream);
+        }
+      }
+      if (growers[0].has_derived()) {
+        obs::ScopedSpan span("hist_subtract");
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        for (int k = 0; k < K; ++k) {
+          growers[static_cast<std::size_t>(k)].subtract_level();
+        }
+      }
+      {
+        obs::ScopedSpan span("hist_find_split");
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        for (int k = 0; k < K; ++k) {
+          growers[static_cast<std::size_t>(k)].find_level();
+        }
+      }
+
+      // Shard 0 decides (mutating the shared tree once); the decision is
+      // identical on every shard by construction — the histograms and slot
+      // stats are global — so no decision broadcast is modeled.
+      const HistGrower::LevelDecision decision = growers[0].decide_level();
+      if (decision.next_active.empty()) {
+        for (int k = 0; k < K; ++k) {
+          growers[static_cast<std::size_t>(k)].state().active.clear();
+        }
+        break;
+      }
+      {
+        obs::ScopedSpan span("hist_split_node");
+        ParallelStep step(shards, report.modeled_seconds,
+                          &report.device_seconds);
+        for (int k = 0; k < K; ++k) {
+          growers[static_cast<std::size_t>(k)].apply_level(decision);
+        }
+      }
+      for (int k = 0; k < K; ++k) {
+        growers[static_cast<std::size_t>(k)].advance_level(decision);
+      }
+    }
+
+    // Leaf writes are idempotent across shards (all stats are global), so
+    // every grower may finish; only the arena/level state differs.
+    for (int k = 0; k < K; ++k) {
+      growers[static_cast<std::size_t>(k)].finish_tree();
+    }
+  }
+
+  // Fold the last tree into the per-shard predictions and concatenate the
+  // row ranges back into dataset order.
+  {
+    obs::ScopedSpan span("gradient_compute");
+    ParallelStep step(shards, report.modeled_seconds, &report.device_seconds);
+    for (int k = 0; k < K; ++k) {
+      gbdt::detail::update_predictions_smart(*shards[static_cast<std::size_t>(k)].state,
+                                       report.trees.back());
+    }
+  }
+  report.train_scores.reserve(static_cast<std::size_t>(n_inst));
+  for (int k = 0; k < K; ++k) {
+    auto& sh = shards[static_cast<std::size_t>(k)];
+    const auto pred = sh.dev->to_host(sh.state->y_pred);
+    report.train_scores.insert(report.train_scores.end(), pred.begin(),
+                               pred.end());
+  }
+  finish_comm(report, comm, shards);
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

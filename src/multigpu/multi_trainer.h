@@ -1,41 +1,68 @@
 // Multi-GPU GBDT training — the paper's stated future work ("our algorithm
 // is naturally applicable to multiple GPUs or GPU clusters", Section VI).
 //
-// Strategy: feature-parallel exact training.  The attribute lists are
-// sharded round-robin across K simulated devices; per-instance state
-// (gradients, predictions, instance->node map) is replicated.  Each level:
+// Two sharding modes over K simulated devices:
 //
-//   1. every shard finds the best split of every node over its attributes;
-//   2. the global best per node is an allreduce over K x nodes candidates;
-//   3. shards owning winning attributes mark the exact instance sides, and
-//      the instance->node map is synchronised across shards (the only bulk
-//      communication: ~4 B x n_instances per level);
-//   4. every shard partitions its own attribute lists locally.
+//  * kData (default, the historical layout): attribute lists sharded
+//    round-robin across devices, per-instance state replicated.  Each level
+//    merges per-node best split candidates, then synchronises the
+//    instance->node map (only the winning attribute's owner knows the exact
+//    sides).
+//  * kFeature (--shard=feature): each shard owns the contiguous column
+//    range [F*k/K, F*(k+1)/K) instead of an interleave, so candidate merges
+//    are the only per-level communication pattern that changes shape —
+//    winners are located by range lookup rather than modulo.
 //
-// The trees are equivalent to single-device training (identical splits up
-// to floating-point tie-breaks; see EXPERIMENTS.md).  Communication is
-// modeled over a configurable interconnect.  RLE mode is not sharded yet —
-// the multi-GPU path trains on the sparse representation.
+// With --method=hist the shards switch to row parallelism: each device owns
+// a contiguous row range, bins it against the *global* dataset's quantile
+// cuts, and every level allreduces the accumulated (smaller-sibling)
+// histogram slots — histograms, not candidates — after which all shards
+// reach bitwise-identical split decisions with no further communication
+// (the production data-parallel scheme of LightGBM/XGBoost).  The key-build
+// of the find phase rides a dedicated compute stream so it overlaps the
+// histogram allreduce on the comm streams.
+//
+// All merges run through multigpu::allreduce (ring by default, tree or
+// all-to-one selectable; GBDT_ALLTOONE=1 restores the legacy all-to-one
+// schedule bit-for-bit).  Communication is modeled over a configurable
+// interconnect and rides per-shard dedicated comm streams with
+// record_event/wait_event edges, so the race detector checks the overlap
+// schedule and the per-device clocks price it.
+//
+// The exact-mode trees are equivalent to single-device training (identical
+// splits up to floating-point tie-breaks; see EXPERIMENTS.md); hist-mode
+// forests are bitwise identical to the single-device hist trainer.  RLE mode
+// is not sharded — the multi-GPU exact path trains on the sparse
+// representation.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "core/param.h"
 #include "core/tree.h"
 #include "data/dataset.h"
 #include "device/device_config.h"
+#include "multigpu/allreduce.h"
 
 namespace gbdt::multigpu {
 
-/// Link connecting the devices (PCI-e switch or NVLink-style mesh).
-struct Interconnect {
-  double bandwidth_gbps = 12.0;  // per-direction, per transfer
-  double latency_us = 10.0;      // per message
+/// How the training matrix is split across devices (exact method only; the
+/// hist method always shards rows).
+enum class ShardMode {
+  kData,     // attributes round-robin, instance state replicated (default)
+  kFeature,  // contiguous column range per shard
+};
 
-  static Interconnect pcie3() { return {12.0, 10.0}; }
-  static Interconnect nvlink() { return {40.0, 5.0}; }
+[[nodiscard]] const char* shard_mode_name(ShardMode m);
+/// Parses "data" / "feature"; returns false on anything else.
+[[nodiscard]] bool parse_shard_mode(std::string_view s, ShardMode& out);
+
+struct MultiGpuOptions {
+  ShardMode shard = ShardMode::kData;
+  AllreduceAlgo algo = AllreduceAlgo::kRing;
 };
 
 struct MultiTrainReport {
@@ -43,20 +70,30 @@ struct MultiTrainReport {
   double base_score = 0.0;
   std::vector<double> train_scores;
 
-  /// Critical-path modeled seconds: sum over steps of the slowest shard,
-  /// plus communication.
+  /// Critical-path modeled seconds: sum over steps of the slowest shard.
+  /// Communication legs advance the per-device comm-stream clocks, so their
+  /// cost lands here through the same max — comm_seconds is *included*, not
+  /// additive.
   double modeled_seconds = 0.0;
-  double comm_seconds = 0.0;          // included in modeled_seconds
+  double comm_seconds = 0.0;           // summed collective + sync leg time
+  double allreduce_seconds = 0.0;      // comm_seconds share spent in merges
   std::uint64_t comm_bytes = 0;
+  std::uint64_t comm_messages = 0;
+  /// Max over shards of Device::overlap_ratio() at train end: the fraction
+  /// of busy time hidden by comm/compute overlap.
+  double comm_overlap_ratio = 0.0;
   std::vector<double> device_seconds;  // per-shard busy time
   double wall_seconds = 0.0;
 };
 
 class MultiGpuTrainer {
  public:
-  /// n_devices identical devices of configuration `cfg`.
+  /// n_devices identical devices of configuration `cfg`.  With
+  /// param.use_hist_trainer the shards train the histogram method over row
+  /// shards; otherwise the exact method over `opts.shard` column shards.
   MultiGpuTrainer(device::DeviceConfig cfg, int n_devices, GBDTParam param,
-                  Interconnect link = Interconnect::pcie3());
+                  Interconnect link = Interconnect::pcie3(),
+                  MultiGpuOptions opts = {});
   ~MultiGpuTrainer();
 
   [[nodiscard]] MultiTrainReport train(const data::Dataset& ds);

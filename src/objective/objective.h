@@ -51,6 +51,16 @@ class PointwiseObjective final : public Objective {
 [[nodiscard]] std::unique_ptr<Objective> make_objective(
     device::Device& dev, const GBDTParam& param, const data::Dataset& ds);
 
+/// How a multi-GPU shard's local attribute ids map to global ones.
+enum class ShardAttrMap {
+  /// Global attribute a lives on shard a % K as local a / K (the data-
+  /// parallel exact path's historical layout).
+  kRoundRobin,
+  /// Shard k owns the contiguous global range [F*k/K, F*(k+1)/K) and local
+  /// a maps to global lo_k + a (the --shard=feature layout).
+  kContiguous,
+};
+
 /// Per-trainer driver of the objective/sampling layer: owns the Objective
 /// and the device-resident masks, and runs the start-of-round sequence.
 ///
@@ -60,7 +70,8 @@ class PointwiseObjective final : public Objective {
 class RoundDriver {
  public:
   RoundDriver(device::Device& dev, const GBDTParam& param,
-              const data::Dataset& ds, int n_shards = 1, int shard_index = 0);
+              const data::Dataset& ds, int n_shards = 1, int shard_index = 0,
+              ShardAttrMap attr_map = ShardAttrMap::kRoundRobin);
 
   /// Start-of-round hook, replacing the trainers' direct
   /// detail::compute_gradients call: produces gradients, then (only when
@@ -81,6 +92,7 @@ class RoundDriver {
   std::int64_t global_n_attr_ = 0;
   int n_shards_ = 1;
   int shard_index_ = 0;
+  ShardAttrMap attr_map_ = ShardAttrMap::kRoundRobin;
   bool sampling_enabled_ = false;
   device::DeviceBuffer<std::uint8_t> d_row_mask_;
   device::DeviceBuffer<std::uint8_t> d_feature_mask_;

@@ -17,6 +17,7 @@
 #include "core/trainer.h"
 #include "core/trainer_hist.h"
 #include "core/predictor.h"
+#include "multigpu/allreduce.h"
 #include "multigpu/multi_trainer.h"
 #include "primitives/fused_split.h"
 #include "serve/service.h"
@@ -726,6 +727,127 @@ OracleResult run_objective_oracle(const FuzzCase& c, bool check_invariants) {
   }
 
   result.legs.push_back(ranking_leg(c));
+
+  set_invariants_enabled(was_enabled);
+  return result;
+}
+
+OracleResult run_mgpu_oracle(const FuzzCase& c, bool check_invariants) {
+  OracleResult result;
+  result.c = c;
+
+  const bool was_enabled = invariants_enabled();
+  set_invariants_enabled(check_invariants);
+
+  const auto ds = data::generate(c.dataset_spec());
+  const GBDTParam base = c.base_param();
+  const int n_gpus =
+      static_cast<int>(std::min<std::int64_t>(c.n_gpus, c.n_attributes));
+
+  if (n_gpus < 2) {
+    LegResult skipped;
+    skipped.name = "mgpu";
+    skipped.ran = false;
+    skipped.detail = "skipped: fewer than 2 shardable attributes";
+    result.legs.push_back(std::move(skipped));
+    set_invariants_enabled(was_enabled);
+    return result;
+  }
+
+  auto mgpu_run = [&](const GBDTParam& p, multigpu::MultiGpuOptions opts) {
+    multigpu::MultiGpuTrainer trainer(DeviceConfig::titan_x_pascal(), n_gpus,
+                                      p, multigpu::Interconnect::pcie3(),
+                                      opts);
+    auto r = trainer.train(ds);
+    return LegOutput{std::move(r.trees), std::move(r.train_scores), 1.0};
+  };
+  // Runs `body` with the GBDT_ALLTOONE hatch armed, restoring the
+  // environment state afterwards even when the trainer throws.
+  auto with_alltoone = [&](const std::function<LegOutput()>& body) {
+    multigpu::set_alltoone_forced(1);
+    try {
+      LegOutput out = body();
+      multigpu::set_alltoone_forced(-1);
+      return out;
+    } catch (...) {
+      multigpu::set_alltoone_forced(-1);
+      throw;
+    }
+  };
+
+  const multigpu::MultiGpuOptions ring_opts;  // data-parallel, ring
+
+  // Exact path: the ring-merged forest is the reference; the hatch, the
+  // tree collective and feature sharding are compared against it.
+  bool have_ring = false;
+  LegOutput ring_ref;
+  try {
+    ring_ref = mgpu_run(base, ring_opts);
+    have_ring = true;
+  } catch (const std::exception& e) {
+    LegResult leg;
+    leg.name = "mgpu_ring_baseline";
+    leg.ran = true;
+    leg.detail = std::string("ring trainer threw: ") + e.what();
+    result.legs.push_back(std::move(leg));
+  }
+
+  if (have_ring) {
+    result.legs.push_back(run_leg(
+        "ring_vs_alltoone",
+        [&] { return with_alltoone([&] { return mgpu_run(base, ring_opts); }); },
+        ring_ref, 0.0, ds.labels()));
+
+    result.legs.push_back(run_leg(
+        "tree_vs_ring",
+        [&] {
+          multigpu::MultiGpuOptions opts;
+          opts.algo = multigpu::AllreduceAlgo::kTree;
+          return mgpu_run(base, opts);
+        },
+        ring_ref, 0.0, ds.labels()));
+
+    result.legs.push_back(run_leg(
+        "feature_vs_data",
+        [&] {
+          multigpu::MultiGpuOptions opts;
+          opts.shard = multigpu::ShardMode::kFeature;
+          return mgpu_run(base, opts);
+        },
+        ring_ref, 1e-7, ds.labels()));
+  }
+
+  // Histogram-allreduce mode: K-shard hist training vs the single-device
+  // histogram trainer, and the ring collective vs the hatch — all bitwise.
+  GBDTParam hist = base;
+  hist.use_hist_trainer = true;
+  hist.n_bins = c.n_bins;
+
+  bool have_hist = false;
+  LegOutput hist_ref;
+  try {
+    Device dev(DeviceConfig::titan_x_pascal());
+    auto r = GpuHistTrainer(dev, hist).train(ds);
+    hist_ref = LegOutput{std::move(r.trees), std::move(r.train_scores), 1.0};
+    have_hist = true;
+  } catch (const std::exception& e) {
+    LegResult leg;
+    leg.name = "mgpu_hist_single_baseline";
+    leg.ran = true;
+    leg.detail = std::string("single-device hist trainer threw: ") + e.what();
+    result.legs.push_back(std::move(leg));
+  }
+
+  if (have_hist) {
+    result.legs.push_back(run_leg(
+        "mgpu_hist_vs_single", [&] { return mgpu_run(hist, ring_opts); },
+        hist_ref, 0.0, ds.labels()));
+
+    result.legs.push_back(run_leg(
+        "hist_ring_vs_alltoone",
+        [&] { return with_alltoone([&] { return mgpu_run(hist, ring_opts); }); },
+        hist_ref, 0.0, ds.labels()));
+  }
 
   set_invariants_enabled(was_enabled);
   return result;

@@ -116,6 +116,25 @@ struct OracleResult {
 [[nodiscard]] OracleResult run_objective_oracle(const FuzzCase& c,
                                                 bool check_invariants = true);
 
+/// Multi-GPU collective oracle (`gbdt_fuzz --mgpu`): the ring-allreduce
+/// merge path against its escape hatches, all bitwise.
+///  * ring_vs_alltoone   — the default ring collective must produce the
+///    same forest bit for bit as the GBDT_ALLTOONE=1 legacy all-to-one
+///    schedule (same shards, same compute; only the fold order differs, and
+///    every trainer combine is order-independent);
+///  * tree_vs_ring       — the binomial tree collective, same claim;
+///  * feature_vs_data    — feature-parallel sharding against data-parallel
+///    (different shard layouts, so exact gain ties may break differently:
+///    compared at 1e-7 with the functional-equivalence backstop);
+///  * hist_ring_vs_alltoone — the histogram-allreduce mode through the same
+///    hatch, bitwise;
+///  * mgpu_hist_vs_single — K-shard histogram training must reproduce the
+///    single-device histogram trainer bit for bit (global cuts, quantized
+///    int64 histogram sums and the merged-histogram splits are all
+///    shard-count-invariant).
+[[nodiscard]] OracleResult run_mgpu_oracle(const FuzzCase& c,
+                                           bool check_invariants = true);
+
 /// Race-detection oracle (`gbdt_fuzz --race`): the full trainer-path oracle
 /// with the happens-before race detector armed (a RaceViolation or
 /// AuditViolation inside any leg marks it as an invariant violation), plus

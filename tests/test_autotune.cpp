@@ -1,0 +1,120 @@
+// Tests for the cost-model-guided autotuner: the tuned configuration can
+// never predict worse find-split seconds than the paper's fixed C = 1000
+// (the acceptance gate), the sweep always evaluates the paper default, the
+// chosen knobs land in GBDTParam, and a tuned training run still fits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/autotune.h"
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "device/device_context.h"
+
+namespace gbdt::autotune {
+namespace {
+
+using device::DeviceConfig;
+
+ProblemShape shape_of(std::int64_t n, std::int64_t d, double density) {
+  ProblemShape s;
+  s.n_instances = n;
+  s.n_attributes = d;
+  s.n_entries = static_cast<std::int64_t>(static_cast<double>(n * d) * density);
+  return s;
+}
+
+// The tuner keeps the paper default unless a candidate predicts a >3% win,
+// so tuned <= baseline must hold on every shape, device, and depth.
+TEST(Autotune, TunedNeverWorseThanPaperDefault) {
+  const ProblemShape shapes[] = {
+      shape_of(100, 8, 1.0),           // tiny
+      shape_of(10000, 100, 0.3),       // small sparse
+      shape_of(500000, 90, 0.2),       // tall (higgs-like)
+      shape_of(20000, 1000000, 0.001),  // wide sparse (news20-like)
+  };
+  const DeviceConfig cfgs[] = {DeviceConfig::titan_x_pascal(),
+                               DeviceConfig::tesla_p100(),
+                               DeviceConfig::tesla_k20()};
+  for (const auto& cfg : cfgs) {
+    for (const auto& s : shapes) {
+      for (int depth : {3, 6, 10}) {
+        GBDTParam p;
+        p.depth = depth;
+        const auto t = tune(cfg, s, p);
+        EXPECT_LE(t.tuned_find_split_seconds,
+                  t.baseline_find_split_seconds + 1e-15)
+            << "n=" << s.n_instances << " d=" << s.n_attributes
+            << " depth=" << depth;
+      }
+    }
+  }
+}
+
+TEST(Autotune, SweepEvaluatesPaperDefault) {
+  GBDTParam p;
+  const auto t =
+      tune(DeviceConfig::titan_x_pascal(), shape_of(10000, 50, 0.5), p);
+  const bool has_default = std::any_of(
+      t.candidates.begin(), t.candidates.end(), [](const SetKeyCandidate& c) {
+        return c.use_custom_setkey && c.setkey_c == 1000;
+      });
+  EXPECT_TRUE(has_default);
+  // The formula-off candidate is part of the sweep too.
+  const bool has_off = std::any_of(
+      t.candidates.begin(), t.candidates.end(),
+      [](const SetKeyCandidate& c) { return !c.use_custom_setkey; });
+  EXPECT_TRUE(has_off);
+  EXPECT_FALSE(t.ooc_candidates.empty());
+  // Fusion only removes traffic; the model must confirm it on.
+  EXPECT_TRUE(t.fused_find);
+  EXPECT_GE(t.fused_saving_seconds, 0.0);
+}
+
+TEST(Autotune, ApplyWritesChosenKnobs) {
+  TuningReport t;
+  t.setkey_c = 250;
+  t.use_custom_setkey = true;
+  t.use_custom_idxcomp_workload = false;
+  GBDTParam p;
+  apply(t, p);
+  EXPECT_EQ(p.setkey_c, 250);
+  EXPECT_TRUE(p.use_custom_setkey);
+  EXPECT_FALSE(p.use_custom_idxcomp_workload);
+}
+
+// End-to-end: --autotune on the exact trainer produces a report with the
+// tuning evidence attached and a model that still fits the data.
+TEST(Autotune, TrainerRunsTunedAndFits) {
+  data::SyntheticSpec spec;
+  spec.n_instances = 1500;
+  spec.n_attributes = 24;
+  spec.density = 0.6;
+  spec.seed = 29;
+  const auto ds = data::generate(spec);
+
+  GBDTParam p;
+  p.depth = 4;
+  p.n_trees = 4;
+  p.use_rle = false;
+
+  device::Device plain_dev(DeviceConfig::titan_x_pascal());
+  const auto plain = GpuGbdtTrainer(plain_dev, p).train(ds);
+  EXPECT_FALSE(plain.tuned);
+
+  p.autotune = true;
+  device::Device tuned_dev(DeviceConfig::titan_x_pascal());
+  const auto tuned = GpuGbdtTrainer(tuned_dev, p).train(ds);
+  EXPECT_TRUE(tuned.tuned);
+  EXPECT_LE(tuned.tuning.tuned_find_split_seconds,
+            tuned.tuning.baseline_find_split_seconds + 1e-15);
+  EXPECT_EQ(tuned.trees.size(), plain.trees.size());
+  // The knobs only re-block kernels; the fit must not degrade.
+  EXPECT_NEAR(rmse(tuned.train_scores, ds.labels()),
+              rmse(plain.train_scores, ds.labels()), 1e-9);
+}
+
+}  // namespace
+}  // namespace gbdt::autotune

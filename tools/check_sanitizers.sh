@@ -8,8 +8,8 @@
 #
 # The ASan+UBSan tree lives in build-asan/, the TSan tree in build-tsan/,
 # both next to the regular build/.  The TSan lane runs the unit, property,
-# bench_smoke, hist_smoke, serve_smoke, race_smoke and objective_smoke
-# labels (the
+# bench_smoke, hist_smoke, serve_smoke, race_smoke, objective_smoke and
+# mgpu_smoke labels (the
 # concurrency-relevant suites: every kernel launch exercises the thread
 # pool, the bench smoke drives the observability hooks — trace spans,
 # metrics shards — from those workers, the hist smoke hammers the privatized
@@ -21,7 +21,10 @@
 # fault-injection triple plus the schedule-perturbation sweep of the
 # double-buffered out-of-core pipeline, and the objective smoke trains
 # sampled and ranking cases through every trainer path — the gradient
-# masking and LambdaMART kernels run on the same worker pool); audit-mode
+# masking and LambdaMART kernels run on the same worker pool, and the mgpu
+# smoke drives K per-shard devices — each with its own worker pool and comm
+# stream — through the ring/tree collectives and their event edges
+# concurrently); audit-mode
 # and race-mode
 # fault-injection tests run their racy kernels on single-worker devices
 # precisely so this lane stays clean.  The test_serve hot-swap race test
@@ -43,7 +46,7 @@ if [[ "${mode}" == "thread" ]]; then
   if [[ $# -gt 0 ]]; then
     ctest --output-on-failure "$@"
   else
-    ctest --output-on-failure -L 'unit|property|bench_smoke|hist_smoke|serve_smoke|race_smoke|objective_smoke'
+    ctest --output-on-failure -L 'unit|property|bench_smoke|hist_smoke|serve_smoke|race_smoke|objective_smoke|mgpu_smoke'
   fi
 else
   build_dir="${repo_root}/build-asan"

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/autotune.h"
 #include "core/cv.h"
 #include "core/gbdt.h"
 #include "core/metrics.h"
@@ -31,6 +32,7 @@
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
 #include "device/device_context.h"
+#include "multigpu/multi_trainer.h"
 #include "obs/trace.h"
 #include "primitives/transform.h"
 #include "serve/percentile.h"
@@ -170,6 +172,7 @@ GBDTParam params_from(const Flags& f) {
   if (f.flag("no-setkey")) p.use_custom_setkey = false;
   if (f.flag("no-idxcomp")) p.use_custom_idxcomp_workload = false;
   if (f.flag("no-direct-rle")) p.use_direct_rle_split = false;
+  if (f.flag("autotune")) p.autotune = true;
   return p;
 }
 
@@ -189,6 +192,38 @@ void print_profile(const obs::ObsSession& session) {
   std::fprintf(stderr, "  peak device memory: %.1f MiB\n",
                static_cast<double>(session.root().peak_device_bytes_total()) /
                    (1 << 20));
+}
+
+void print_tuning(const autotune::TuningReport& t) {
+  std::fprintf(stderr, "\ntuning (cost-model autotuner):\n");
+  std::fprintf(stderr,
+               "  setkey: %s, predicted find-split %.6f s/tree "
+               "(paper C=1000: %.6f s/tree)\n",
+               t.use_custom_setkey
+                   ? ("custom C=" + std::to_string(t.setkey_c)).c_str()
+                   : "one block per segment",
+               t.tuned_find_split_seconds, t.baseline_find_split_seconds);
+  std::fprintf(stderr, "  setkey sweep:");
+  for (const auto& c : t.candidates) {
+    if (c.use_custom_setkey) {
+      std::fprintf(stderr, " C=%lld:%.2ems",
+                   static_cast<long long>(c.setkey_c),
+                   c.find_split_seconds * 1e3);
+    } else {
+      std::fprintf(stderr, " off:%.2ems", c.find_split_seconds * 1e3);
+    }
+  }
+  std::fprintf(stderr, "\n");
+  std::fprintf(stderr,
+               "  idxcomp workload: %s (custom %.6f s vs naive %.6f s at the "
+               "deepest level)\n",
+               t.use_custom_idxcomp_workload ? "custom" : "naive",
+               t.partition_custom_seconds, t.partition_naive_seconds);
+  std::fprintf(stderr,
+               "  out-of-core chunk: %zu MiB; fused find-split: %s "
+               "(saves %.6f s/tree of intermediate traffic)\n",
+               t.ooc_chunk_bytes >> 20, t.fused_find ? "on" : "off",
+               t.fused_saving_seconds);
 }
 
 int cmd_train(const Flags& f) {
@@ -217,7 +252,65 @@ int cmd_train(const Flags& f) {
   const auto valid_query_path = f.str("valid-query-file");
   const int early = static_cast<int>(f.integer("early-stopping", 0));
   const bool profile = f.flag("profile");
+  const int gpus = static_cast<int>(f.integer("gpus", 1));
+  const std::string shard_str = f.str("shard", "data");
+  const std::string allreduce_str = f.str("allreduce", "ring");
+  const std::string link_str = f.str("link", "pcie");
   f.warn_unused();
+
+  if (gpus > 1) {
+    if (!valid_path.empty()) {
+      std::fprintf(stderr,
+                   "--gpus>1 does not support --valid/--early-stopping\n");
+      return 2;
+    }
+    multigpu::MultiGpuOptions opts;
+    if (!multigpu::parse_shard_mode(shard_str, opts.shard)) {
+      std::fprintf(stderr, "unknown shard mode '%s' (use data|feature)\n",
+                   shard_str.c_str());
+      return 2;
+    }
+    if (!multigpu::parse_allreduce_algo(allreduce_str, opts.algo)) {
+      std::fprintf(stderr,
+                   "unknown allreduce '%s' (use ring|tree|alltoone)\n",
+                   allreduce_str.c_str());
+      return 2;
+    }
+    multigpu::Interconnect link = multigpu::Interconnect::pcie3();
+    if (link_str == "nvlink") {
+      link = multigpu::Interconnect::nvlink();
+    } else if (link_str != "pcie") {
+      std::fprintf(stderr, "unknown link '%s' (use pcie|nvlink)\n",
+                   link_str.c_str());
+      return 2;
+    }
+    obs::ObsSession session;
+    if (profile) session.activate();
+    multigpu::MultiGpuTrainer trainer(device_by_name(f.str("device")), gpus,
+                                      param, link, opts);
+    const auto report = trainer.train(ds);
+    if (profile) {
+      session.deactivate();
+      print_profile(session);
+    }
+    GBDTModel model(param, report.trees, report.base_score,
+                    ds.n_attributes());
+    model.save(model_path);
+    std::fprintf(
+        stderr,
+        "trained %zu trees on %d shards (%s, %s allreduce) -> %s\n"
+        "modeled %.4f s critical path, comm %.4f s (allreduce %.4f s, "
+        "%.1f MiB, %llu msgs), overlap %.0f%%\n",
+        report.trees.size(), gpus, multigpu::shard_mode_name(opts.shard),
+        multigpu::allreduce_algo_name(opts.algo), model_path.c_str(),
+        report.modeled_seconds, report.comm_seconds, report.allreduce_seconds,
+        static_cast<double>(report.comm_bytes) / (1 << 20),
+        static_cast<unsigned long long>(report.comm_messages),
+        100.0 * report.comm_overlap_ratio);
+    const double train_rmse = rmse(report.train_scores, ds.labels());
+    std::fprintf(stderr, "train rmse %.6f\n", train_rmse);
+    return 0;
+  }
 
   obs::ObsSession session;
   if (profile) session.activate();
@@ -261,6 +354,7 @@ int cmd_train(const Flags& f) {
     session.deactivate();
     print_profile(session);
   }
+  if (report.tuned) print_tuning(report.tuning);
   model.save(model_path);
   std::fprintf(stderr,
                "trained %zu trees -> %s\n"
@@ -645,7 +739,9 @@ void usage() {
       "           --valid-query-file=F --ndcg-k=10\n"
       "           --subsample=1.0 --feature-bag=sqrt|all|N --sample-seed=42\n"
       "           --no-rle --force-rle --no-smartgd --no-setkey\n"
-      "           --no-idxcomp --no-direct-rle --profile]\n"
+      "           --no-idxcomp --no-direct-rle --autotune --profile]\n"
+      "          [--gpus=K --shard=data|feature --allreduce=ring|tree|alltoone\n"
+      "           --link=pcie|nvlink]  (multi-GPU training)\n"
       "  predict --data=F --model=F [--output=F --transform]\n"
       "  eval    --data=F --model=F\n"
       "  cv      --data=F [--folds=5 --seed=42 --early-stopping=K\n"

@@ -16,6 +16,10 @@
 //   gbdt_fuzz --objective --cases 25                # objective/sampling sweep
 //                                                   # (seeded-sampling
 //                                                   # determinism + ranking)
+//   gbdt_fuzz --mgpu --cases 25                     # multi-GPU collective
+//                                                   # sweep (ring/tree vs
+//                                                   # the GBDT_ALLTOONE
+//                                                   # hatch, bitwise)
 //   gbdt_fuzz --self-test                           # fault-injection check
 //   gbdt_fuzz --cases 50 --audit                    # sweep with the kernel
 //                                                   # access auditor armed
@@ -67,6 +71,7 @@ struct Options {
   bool serve_only = false;
   bool race_only = false;
   bool objective_only = false;
+  bool mgpu_only = false;
   std::string race_fault;  // seeded stream-race fault name
 };
 
@@ -90,6 +95,12 @@ void usage() {
          "                     runs must replay bit for bit and agree across\n"
          "                     trainer paths, and LambdaMART must beat the\n"
          "                     squared-error baseline on held-out NDCG@10\n"
+         "  --mgpu             multi-GPU collective sweep: the ring and\n"
+         "                     tree allreduce merges and feature-parallel\n"
+         "                     sharding must reproduce the GBDT_ALLTOONE\n"
+         "                     legacy schedule's forest, and K-shard\n"
+         "                     histogram training must match the\n"
+         "                     single-device histogram trainer bit for bit\n"
          "  --no-invariants    do not arm in-trainer invariant checks\n"
          "  --no-minimize      report failures without shrinking them\n"
          "  --self-test        verify the invariant checker catches injected\n"
@@ -161,6 +172,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.serve_only = true;
     } else if (a == "--objective") {
       opt.objective_only = true;
+    } else if (a == "--mgpu") {
+      opt.mgpu_only = true;
     } else if (a == "--no-invariants") {
       opt.check_invariants = false;
     } else if (a == "--no-minimize") {
@@ -215,6 +228,8 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
           ? gbdt::testing::run_serve_oracle(c, opt.check_invariants)
       : opt.objective_only
           ? gbdt::testing::run_objective_oracle(c, opt.check_invariants)
+      : opt.mgpu_only
+          ? gbdt::testing::run_mgpu_oracle(c, opt.check_invariants)
       : opt.race_only
           ? gbdt::testing::run_race_oracle(c, opt.check_invariants)
           : run_oracle(c, opt.check_invariants);
@@ -242,6 +257,10 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
       repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
         return !gbdt::testing::run_objective_oracle(s, check).pass();
       });
+    } else if (opt.mgpu_only) {
+      repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
+        return !gbdt::testing::run_mgpu_oracle(s, check).pass();
+      });
     } else if (opt.race_only) {
       repro = gbdt::testing::minimize_case_with(c, [check](const FuzzCase& s) {
         return !gbdt::testing::run_race_oracle(s, check).pass();
@@ -260,6 +279,7 @@ bool run_case(const FuzzCase& c, const Options& opt, int index, int total) {
   std::string flags = opt.serve_only       ? " --serve"
                       : opt.hist_only      ? " --hist"
                       : opt.objective_only ? " --objective"
+                      : opt.mgpu_only      ? " --mgpu"
                       : opt.race_only      ? " --race"
                                            : "";
   if (opt.audit) flags += " --audit";

@@ -48,6 +48,14 @@
 //      `time(nullptr)`): every draw must derive from
 //      GBDTParam::sampling_seed via splitmix64, or sampled forests stop
 //      being bitwise-reproducible across trainer paths.
+//  12. The multi-GPU collectives (src/multigpu/allreduce.h) stay greppable
+//      under `comm_`: every `allreduce<...>(` invocation passes a
+//      `comm_`-prefixed string-literal tag (the modeled wire legs derive
+//      their labels from it, so comm traffic is separable from compute in
+//      traces and race reports), and inside src/multigpu/ every direct
+//      `peer_transfer_async(` site either labels itself with a `comm_`- or
+//      `stream_`-prefixed literal or forwards the collective's `label`
+//      parameter (the enqueue_leg machinery).
 //
 // Comments and string literals are blanked (length-preserving) before any
 // rule other than the justification search runs, so prose never trips the
@@ -434,6 +442,54 @@ void check_file(const fs::path& path) {
       report(file, line_of(code, static_cast<std::size_t>(it->position(0))),
              "unseeded randomness in src/objective/ — derive every draw "
              "from GBDTParam::sampling_seed via splitmix64");
+    }
+  }
+
+  // Rule 12: multi-GPU collective labels stay greppable under `comm_`.
+  {
+    static const std::regex coll_re(R"(\ballreduce\s*<[^;(]*>\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), coll_re);
+         it != std::sregex_iterator(); ++it) {
+      const auto open = static_cast<std::size_t>(it->position(0)) +
+                        static_cast<std::size_t>(it->length(0)) - 1;
+      std::size_t a = open + 1;
+      while (a < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[a]))) {
+        ++a;
+      }
+      // Literal contents live in `raw` — strip() blanks them in `code`.
+      const bool ok = a < code.size() && code[a] == '"' &&
+                      raw.compare(a + 1, 5, "comm_") == 0;
+      if (!ok) {
+        report(file, line_of(code, open),
+               "`allreduce<...>(` without a `comm_`-prefixed label as first "
+               "argument");
+      }
+    }
+    if (file.find("/multigpu/") != std::string::npos) {
+      static const std::regex peer_re(R"([.>]\s*peer_transfer_async\s*\()");
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), peer_re);
+           it != std::sregex_iterator(); ++it) {
+        const auto open = static_cast<std::size_t>(it->position(0)) +
+                          static_cast<std::size_t>(it->length(0)) - 1;
+        std::size_t a = open + 1;
+        while (a < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[a]))) {
+          ++a;
+        }
+        const bool literal_ok = a < code.size() && code[a] == '"' &&
+                                (raw.compare(a + 1, 5, "comm_") == 0 ||
+                                 raw.compare(a + 1, 7, "stream_") == 0);
+        const bool forwards_label =
+            a + 5 < code.size() && code.compare(a, 5, "label") == 0 &&
+            !is_ident(code[a + 5]);
+        if (!literal_ok && !forwards_label) {
+          report(file, line_of(code, open),
+                 "src/multigpu/ `peer_transfer_async(` without a `comm_`/"
+                 "`stream_`-prefixed label (or the forwarded `label` "
+                 "parameter) as first argument");
+        }
+      }
     }
   }
 
